@@ -1,0 +1,28 @@
+// Command papertables regenerates the tables and figures of "Path-based
+// Algebraic Foundations of Graph Query Languages" from this
+// implementation, printing the same rows the paper reports.
+//
+// Usage:
+//
+//	papertables            # print everything
+//	papertables -table 3   # print a single artifact
+//
+// Artifacts: fig1, fig2, fig5, fig6, intro, plan, 1..7.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"pathalgebra/internal/report"
+)
+
+func main() {
+	table := flag.String("table", "all", "artifact to print (fig1, fig2, fig5, fig6, intro, plan, 1..7, all)")
+	flag.Parse()
+	if err := report.Print(os.Stdout, *table); err != nil {
+		fmt.Fprintln(os.Stderr, "papertables:", err)
+		os.Exit(1)
+	}
+}

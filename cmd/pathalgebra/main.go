@@ -1,0 +1,238 @@
+// Command pathalgebra is a command-line front end to the path algebra:
+// it parses extended-GQL path queries, shows their logical plans, applies
+// the optimizer, and evaluates them against a property graph.
+//
+// Usage:
+//
+//	pathalgebra parse  -query 'MATCH ANY SHORTEST TRAIL p = (?x)-[:Knows+]->(?y)'
+//	pathalgebra plan   -query '...'              # optimized plan + fired rules
+//	pathalgebra run    -query '...' [-graph g.json | -figure1] [-maxlen N]
+//	pathalgebra export -figure1                  # dump a graph as JSON
+//
+// With no -graph flag, run and export use the paper's Figure 1 graph.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"pathalgebra"
+)
+
+func main() {
+	if len(os.Args) < 2 {
+		usage()
+		os.Exit(2)
+	}
+	cmd, args := os.Args[1], os.Args[2:]
+	var err error
+	switch cmd {
+	case "parse":
+		err = cmdParse(args)
+	case "plan":
+		err = cmdPlan(args)
+	case "run":
+		err = cmdRun(args)
+	case "export":
+		err = cmdExport(args)
+	case "help", "-h", "--help":
+		usage()
+	default:
+		fmt.Fprintf(os.Stderr, "pathalgebra: unknown command %q\n\n", cmd)
+		usage()
+		os.Exit(2)
+	}
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "pathalgebra:", err)
+		os.Exit(1)
+	}
+}
+
+func usage() {
+	fmt.Fprintln(os.Stderr, `usage: pathalgebra <command> [flags]
+
+commands:
+  parse   parse a query and print its logical plan (unoptimized)
+  plan    parse, optimize, and print the plan with the rules that fired
+  run     evaluate a query against a graph and print the result paths
+  export  print a graph as JSON
+
+flags (per command):
+  -query  the path query (required for parse/plan/run)
+  -graph  JSON graph file (default: the paper's Figure 1 graph)
+  -figure1  force the Figure 1 graph
+  -maxlen   bound recursive path length (0 = unbounded)
+  -maxpaths bound result size (0 = default safety net)
+  -no-opt   skip the optimizer (run only)
+  -stats    print execution statistics (run only)`)
+}
+
+type queryFlags struct {
+	fs       *flag.FlagSet
+	query    *string
+	graph    *string
+	nodesCSV *string
+	edgesCSV *string
+	figure1  *bool
+	maxLen   *int
+	maxPaths *int
+	noOpt    *bool
+	stats    *bool
+}
+
+func newQueryFlags(name string) *queryFlags {
+	fs := flag.NewFlagSet(name, flag.ExitOnError)
+	return &queryFlags{
+		fs:       fs,
+		query:    fs.String("query", "", "path query"),
+		graph:    fs.String("graph", "", "JSON graph file"),
+		nodesCSV: fs.String("nodes", "", "node CSV file (with -edges)"),
+		edgesCSV: fs.String("edges", "", "edge CSV file (with -nodes)"),
+		figure1:  fs.Bool("figure1", false, "use the paper's Figure 1 graph"),
+		maxLen:   fs.Int("maxlen", 0, "bound recursive path length"),
+		maxPaths: fs.Int("maxpaths", 0, "bound result size"),
+		noOpt:    fs.Bool("no-opt", false, "skip the optimizer"),
+		stats:    fs.Bool("stats", false, "print execution statistics"),
+	}
+}
+
+func (qf *queryFlags) loadGraph() (*pathalgebra.Graph, error) {
+	switch {
+	case *qf.nodesCSV != "" || *qf.edgesCSV != "":
+		if *qf.nodesCSV == "" || *qf.edgesCSV == "" {
+			return nil, fmt.Errorf("-nodes and -edges must be given together")
+		}
+		nf, err := os.Open(*qf.nodesCSV)
+		if err != nil {
+			return nil, err
+		}
+		defer nf.Close()
+		ef, err := os.Open(*qf.edgesCSV)
+		if err != nil {
+			return nil, err
+		}
+		defer ef.Close()
+		return pathalgebra.ReadGraphCSV(nf, ef)
+	case *qf.graph != "" && !*qf.figure1:
+		f, err := os.Open(*qf.graph)
+		if err != nil {
+			return nil, err
+		}
+		defer f.Close()
+		return pathalgebra.ReadGraphJSON(f)
+	default:
+		return pathalgebra.Figure1(), nil
+	}
+}
+
+func (qf *queryFlags) mustQuery() (string, error) {
+	if *qf.query == "" {
+		return "", fmt.Errorf("%s: -query is required", qf.fs.Name())
+	}
+	return *qf.query, nil
+}
+
+func cmdParse(args []string) error {
+	qf := newQueryFlags("parse")
+	if err := qf.fs.Parse(args); err != nil {
+		return err
+	}
+	query, err := qf.mustQuery()
+	if err != nil {
+		return err
+	}
+	q, err := pathalgebra.ParseQuery(query)
+	if err != nil {
+		return err
+	}
+	fmt.Println("query:", q)
+	plan, err := pathalgebra.CompileQuery(q)
+	if err != nil {
+		return err
+	}
+	fmt.Print(pathalgebra.PrintPlan(plan))
+	return nil
+}
+
+func cmdPlan(args []string) error {
+	qf := newQueryFlags("plan")
+	if err := qf.fs.Parse(args); err != nil {
+		return err
+	}
+	query, err := qf.mustQuery()
+	if err != nil {
+		return err
+	}
+	q, err := pathalgebra.ParseQuery(query)
+	if err != nil {
+		return err
+	}
+	plan, err := pathalgebra.CompileQuery(q)
+	if err != nil {
+		return err
+	}
+	optimized, rules := pathalgebra.Optimize(plan)
+	if len(rules) == 0 {
+		fmt.Println("no rewrite rules fired")
+	} else {
+		fmt.Println("rules fired:", rules)
+	}
+	fmt.Print(pathalgebra.PrintPlan(optimized))
+	return nil
+}
+
+func cmdRun(args []string) error {
+	qf := newQueryFlags("run")
+	if err := qf.fs.Parse(args); err != nil {
+		return err
+	}
+	query, err := qf.mustQuery()
+	if err != nil {
+		return err
+	}
+	g, err := qf.loadGraph()
+	if err != nil {
+		return err
+	}
+	q, err := pathalgebra.ParseQuery(query)
+	if err != nil {
+		return err
+	}
+	plan, err := pathalgebra.CompileQuery(q)
+	if err != nil {
+		return err
+	}
+	if !*qf.noOpt {
+		plan, _ = pathalgebra.Optimize(plan)
+	}
+	eng := pathalgebra.NewEngine(g, pathalgebra.EngineOptions{
+		Limits: pathalgebra.Limits{MaxLen: *qf.maxLen, MaxPaths: *qf.maxPaths},
+	})
+	res, err := eng.EvalPaths(plan)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("%d paths\n", res.Len())
+	if res.Len() > 0 {
+		fmt.Println(res.Format(g))
+	}
+	if *qf.stats {
+		s := eng.Stats()
+		fmt.Printf("stats: paths=%d joinProbes=%d indexedScans=%d recursions=%d\n",
+			s.PathsProduced, s.JoinProbes, s.IndexedScans, s.Recursions)
+	}
+	return nil
+}
+
+func cmdExport(args []string) error {
+	qf := newQueryFlags("export")
+	if err := qf.fs.Parse(args); err != nil {
+		return err
+	}
+	g, err := qf.loadGraph()
+	if err != nil {
+		return err
+	}
+	return g.WriteJSON(os.Stdout)
+}

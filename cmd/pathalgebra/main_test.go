@@ -1,0 +1,174 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"pathalgebra"
+)
+
+// capture redirects stdout around fn and returns what it printed.
+func capture(t *testing.T, fn func() error) (string, error) {
+	t.Helper()
+	old := os.Stdout
+	r, w, err := os.Pipe()
+	if err != nil {
+		t.Fatal(err)
+	}
+	os.Stdout = w
+	runErr := fn()
+	w.Close()
+	os.Stdout = old
+	out, err := os.ReadFile(readAll(t, r))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return string(out), runErr
+}
+
+// readAll drains a pipe into a temp file and returns its path (keeps the
+// capture helper simple for small outputs).
+func readAll(t *testing.T, r *os.File) string {
+	t.Helper()
+	tmp := filepath.Join(t.TempDir(), "out")
+	f, err := os.Create(tmp)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	buf := make([]byte, 1<<16)
+	for {
+		n, err := r.Read(buf)
+		if n > 0 {
+			f.Write(buf[:n])
+		}
+		if err != nil {
+			break
+		}
+	}
+	return tmp
+}
+
+func TestCmdParse(t *testing.T) {
+	out, err := capture(t, func() error {
+		return cmdParse([]string{"-query", `MATCH ANY SHORTEST TRAIL p = (?x)-[:Knows+]->(?y)`})
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{"query:", "Projection", "Restrictor (TRAIL)"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("parse output missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestCmdPlanShowsRules(t *testing.T) {
+	out, err := capture(t, func() error {
+		return cmdPlan([]string{"-query", `MATCH ANY SHORTEST WALK p = (?x)-[:Knows+]->(?y)`})
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out, "walk-to-shortest") {
+		t.Errorf("plan output missing rewrite rule:\n%s", out)
+	}
+	out, err = capture(t, func() error {
+		return cmdPlan([]string{"-query", `MATCH TRAIL p = (?x)-[:Knows]->(?y)`})
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out, "no rewrite rules fired") {
+		t.Errorf("plan output should report no rules:\n%s", out)
+	}
+}
+
+func TestCmdRunFigure1(t *testing.T) {
+	out, err := capture(t, func() error {
+		return cmdRun([]string{
+			"-query", `MATCH SIMPLE p = (?x {name:"Moe"})-[(:Knows+)|(:Likes/:Has_creator)+]->(?y {name:"Apu"})`,
+			"-stats",
+		})
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{"2 paths", "(n1, e1, n2, e4, n4)", "stats:"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("run output missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestCmdRunJSONGraph(t *testing.T) {
+	dir := t.TempDir()
+	graphPath := filepath.Join(dir, "g.json")
+	f, err := os.Create(graphPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := pathalgebra.Figure1().WriteJSON(f); err != nil {
+		t.Fatal(err)
+	}
+	f.Close()
+	out, err := capture(t, func() error {
+		return cmdRun([]string{"-query", `MATCH TRAIL p = (?x)-[:Knows+]->(?y)`, "-graph", graphPath})
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out, "12 paths") {
+		t.Errorf("run over JSON graph:\n%s", out)
+	}
+}
+
+func TestCmdRunCSVGraph(t *testing.T) {
+	dir := t.TempDir()
+	nodes := filepath.Join(dir, "nodes.csv")
+	edges := filepath.Join(dir, "edges.csv")
+	os.WriteFile(nodes, []byte("key,label\na,City\nb,City\n"), 0o644)
+	os.WriteFile(edges, []byte("key,src,dst,label\ne,a,b,Road\n"), 0o644)
+	out, err := capture(t, func() error {
+		return cmdRun([]string{"-query", `MATCH WALK p = (?x)-[:Road]->(?y)`,
+			"-nodes", nodes, "-edges", edges})
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out, "1 paths") {
+		t.Errorf("run over CSV graph:\n%s", out)
+	}
+}
+
+func TestCmdExport(t *testing.T) {
+	out, err := capture(t, func() error { return cmdExport([]string{"-figure1"}) })
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out, `"key": "n1"`) {
+		t.Errorf("export output missing n1:\n%s", out)
+	}
+}
+
+func TestCmdErrors(t *testing.T) {
+	if err := cmdParse([]string{}); err == nil {
+		t.Error("parse without -query should fail")
+	}
+	if err := cmdRun([]string{"-query", "garbage"}); err == nil {
+		t.Error("run with a bad query should fail")
+	}
+	if err := cmdRun([]string{"-query", `MATCH WALK p = (?x)-[:K]->(?y)`, "-nodes", "only-one"}); err == nil {
+		t.Error("run with only -nodes should fail")
+	}
+	if err := cmdRun([]string{"-query", `MATCH WALK p = (?x)-[:K]->(?y)`, "-graph", "/nope.json"}); err == nil {
+		t.Error("run with a missing graph file should fail")
+	}
+	// A diverging walk must surface the budget error.
+	if err := cmdRun([]string{"-query", `MATCH WALK p = (?x)-[:Knows+]->(?y)`,
+		"-maxpaths", "50", "-no-opt"}); err == nil {
+		t.Error("diverging walk should fail under -maxpaths")
+	}
+}

@@ -1,0 +1,100 @@
+package pathalgebra
+
+import (
+	"strings"
+	"testing"
+)
+
+// TestComposeQueries implements the paper's §2.3 example: "all trails
+// connecting nodes n1 and n2, then all shortest walks connecting n2 to
+// n3, and require that the entire concatenated path be a shortest trail."
+func TestComposeQueries(t *testing.T) {
+	g := Figure1()
+	q1, err := ParseQuery(`MATCH TRAIL p = (?x {name:"Moe"})-[:Knows+]->(?y {name:"Homer"})`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	q2, err := ParseQuery(`MATCH ALL SHORTEST WALK p = (?x {name:"Homer"})-[:Knows+]->(?y {name:"Lisa"})`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	plan, err := ComposeQueries(Selector{}, ShortestSemantics, q1, q2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(plan.String(), "ρShortest") {
+		t.Errorf("outer restrictor missing: %s", plan)
+	}
+	// The inner ALL SHORTEST WALK pipeline needs the §7.3 rewrite to
+	// terminate; the optimizer reaches it through the composition.
+	plan, rules := Optimize(plan)
+	if len(rules) == 0 {
+		t.Fatal("walk-to-shortest did not fire inside the composed plan")
+	}
+	eng := NewEngine(g, EngineOptions{})
+	res, err := eng.EvalPaths(plan)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Moe→Homer trails: (n1,e1,n2) and (n1,e1,n2,e2,n3,e3,n2).
+	// Homer→Lisa shortest walk: (n2,e2,n3). Concatenations have lengths
+	// 2 and 4; the outer Shortest keeps only the length-2 one.
+	want := "(n1, e1, n2, e2, n3)"
+	if res.Len() != 1 || res.Format(g) != want {
+		t.Errorf("composition result:\n%s\nwant:\n%s", res.Format(g), want)
+	}
+}
+
+// TestComposeQueriesWithOuterSelector applies an outer ANY selector over
+// the composed set.
+func TestComposeQueriesWithOuterSelector(t *testing.T) {
+	g := Figure1()
+	q1, _ := ParseQuery(`MATCH TRAIL p = (?x)-[:Knows+]->(?y)`)
+	q2, _ := ParseQuery(`MATCH TRAIL p = (?x)-[:Likes]->(?y)`)
+	sel := mustSelector(t, `MATCH ANY WALK p = (?x)-[:K]->(?y)`)
+	plan, err := ComposeQueries(sel, WalkSemantics, q1, q2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	eng := NewEngine(g, EngineOptions{Limits: Limits{MaxLen: 6}})
+	res, err := eng.EvalPaths(plan)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// ANY returns one path per endpoint pair of the composed set.
+	seen := map[[2]NodeID]bool{}
+	for _, p := range res.Paths() {
+		k := [2]NodeID{p.First(), p.Last()}
+		if seen[k] {
+			t.Errorf("two paths for one endpoint pair under ANY: %s", p.Format(g))
+		}
+		seen[k] = true
+		// Every composed path ends with a Likes edge.
+		e, _ := p.Edge(p.Len())
+		if g.EdgeLabel(e) != "Likes" {
+			t.Errorf("composed path does not end with Likes: %s", p.Format(g))
+		}
+	}
+	if res.Len() == 0 {
+		t.Fatal("empty composition")
+	}
+}
+
+func TestComposeQueriesErrors(t *testing.T) {
+	if _, err := ComposeQueries(Selector{}, WalkSemantics); err == nil {
+		t.Error("empty composition should fail")
+	}
+	bad := &Query{} // no pattern
+	if _, err := ComposeQueries(Selector{}, WalkSemantics, bad); err == nil {
+		t.Error("sub-query without a pattern should fail")
+	}
+}
+
+func mustSelector(t *testing.T, query string) Selector {
+	t.Helper()
+	q, err := ParseQuery(query)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return q.Selector
+}

@@ -1,0 +1,85 @@
+// Csvimport loads a property graph from CSV (the LDBC SNB interchange
+// style), runs path queries over it, and shows execution statistics —
+// the workflow of pointing this library at an existing dataset dump.
+package main
+
+import (
+	"fmt"
+	"log"
+	"strings"
+
+	"pathalgebra"
+)
+
+// A miniature citation network: papers cite papers, authors write papers.
+const nodesCSV = `key,label,title,year:int
+p1,Paper,Foundations of RPQs,1987
+p2,Paper,Regular Simple Paths,1995
+p3,Paper,Property Graph Model,2018
+p4,Paper,GQL Digest,2023
+p5,Paper,Path Algebra,2024
+a1,Author,Mendelzon,
+a2,Author,Wood,
+a3,Author,Angles,
+`
+
+const edgesCSV = `key,src,dst,label
+c1,p2,p1,Cites
+c2,p3,p1,Cites
+c3,p4,p2,Cites
+c4,p4,p3,Cites
+c5,p5,p4,Cites
+c6,p5,p3,Cites
+w1,a1,p1,Wrote
+w2,a2,p2,Wrote
+w3,a1,p2,Wrote
+w4,a3,p3,Wrote
+w5,a3,p5,Wrote
+`
+
+func main() {
+	g, err := pathalgebra.ReadGraphCSV(strings.NewReader(nodesCSV), strings.NewReader(edgesCSV))
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("loaded %d nodes, %d edges from CSV\n\n", g.NumNodes(), g.NumEdges())
+
+	// Citation chains from the 2024 paper back to the 1987 roots: every
+	// acyclic Cites+ path starting at p5.
+	chains, err := pathalgebra.Run(g,
+		`MATCH ACYCLIC p = (?x {title:"Path Algebra"})-[:Cites+]->(?y)`,
+		pathalgebra.RunOptions{})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("citation chains from \"Path Algebra\":")
+	fmt.Println(chains.Format(g))
+
+	// Which authors are reachable from Angles through one Wrote edge,
+	// any number of Cites, and an incoming Wrote? Express it as a §2.3
+	// composition: Wrote, then Cites*, with the whole path acyclic.
+	q1, err := pathalgebra.ParseQuery(`MATCH WALK p = (?a:Author)-[:Wrote]->(?x)`)
+	if err != nil {
+		log.Fatal(err)
+	}
+	q2, err := pathalgebra.ParseQuery(`MATCH ACYCLIC p = (?x)-[:Cites*]->(?y)`)
+	if err != nil {
+		log.Fatal(err)
+	}
+	plan, err := pathalgebra.ComposeQueries(pathalgebra.Selector{},
+		pathalgebra.AcyclicSemantics, q1, q2)
+	if err != nil {
+		log.Fatal(err)
+	}
+	eng := pathalgebra.NewEngine(g, pathalgebra.EngineOptions{})
+	res, err := eng.EvalPaths(plan)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("author → paper → cited papers (composed query):")
+	fmt.Println(res.Format(g))
+
+	s := eng.Stats()
+	fmt.Printf("\nstats: %d paths produced, %d join probes, %d recursions (%d expanded)\n",
+		s.PathsProduced, s.JoinProbes, s.Recursions, s.ExpandedRecursions)
+}

@@ -1,0 +1,50 @@
+package automaton_test
+
+import (
+	"testing"
+
+	"pathalgebra/internal/automaton"
+	"pathalgebra/internal/core"
+	"pathalgebra/internal/ldbc"
+	"pathalgebra/internal/rpq"
+)
+
+func BenchmarkBuild(b *testing.B) {
+	re := rpq.MustParse("((:Knows|:Likes)+/:Has_creator)*|(:Knows/:Knows)?")
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		automaton.Build(re)
+	}
+}
+
+func BenchmarkEvalSemantics(b *testing.B) {
+	g := ldbc.MustGenerate(ldbc.Config{
+		Persons: 30, Messages: 30, KnowsPerPerson: 2, LikesPerPerson: 1,
+		CycleFraction: 0.3, Seed: 8,
+	})
+	nfa := automaton.Build(rpq.MustParse(":Knows+"))
+	for _, sem := range core.AllSemantics() {
+		b.Run(sem.String(), func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				if _, err := automaton.Eval(g, nfa, sem, core.Limits{MaxLen: 6}); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+func BenchmarkEvalTwoLabelPattern(b *testing.B) {
+	g := ldbc.MustGenerate(ldbc.Config{
+		Persons: 30, Messages: 40, KnowsPerPerson: 2, LikesPerPerson: 2,
+		CycleFraction: 0.3, Seed: 8,
+	})
+	nfa := automaton.Build(rpq.MustParse("(:Likes/:Has_creator)+"))
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := automaton.Eval(g, nfa, core.Trail, core.Limits{MaxLen: 8}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,227 @@
+package automaton
+
+import (
+	"fmt"
+	"strconv"
+
+	"pathalgebra/internal/core"
+	"pathalgebra/internal/graph"
+	"pathalgebra/internal/path"
+	"pathalgebra/internal/pathset"
+)
+
+// Eval evaluates the regular path query described by the automaton over
+// every pair of endpoints in g, returning the matching paths under the
+// given semantics. It is the classical product-graph search: search states
+// are (path-so-far, NFA state) pairs.
+//
+// Semantics note: the automaton applies Trail/Acyclic/Simple to the whole
+// matched path, which coincides with the algebraic ϕSem(base) for patterns
+// whose recursion spans the whole expression (L+, (L1/L2)*, unions of
+// such); for concatenations of separately-restricted recursions the
+// algebra is by design more permissive (§2.3 applies restrictors per
+// query part). Cross-checking tests use patterns of the former shape.
+func Eval(g *graph.Graph, nfa *NFA, sem core.Semantics, lim core.Limits) (*pathset.Set, error) {
+	if sem == core.Shortest {
+		return evalShortest(g, nfa, lim)
+	}
+	maxPaths := lim.MaxPaths
+	if maxPaths <= 0 {
+		maxPaths = core.DefaultMaxPaths
+	}
+	maxWork := lim.MaxWork
+	if maxWork <= 0 {
+		maxWork = core.DefaultMaxWork
+	}
+	work := 0
+	result := pathset.New(g.NumNodes())
+
+	type item struct {
+		p     path.Path
+		state StateID
+	}
+	var frontier []item
+	visited := make(map[string]struct{})
+	mark := func(p path.Path, s StateID) bool {
+		k := p.Key() + "#" + strconv.Itoa(int(s))
+		if _, dup := visited[k]; dup {
+			return false
+		}
+		visited[k] = struct{}{}
+		return true
+	}
+
+	for i := 0; i < g.NumNodes(); i++ {
+		p := path.FromNode(graph.NodeID(i))
+		if mark(p, 0) {
+			frontier = append(frontier, item{p: p, state: 0})
+		}
+		if nfa.AcceptsEmpty() {
+			result.Add(p)
+		}
+	}
+	if result.Len() > maxPaths {
+		return result, core.ErrBudgetExceeded
+	}
+
+	for len(frontier) > 0 {
+		var next []item
+		for _, it := range frontier {
+			if lim.MaxLen > 0 && it.p.Len() >= lim.MaxLen {
+				continue
+			}
+			for _, eid := range g.Out(it.p.Last()) {
+				label := g.EdgeLabel(eid)
+				var budgetErr error
+				nfa.Visit(it.state, label, func(q StateID) {
+					if budgetErr != nil {
+						return
+					}
+					np := it.p.Extend(g, eid)
+					extend, admit := classify(sem, np, nfa.Accepting(q))
+					if admit && result.Add(np) {
+						work += np.Len() + 1
+						if result.Len() > maxPaths || work > maxWork {
+							budgetErr = core.ErrBudgetExceeded
+							return
+						}
+					}
+					if extend && mark(np, q) {
+						work += np.Len() + 1
+						if work > maxWork {
+							budgetErr = core.ErrBudgetExceeded
+							return
+						}
+						next = append(next, item{p: np, state: q})
+					}
+				})
+				if budgetErr != nil {
+					return result, fmt.Errorf("automaton: %w", budgetErr)
+				}
+			}
+		}
+		frontier = next
+	}
+	return result, nil
+}
+
+// classify decides, for a freshly extended path, whether the search may
+// keep extending it and whether it is an answer (given an accepting
+// state). Pruning is sound because admissible prefixes characterize each
+// semantics: prefixes of trails are trails, prefixes of acyclic paths are
+// acyclic, and proper prefixes of simple paths are acyclic (the cycle may
+// only close at the very end).
+func classify(sem core.Semantics, p path.Path, accepting bool) (extend, admit bool) {
+	switch sem {
+	case core.Walk:
+		return true, accepting
+	case core.Trail:
+		ok := p.IsTrail()
+		return ok, ok && accepting
+	case core.Acyclic:
+		ok := p.IsAcyclic()
+		return ok, ok && accepting
+	case core.Simple:
+		if p.IsAcyclic() {
+			return true, accepting
+		}
+		// Not acyclic: admissible only if it just closed its cycle.
+		return false, accepting && p.IsSimple()
+	default:
+		return false, false
+	}
+}
+
+// evalShortest finds, for every endpoint pair (s, t), all minimal-length
+// paths whose label word the automaton accepts. Per source it runs a BFS
+// over the product (node, state) space to compute distances, then
+// enumerates exactly the paths that stay shortest at every step.
+func evalShortest(g *graph.Graph, nfa *NFA, lim core.Limits) (*pathset.Set, error) {
+	maxPaths := lim.MaxPaths
+	if maxPaths <= 0 {
+		maxPaths = core.DefaultMaxPaths
+	}
+	result := pathset.New(g.NumNodes())
+	for s := 0; s < g.NumNodes(); s++ {
+		if err := shortestFrom(g, nfa, graph.NodeID(s), lim.MaxLen, maxPaths, result); err != nil {
+			return result, err
+		}
+	}
+	return result, nil
+}
+
+type productState struct {
+	node  graph.NodeID
+	state StateID
+}
+
+func shortestFrom(g *graph.Graph, nfa *NFA, src graph.NodeID, maxLen, maxPaths int, result *pathset.Set) error {
+	// Phase 1: BFS distances over the product space.
+	dist := map[productState]int{{node: src, state: 0}: 0}
+	frontier := []productState{{node: src, state: 0}}
+	depth := 0
+	for len(frontier) > 0 && (maxLen <= 0 || depth < maxLen) {
+		depth++
+		var next []productState
+		for _, ps := range frontier {
+			for _, eid := range g.Out(ps.node) {
+				label := g.EdgeLabel(eid)
+				_, dst := g.Endpoints(eid)
+				nfa.Visit(ps.state, label, func(q StateID) {
+					nps := productState{node: dst, state: q}
+					if _, seen := dist[nps]; !seen {
+						dist[nps] = depth
+						next = append(next, nps)
+					}
+				})
+			}
+		}
+		frontier = next
+	}
+
+	// minAcc is the per-target minimum over accepting states — the length
+	// of the shortest matching path src→target.
+	minAcc := make(map[graph.NodeID]int)
+	for ps, d := range dist {
+		if !nfa.Accepting(ps.state) {
+			continue
+		}
+		if cur, ok := minAcc[ps.node]; !ok || d < cur {
+			minAcc[ps.node] = d
+		}
+	}
+	if len(minAcc) == 0 {
+		return nil
+	}
+
+	// Phase 2: enumerate all paths that are shortest product walks at
+	// every prefix; admit those reaching their target at its minimum.
+	type item struct {
+		p     path.Path
+		state StateID
+	}
+	work := []item{{p: path.FromNode(src), state: 0}}
+	for len(work) > 0 {
+		it := work[len(work)-1]
+		work = work[:len(work)-1]
+		if nfa.Accepting(it.state) {
+			if m, ok := minAcc[it.p.Last()]; ok && it.p.Len() == m {
+				result.Add(it.p)
+				if result.Len() > maxPaths {
+					return fmt.Errorf("automaton: %w", core.ErrBudgetExceeded)
+				}
+			}
+		}
+		for _, eid := range g.Out(it.p.Last()) {
+			label := g.EdgeLabel(eid)
+			_, dst := g.Endpoints(eid)
+			nfa.Visit(it.state, label, func(q StateID) {
+				nps := productState{node: dst, state: q}
+				if d, ok := dist[nps]; ok && d == it.p.Len()+1 {
+					work = append(work, item{p: it.p.Extend(g, eid), state: q})
+				}
+			})
+		}
+	}
+	return nil
+}

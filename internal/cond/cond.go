@@ -1,0 +1,353 @@
+// Package cond implements selection conditions (§3.1 of the paper): the
+// filter language of the σ operator. A simple condition compares a path
+// accessor — label(node(i)), label(edge(i)), label(first), label(last),
+// node(i).prop, edge(i).prop, first.prop, last.prop, or len() — against a
+// constant. Complex conditions combine simple ones with AND, OR and NOT.
+//
+// Beyond the paper's equality-only definition, comparisons support the
+// inequality operators the paper's footnote 1 anticipates (≠ < > ≤ ≥).
+package cond
+
+import (
+	"fmt"
+
+	"pathalgebra/internal/graph"
+	"pathalgebra/internal/path"
+)
+
+// Cond is a selection condition evaluable over a path in a graph.
+// Evaluation follows the paper's ev(c, p): accessors on out-of-range
+// positions or undefined labels/properties yield no value, making any
+// comparison on them false.
+type Cond interface {
+	// Eval reports whether the path satisfies the condition.
+	Eval(g *graph.Graph, p path.Path) bool
+	// String renders the condition in the paper's concrete syntax,
+	// e.g. `label(edge(1)) = "Knows"`.
+	String() string
+}
+
+// TargetKind selects which path position an accessor addresses.
+type TargetKind uint8
+
+const (
+	// TargetFirst addresses Node(p, 1).
+	TargetFirst TargetKind = iota
+	// TargetLast addresses Node(p, Len(p)+1).
+	TargetLast
+	// TargetNode addresses Node(p, i) for an explicit 1-based i.
+	TargetNode
+	// TargetEdge addresses Edge(p, j) for an explicit 1-based j.
+	TargetEdge
+)
+
+// Target identifies an object along the path: first, last, node(i) or
+// edge(i).
+type Target struct {
+	Kind TargetKind
+	Pos  int // 1-based; meaningful for TargetNode and TargetEdge
+}
+
+// First addresses the first node of the path.
+func First() Target { return Target{Kind: TargetFirst} }
+
+// Last addresses the last node of the path.
+func Last() Target { return Target{Kind: TargetLast} }
+
+// NodeAt addresses the i-th node (1-based).
+func NodeAt(i int) Target { return Target{Kind: TargetNode, Pos: i} }
+
+// EdgeAt addresses the i-th edge (1-based).
+func EdgeAt(i int) Target { return Target{Kind: TargetEdge, Pos: i} }
+
+// String renders the target in the paper's syntax.
+func (t Target) String() string {
+	switch t.Kind {
+	case TargetFirst:
+		return "first"
+	case TargetLast:
+		return "last"
+	case TargetNode:
+		return fmt.Sprintf("node(%d)", t.Pos)
+	case TargetEdge:
+		return fmt.Sprintf("edge(%d)", t.Pos)
+	default:
+		return "?"
+	}
+}
+
+// resolve returns the addressed object as (nodeID, true, ok) or
+// (edgeID, false, ok). ok is false when the position is out of range.
+func (t Target) resolve(p path.Path) (n graph.NodeID, e graph.EdgeID, isNode, ok bool) {
+	switch t.Kind {
+	case TargetFirst:
+		return p.First(), 0, true, true
+	case TargetLast:
+		return p.Last(), 0, true, true
+	case TargetNode:
+		id, inRange := p.Node(t.Pos)
+		return id, 0, true, inRange
+	case TargetEdge:
+		id, inRange := p.Edge(t.Pos)
+		return 0, id, false, inRange
+	default:
+		return 0, 0, false, false
+	}
+}
+
+// Op is a comparison operator.
+type Op uint8
+
+const (
+	// EQ is =.
+	EQ Op = iota
+	// NE is !=.
+	NE
+	// LT is <.
+	LT
+	// LE is <=.
+	LE
+	// GT is >.
+	GT
+	// GE is >=.
+	GE
+)
+
+// String renders the operator.
+func (o Op) String() string {
+	switch o {
+	case EQ:
+		return "="
+	case NE:
+		return "!="
+	case LT:
+		return "<"
+	case LE:
+		return "<="
+	case GT:
+		return ">"
+	case GE:
+		return ">="
+	default:
+		return "?"
+	}
+}
+
+func (o Op) apply(lhs, rhs graph.Value) bool {
+	c, comparable := lhs.Compare(rhs)
+	if !comparable {
+		// NE on incomparable-but-present values is true (they differ);
+		// everything else is false. Null never satisfies anything.
+		if o == NE && !lhs.IsNull() && !rhs.IsNull() {
+			return true
+		}
+		return false
+	}
+	switch o {
+	case EQ:
+		return c == 0
+	case NE:
+		return c != 0
+	case LT:
+		return c < 0
+	case LE:
+		return c <= 0
+	case GT:
+		return c > 0
+	case GE:
+		return c >= 0
+	default:
+		return false
+	}
+}
+
+// LabelCmp compares the label of a target against a constant:
+// label(target) op value. This covers the paper's label(node(i)) = v,
+// label(edge(i)) = v, label(first) = v and label(last) = v forms.
+type LabelCmp struct {
+	Target Target
+	Op     Op
+	Value  string
+}
+
+// Label builds the equality form label(target) = value.
+func Label(t Target, value string) LabelCmp {
+	return LabelCmp{Target: t, Op: EQ, Value: value}
+}
+
+// Eval implements Cond.
+func (c LabelCmp) Eval(g *graph.Graph, p path.Path) bool {
+	n, e, isNode, ok := c.Target.resolve(p)
+	if !ok {
+		return false
+	}
+	var l string
+	if isNode {
+		l = g.NodeLabel(n)
+	} else {
+		l = g.EdgeLabel(e)
+	}
+	if l == "" {
+		// λ is partial: an unlabelled object satisfies no label condition.
+		return false
+	}
+	return c.Op.apply(graph.StringValue(l), graph.StringValue(c.Value))
+}
+
+// String implements Cond.
+func (c LabelCmp) String() string {
+	return fmt.Sprintf("label(%s) %s %q", c.Target, c.Op, c.Value)
+}
+
+// PropCmp compares a property of a target against a constant:
+// target.prop op value. This covers node(i).pr = v, edge(i).pr = v,
+// first.pr = v and last.pr = v.
+type PropCmp struct {
+	Target Target
+	Prop   string
+	Op     Op
+	Value  graph.Value
+}
+
+// Prop builds the equality form target.prop = value.
+func Prop(t Target, prop string, value graph.Value) PropCmp {
+	return PropCmp{Target: t, Prop: prop, Op: EQ, Value: value}
+}
+
+// Eval implements Cond.
+func (c PropCmp) Eval(g *graph.Graph, p path.Path) bool {
+	n, e, isNode, ok := c.Target.resolve(p)
+	if !ok {
+		return false
+	}
+	var v graph.Value
+	if isNode {
+		v = g.NodeProp(n, c.Prop)
+	} else {
+		v = g.EdgeProp(e, c.Prop)
+	}
+	return c.Op.apply(v, c.Value)
+}
+
+// String implements Cond.
+func (c PropCmp) String() string {
+	if c.Value.Kind == graph.KindString {
+		return fmt.Sprintf("%s.%s %s %q", c.Target, c.Prop, c.Op, c.Value.Str())
+	}
+	return fmt.Sprintf("%s.%s %s %s", c.Target, c.Prop, c.Op, c.Value)
+}
+
+// LenCmp compares the path length against a constant: len() op k.
+type LenCmp struct {
+	Op Op
+	K  int
+}
+
+// Len builds the equality form len() = k.
+func Len(k int) LenCmp { return LenCmp{Op: EQ, K: k} }
+
+// Eval implements Cond.
+func (c LenCmp) Eval(_ *graph.Graph, p path.Path) bool {
+	return c.Op.apply(graph.IntValue(int64(p.Len())), graph.IntValue(int64(c.K)))
+}
+
+// String implements Cond.
+func (c LenCmp) String() string { return fmt.Sprintf("len() %s %d", c.Op, c.K) }
+
+// And is the conjunction c1 ∧ c2.
+type And struct{ L, R Cond }
+
+// Eval implements Cond.
+func (c And) Eval(g *graph.Graph, p path.Path) bool {
+	return c.L.Eval(g, p) && c.R.Eval(g, p)
+}
+
+// String implements Cond.
+func (c And) String() string { return fmt.Sprintf("(%s AND %s)", c.L, c.R) }
+
+// Or is the disjunction c1 ∨ c2.
+type Or struct{ L, R Cond }
+
+// Eval implements Cond.
+func (c Or) Eval(g *graph.Graph, p path.Path) bool {
+	return c.L.Eval(g, p) || c.R.Eval(g, p)
+}
+
+// String implements Cond.
+func (c Or) String() string { return fmt.Sprintf("(%s OR %s)", c.L, c.R) }
+
+// Not is the negation ¬c.
+type Not struct{ C Cond }
+
+// Eval implements Cond.
+func (c Not) Eval(g *graph.Graph, p path.Path) bool { return !c.C.Eval(g, p) }
+
+// String implements Cond.
+func (c Not) String() string { return fmt.Sprintf("NOT (%s)", c.C) }
+
+// True is the always-true condition (useful as a neutral filter).
+type True struct{}
+
+// Eval implements Cond.
+func (True) Eval(*graph.Graph, path.Path) bool { return true }
+
+// String implements Cond.
+func (True) String() string { return "true" }
+
+// Conj folds a list of conditions into a right-nested conjunction.
+// Conj() is True.
+func Conj(cs ...Cond) Cond {
+	switch len(cs) {
+	case 0:
+		return True{}
+	case 1:
+		return cs[0]
+	default:
+		return And{L: cs[0], R: Conj(cs[1:]...)}
+	}
+}
+
+// MaxPosition returns the largest explicit node/edge position referenced by
+// the condition, and whether the condition references the last node or the
+// path length. The optimizer uses this to decide whether a selection can be
+// pushed below a join (a condition touching only a prefix commutes with
+// joins that extend the path on the right).
+func MaxPosition(c Cond) (maxNode, maxEdge int, usesLastOrLen bool) {
+	switch c := c.(type) {
+	case LabelCmp:
+		return targetPositions(c.Target)
+	case PropCmp:
+		return targetPositions(c.Target)
+	case LenCmp:
+		return 0, 0, true
+	case And:
+		return combinePositions(c.L, c.R)
+	case Or:
+		return combinePositions(c.L, c.R)
+	case Not:
+		return MaxPosition(c.C)
+	default:
+		return 0, 0, true // unknown condition: be conservative
+	}
+}
+
+func targetPositions(t Target) (maxNode, maxEdge int, usesLastOrLen bool) {
+	switch t.Kind {
+	case TargetFirst:
+		return 1, 0, false
+	case TargetLast:
+		return 0, 0, true
+	case TargetNode:
+		return t.Pos, 0, false
+	case TargetEdge:
+		return 0, t.Pos, false
+	default:
+		return 0, 0, true
+	}
+}
+
+func combinePositions(l, r Cond) (maxNode, maxEdge int, usesLastOrLen bool) {
+	ln, le, lu := MaxPosition(l)
+	rn, re, ru := MaxPosition(r)
+	return max(ln, rn), max(le, re), lu || ru
+}

@@ -1,0 +1,461 @@
+package cond
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+	"unicode"
+
+	"pathalgebra/internal/graph"
+)
+
+// Parse parses a selection condition written in the paper's concrete
+// syntax, e.g.
+//
+//	label(edge(1)) = "Knows" AND first.name = "Moe"
+//	len() <= 3 OR NOT (last.age > 30)
+//
+// Keywords (AND, OR, NOT, first, last, node, edge, label, len, true,
+// false) are case-insensitive. String literals use double quotes.
+func Parse(input string) (Cond, error) {
+	p := &condParser{lex: newCondLexer(input)}
+	if err := p.lex.next(); err != nil {
+		return nil, err
+	}
+	c, err := p.parseOr()
+	if err != nil {
+		return nil, err
+	}
+	if p.lex.tok.kind != tokEOF {
+		return nil, fmt.Errorf("cond: unexpected %q after condition", p.lex.tok.text)
+	}
+	return c, nil
+}
+
+// MustParse is Parse panicking on error, for fixtures and examples.
+func MustParse(input string) Cond {
+	c, err := Parse(input)
+	if err != nil {
+		panic(err)
+	}
+	return c
+}
+
+type tokKind uint8
+
+const (
+	tokEOF tokKind = iota
+	tokIdent
+	tokString
+	tokNumber
+	tokLParen
+	tokRParen
+	tokDot
+	tokOp
+)
+
+type token struct {
+	kind tokKind
+	text string
+}
+
+type condLexer struct {
+	src string
+	pos int
+	tok token
+}
+
+func newCondLexer(src string) *condLexer { return &condLexer{src: src} }
+
+func (l *condLexer) next() error {
+	for l.pos < len(l.src) && unicode.IsSpace(rune(l.src[l.pos])) {
+		l.pos++
+	}
+	if l.pos >= len(l.src) {
+		l.tok = token{kind: tokEOF}
+		return nil
+	}
+	c := l.src[l.pos]
+	switch {
+	case c == '(':
+		l.pos++
+		l.tok = token{kind: tokLParen, text: "("}
+	case c == ')':
+		l.pos++
+		l.tok = token{kind: tokRParen, text: ")"}
+	case c == '.':
+		l.pos++
+		l.tok = token{kind: tokDot, text: "."}
+	case c == '"':
+		return l.lexString()
+	case c == '=':
+		l.pos++
+		l.tok = token{kind: tokOp, text: "="}
+	case c == '!' && l.peekAt(1) == '=':
+		l.pos += 2
+		l.tok = token{kind: tokOp, text: "!="}
+	case c == '<':
+		switch l.peekAt(1) {
+		case '=':
+			l.pos += 2
+			l.tok = token{kind: tokOp, text: "<="}
+		case '>':
+			l.pos += 2
+			l.tok = token{kind: tokOp, text: "!="}
+		default:
+			l.pos++
+			l.tok = token{kind: tokOp, text: "<"}
+		}
+	case c == '>':
+		if l.peekAt(1) == '=' {
+			l.pos += 2
+			l.tok = token{kind: tokOp, text: ">="}
+		} else {
+			l.pos++
+			l.tok = token{kind: tokOp, text: ">"}
+		}
+	case c == '-' || (c >= '0' && c <= '9'):
+		return l.lexNumber()
+	case isIdentStart(rune(c)):
+		start := l.pos
+		for l.pos < len(l.src) && isIdentPart(rune(l.src[l.pos])) {
+			l.pos++
+		}
+		l.tok = token{kind: tokIdent, text: l.src[start:l.pos]}
+	default:
+		return fmt.Errorf("cond: unexpected character %q at offset %d", c, l.pos)
+	}
+	return nil
+}
+
+func (l *condLexer) peekAt(off int) byte {
+	if l.pos+off < len(l.src) {
+		return l.src[l.pos+off]
+	}
+	return 0
+}
+
+func (l *condLexer) lexString() error {
+	start := l.pos
+	l.pos++ // opening quote
+	var sb strings.Builder
+	for l.pos < len(l.src) {
+		c := l.src[l.pos]
+		switch c {
+		case '"':
+			l.pos++
+			l.tok = token{kind: tokString, text: sb.String()}
+			return nil
+		case '\\':
+			if l.pos+1 >= len(l.src) {
+				return fmt.Errorf("cond: unterminated escape at offset %d", l.pos)
+			}
+			l.pos++
+			sb.WriteByte(l.src[l.pos])
+			l.pos++
+		default:
+			sb.WriteByte(c)
+			l.pos++
+		}
+	}
+	return fmt.Errorf("cond: unterminated string starting at offset %d", start)
+}
+
+func (l *condLexer) lexNumber() error {
+	start := l.pos
+	if l.src[l.pos] == '-' {
+		l.pos++
+	}
+	for l.pos < len(l.src) && (l.src[l.pos] >= '0' && l.src[l.pos] <= '9' || l.src[l.pos] == '.') {
+		l.pos++
+	}
+	l.tok = token{kind: tokNumber, text: l.src[start:l.pos]}
+	return nil
+}
+
+func isIdentStart(r rune) bool { return unicode.IsLetter(r) || r == '_' }
+func isIdentPart(r rune) bool  { return unicode.IsLetter(r) || unicode.IsDigit(r) || r == '_' }
+
+type condParser struct {
+	lex *condLexer
+}
+
+func (p *condParser) advance() error { return p.lex.next() }
+
+func (p *condParser) isKeyword(kw string) bool {
+	return p.lex.tok.kind == tokIdent && strings.EqualFold(p.lex.tok.text, kw)
+}
+
+func (p *condParser) parseOr() (Cond, error) {
+	left, err := p.parseAnd()
+	if err != nil {
+		return nil, err
+	}
+	for p.isKeyword("OR") {
+		if err := p.advance(); err != nil {
+			return nil, err
+		}
+		right, err := p.parseAnd()
+		if err != nil {
+			return nil, err
+		}
+		left = Or{L: left, R: right}
+	}
+	return left, nil
+}
+
+func (p *condParser) parseAnd() (Cond, error) {
+	left, err := p.parseUnary()
+	if err != nil {
+		return nil, err
+	}
+	for p.isKeyword("AND") {
+		if err := p.advance(); err != nil {
+			return nil, err
+		}
+		right, err := p.parseUnary()
+		if err != nil {
+			return nil, err
+		}
+		left = And{L: left, R: right}
+	}
+	return left, nil
+}
+
+func (p *condParser) parseUnary() (Cond, error) {
+	if p.isKeyword("NOT") {
+		if err := p.advance(); err != nil {
+			return nil, err
+		}
+		inner, err := p.parseUnary()
+		if err != nil {
+			return nil, err
+		}
+		return Not{C: inner}, nil
+	}
+	if p.lex.tok.kind == tokLParen {
+		if err := p.advance(); err != nil {
+			return nil, err
+		}
+		inner, err := p.parseOr()
+		if err != nil {
+			return nil, err
+		}
+		if p.lex.tok.kind != tokRParen {
+			return nil, fmt.Errorf("cond: expected ')', got %q", p.lex.tok.text)
+		}
+		if err := p.advance(); err != nil {
+			return nil, err
+		}
+		return inner, nil
+	}
+	return p.parseSimple()
+}
+
+func (p *condParser) parseSimple() (Cond, error) {
+	if p.lex.tok.kind != tokIdent {
+		return nil, fmt.Errorf("cond: expected condition, got %q", p.lex.tok.text)
+	}
+	head := p.lex.tok.text
+	switch {
+	case strings.EqualFold(head, "label"):
+		return p.parseLabelCmp()
+	case strings.EqualFold(head, "len"):
+		return p.parseLenCmp()
+	default:
+		return p.parsePropCmp()
+	}
+}
+
+// label ( target ) op "string"
+func (p *condParser) parseLabelCmp() (Cond, error) {
+	if err := p.advance(); err != nil {
+		return nil, err
+	}
+	if err := p.expect(tokLParen, "("); err != nil {
+		return nil, err
+	}
+	t, err := p.parseTarget()
+	if err != nil {
+		return nil, err
+	}
+	if err := p.expect(tokRParen, ")"); err != nil {
+		return nil, err
+	}
+	op, err := p.parseOp()
+	if err != nil {
+		return nil, err
+	}
+	if p.lex.tok.kind != tokString {
+		return nil, fmt.Errorf("cond: label comparison needs a string literal, got %q", p.lex.tok.text)
+	}
+	v := p.lex.tok.text
+	if err := p.advance(); err != nil {
+		return nil, err
+	}
+	return LabelCmp{Target: t, Op: op, Value: v}, nil
+}
+
+// len ( ) op int
+func (p *condParser) parseLenCmp() (Cond, error) {
+	if err := p.advance(); err != nil {
+		return nil, err
+	}
+	if err := p.expect(tokLParen, "("); err != nil {
+		return nil, err
+	}
+	if err := p.expect(tokRParen, ")"); err != nil {
+		return nil, err
+	}
+	op, err := p.parseOp()
+	if err != nil {
+		return nil, err
+	}
+	if p.lex.tok.kind != tokNumber {
+		return nil, fmt.Errorf("cond: len comparison needs an integer, got %q", p.lex.tok.text)
+	}
+	k, err := strconv.Atoi(p.lex.tok.text)
+	if err != nil {
+		return nil, fmt.Errorf("cond: bad length %q: %w", p.lex.tok.text, err)
+	}
+	if err := p.advance(); err != nil {
+		return nil, err
+	}
+	return LenCmp{Op: op, K: k}, nil
+}
+
+// target . prop op literal
+func (p *condParser) parsePropCmp() (Cond, error) {
+	t, err := p.parseTarget()
+	if err != nil {
+		return nil, err
+	}
+	if err := p.expect(tokDot, "."); err != nil {
+		return nil, err
+	}
+	if p.lex.tok.kind != tokIdent {
+		return nil, fmt.Errorf("cond: expected property name, got %q", p.lex.tok.text)
+	}
+	prop := p.lex.tok.text
+	if err := p.advance(); err != nil {
+		return nil, err
+	}
+	op, err := p.parseOp()
+	if err != nil {
+		return nil, err
+	}
+	v, err := p.parseLiteral()
+	if err != nil {
+		return nil, err
+	}
+	return PropCmp{Target: t, Prop: prop, Op: op, Value: v}, nil
+}
+
+func (p *condParser) parseTarget() (Target, error) {
+	if p.lex.tok.kind != tokIdent {
+		return Target{}, fmt.Errorf("cond: expected first/last/node(i)/edge(i), got %q", p.lex.tok.text)
+	}
+	name := p.lex.tok.text
+	if err := p.advance(); err != nil {
+		return Target{}, err
+	}
+	switch {
+	case strings.EqualFold(name, "first"):
+		return First(), nil
+	case strings.EqualFold(name, "last"):
+		return Last(), nil
+	case strings.EqualFold(name, "node"), strings.EqualFold(name, "edge"):
+		if err := p.expect(tokLParen, "("); err != nil {
+			return Target{}, err
+		}
+		if p.lex.tok.kind != tokNumber {
+			return Target{}, fmt.Errorf("cond: %s() needs an integer position, got %q", name, p.lex.tok.text)
+		}
+		i, err := strconv.Atoi(p.lex.tok.text)
+		if err != nil || i < 1 {
+			return Target{}, fmt.Errorf("cond: bad position %q (positions are 1-based)", p.lex.tok.text)
+		}
+		if err := p.advance(); err != nil {
+			return Target{}, err
+		}
+		if err := p.expect(tokRParen, ")"); err != nil {
+			return Target{}, err
+		}
+		if strings.EqualFold(name, "node") {
+			return NodeAt(i), nil
+		}
+		return EdgeAt(i), nil
+	default:
+		return Target{}, fmt.Errorf("cond: unknown target %q", name)
+	}
+}
+
+func (p *condParser) parseOp() (Op, error) {
+	if p.lex.tok.kind != tokOp {
+		return 0, fmt.Errorf("cond: expected comparison operator, got %q", p.lex.tok.text)
+	}
+	text := p.lex.tok.text
+	if err := p.advance(); err != nil {
+		return 0, err
+	}
+	switch text {
+	case "=":
+		return EQ, nil
+	case "!=":
+		return NE, nil
+	case "<":
+		return LT, nil
+	case "<=":
+		return LE, nil
+	case ">":
+		return GT, nil
+	case ">=":
+		return GE, nil
+	default:
+		return 0, fmt.Errorf("cond: unknown operator %q", text)
+	}
+}
+
+func (p *condParser) parseLiteral() (graph.Value, error) {
+	tok := p.lex.tok
+	switch tok.kind {
+	case tokString:
+		if err := p.advance(); err != nil {
+			return graph.Value{}, err
+		}
+		return graph.StringValue(tok.text), nil
+	case tokNumber:
+		if err := p.advance(); err != nil {
+			return graph.Value{}, err
+		}
+		if strings.Contains(tok.text, ".") {
+			f, err := strconv.ParseFloat(tok.text, 64)
+			if err != nil {
+				return graph.Value{}, fmt.Errorf("cond: bad number %q: %w", tok.text, err)
+			}
+			return graph.FloatValue(f), nil
+		}
+		i, err := strconv.ParseInt(tok.text, 10, 64)
+		if err != nil {
+			return graph.Value{}, fmt.Errorf("cond: bad number %q: %w", tok.text, err)
+		}
+		return graph.IntValue(i), nil
+	case tokIdent:
+		if strings.EqualFold(tok.text, "true") || strings.EqualFold(tok.text, "false") {
+			if err := p.advance(); err != nil {
+				return graph.Value{}, err
+			}
+			return graph.BoolValue(strings.EqualFold(tok.text, "true")), nil
+		}
+		return graph.Value{}, fmt.Errorf("cond: expected literal, got identifier %q", tok.text)
+	default:
+		return graph.Value{}, fmt.Errorf("cond: expected literal, got %q", tok.text)
+	}
+}
+
+func (p *condParser) expect(k tokKind, what string) error {
+	if p.lex.tok.kind != k {
+		return fmt.Errorf("cond: expected %q, got %q", what, p.lex.tok.text)
+	}
+	return p.advance()
+}

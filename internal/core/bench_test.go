@@ -1,0 +1,82 @@
+package core
+
+import (
+	"testing"
+
+	"pathalgebra/internal/graph"
+	"pathalgebra/internal/ldbc"
+	"pathalgebra/internal/path"
+	"pathalgebra/internal/pathset"
+)
+
+func benchBase(b *testing.B) (*graph.Graph, *pathset.Set) {
+	b.Helper()
+	g := ldbc.MustGenerate(ldbc.Config{
+		Persons: 30, KnowsPerPerson: 2, CycleFraction: 0.3, Seed: 8,
+	})
+	base := pathset.New(g.NumEdges())
+	for _, id := range g.EdgesWithLabel(ldbc.LabelKnows) {
+		base.Add(path.FromEdge(g, id))
+	}
+	return g, base
+}
+
+// BenchmarkRecurseSemantics measures the reference ϕ per semantics.
+func BenchmarkRecurseSemantics(b *testing.B) {
+	_, base := benchBase(b)
+	for _, sem := range AllSemantics() {
+		b.Run(sem.String(), func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				if _, err := EvalRecurse(sem, base, Limits{MaxLen: 6}); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkReferenceJoin measures the Definition 3.1 nested-loop join.
+func BenchmarkReferenceJoin(b *testing.B) {
+	_, base := benchBase(b)
+	two := EvalJoin(base, base)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		EvalJoin(two, base)
+	}
+}
+
+// BenchmarkGroupOrderProject measures the extended pipeline on a trail
+// closure.
+func BenchmarkGroupOrderProject(b *testing.B) {
+	_, base := benchBase(b)
+	trails, err := EvalRecurse(Trail, base, Limits{MaxLen: 6})
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		ss := EvalGroupBy(GroupSTL, trails)
+		ss = EvalOrderBy(OrderPartition|OrderGroup|OrderPath, ss)
+		EvalProject(AllCount(), NCount(1), AllCount(), ss)
+	}
+}
+
+// BenchmarkRestrict measures the ρ filter per semantics over a walk set.
+func BenchmarkRestrict(b *testing.B) {
+	_, base := benchBase(b)
+	walks, err := EvalRecurse(Walk, base, Limits{MaxLen: 5})
+	if err != nil {
+		b.Fatal(err)
+	}
+	for _, sem := range AllSemantics() {
+		b.Run(sem.String(), func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				EvalRestrict(sem, walks)
+			}
+		})
+	}
+}

@@ -1,0 +1,304 @@
+package core
+
+import (
+	"fmt"
+	"strings"
+
+	"pathalgebra/internal/cond"
+)
+
+// PathExpr is an algebra expression whose evaluation yields a set of paths.
+// The core and recursive algebra is closed under PathExpr (§3): Nodes,
+// Edges, Select, Join, Union and Recurse are all PathExprs, as is Project,
+// which takes a solution space back to a set of paths.
+type PathExpr interface {
+	fmt.Stringer
+	// isPathExpr pins the two-sorted type discipline.
+	isPathExpr()
+}
+
+// SpaceExpr is an algebra expression whose evaluation yields a solution
+// space (§5): GroupBy produces one from a path set and OrderBy transforms
+// one.
+type SpaceExpr interface {
+	fmt.Stringer
+	isSpaceExpr()
+}
+
+// Nodes is the atom Nodes(G): all paths of length zero.
+type Nodes struct{}
+
+func (Nodes) isPathExpr()    {}
+func (Nodes) String() string { return "Nodes(G)" }
+
+// Edges is the atom Edges(G): all paths of length one.
+type Edges struct{}
+
+func (Edges) isPathExpr()    {}
+func (Edges) String() string { return "Edges(G)" }
+
+// Select is the selection σc(In): the paths of In satisfying Cond.
+type Select struct {
+	Cond cond.Cond
+	In   PathExpr
+}
+
+func (Select) isPathExpr() {}
+
+func (s Select) String() string {
+	return fmt.Sprintf("σ[%s](%s)", s.Cond, s.In)
+}
+
+// Join is the path join L ⋈ R: concatenations p1 ◦ p2 of paths p1 ∈ L,
+// p2 ∈ R with Last(p1) = First(p2).
+type Join struct {
+	L, R PathExpr
+}
+
+func (Join) isPathExpr() {}
+
+func (j Join) String() string {
+	return fmt.Sprintf("(%s ⋈ %s)", j.L, j.R)
+}
+
+// Union is the duplicate-eliminating set union L ∪ R.
+type Union struct {
+	L, R PathExpr
+}
+
+func (Union) isPathExpr() {}
+
+func (u Union) String() string {
+	return fmt.Sprintf("(%s ∪ %s)", u.L, u.R)
+}
+
+// Recurse is the recursive operator ϕSem(In): the closure of In under path
+// join, filtered by the chosen path semantics (§4, Definition 4.1).
+type Recurse struct {
+	Sem Semantics
+	In  PathExpr
+}
+
+func (Recurse) isPathExpr() {}
+
+func (r Recurse) String() string {
+	return fmt.Sprintf("ϕ%s(%s)", r.Sem, r.In)
+}
+
+// Restrict is ρSem(In): a non-recursive filter keeping only the paths of
+// In admitted by the semantics; for Shortest it keeps, per endpoint pair,
+// the minimal-length paths of In. The paper needs this operator
+// implicitly for §2.3's composition of path queries, where an outer
+// restrictor applies to the concatenation of two sub-queries' answers —
+// a filter over an existing path set rather than a recursion.
+type Restrict struct {
+	Sem Semantics
+	In  PathExpr
+}
+
+func (Restrict) isPathExpr() {}
+
+func (r Restrict) String() string {
+	return fmt.Sprintf("ρ%s(%s)", r.Sem, r.In)
+}
+
+// GroupBy is γψ(In): organizes a path set into a solution space whose
+// partitions and groups are induced by Key (§5.1, Table 4).
+type GroupBy struct {
+	Key GroupKey
+	In  PathExpr
+}
+
+func (GroupBy) isSpaceExpr() {}
+
+func (g GroupBy) String() string {
+	return fmt.Sprintf("γ%s(%s)", g.Key, g.In)
+}
+
+// OrderBy is τθ(In): re-ranks the partitions, groups and/or paths of a
+// solution space (§5.2, Table 6).
+type OrderBy struct {
+	Key OrderKey
+	In  SpaceExpr
+}
+
+func (OrderBy) isSpaceExpr() {}
+
+func (o OrderBy) String() string {
+	return fmt.Sprintf("τ%s(%s)", o.Key, o.In)
+}
+
+// Project is π(#P,#G,#A)(In): extracts the first #P partitions, #G groups
+// per partition and #A paths per group, in rank order, back into a set of
+// paths (§5.3, Algorithm 1).
+type Project struct {
+	Parts  Count
+	Groups Count
+	Paths  Count
+	In     SpaceExpr
+}
+
+func (Project) isPathExpr() {}
+
+func (p Project) String() string {
+	return fmt.Sprintf("π(%s,%s,%s)(%s)", p.Parts, p.Groups, p.Paths, p.In)
+}
+
+// Count is a projection bound: either * (all) or a positive integer,
+// optionally taken in descending rank order. Descending projection is the
+// extension the paper's §5.3 anticipates ("Algorithm 1 can be easily
+// extended to support the projection ... in descending order"), letting
+// pipelines such as "the longest path per group" be expressed.
+type Count struct {
+	All  bool
+	N    int
+	Desc bool
+}
+
+// AllCount is the * bound.
+func AllCount() Count { return Count{All: true} }
+
+// NCount bounds projection to the first n elements in ascending rank.
+func NCount(n int) Count { return Count{N: n} }
+
+// Descending flips the bound to take elements from the highest rank down.
+func (c Count) Descending() Count {
+	c.Desc = true
+	return c
+}
+
+// Limit resolves the bound against an available count.
+func (c Count) Limit(available int) int {
+	if c.All || c.N > available {
+		return available
+	}
+	return c.N
+}
+
+// String renders * or the integer, with ↓ marking descending order.
+func (c Count) String() string {
+	s := "*"
+	if !c.All {
+		s = fmt.Sprintf("%d", c.N)
+	}
+	if c.Desc {
+		s += "↓"
+	}
+	return s
+}
+
+// Equal reports structural equality of two path expressions. Conditions
+// are compared by their canonical string rendering.
+func Equal(a, b PathExpr) bool {
+	switch a := a.(type) {
+	case Nodes:
+		_, ok := b.(Nodes)
+		return ok
+	case Edges:
+		_, ok := b.(Edges)
+		return ok
+	case Select:
+		bb, ok := b.(Select)
+		return ok && a.Cond.String() == bb.Cond.String() && Equal(a.In, bb.In)
+	case Join:
+		bb, ok := b.(Join)
+		return ok && Equal(a.L, bb.L) && Equal(a.R, bb.R)
+	case Union:
+		bb, ok := b.(Union)
+		return ok && Equal(a.L, bb.L) && Equal(a.R, bb.R)
+	case Recurse:
+		bb, ok := b.(Recurse)
+		return ok && a.Sem == bb.Sem && Equal(a.In, bb.In)
+	case Restrict:
+		bb, ok := b.(Restrict)
+		return ok && a.Sem == bb.Sem && Equal(a.In, bb.In)
+	case Project:
+		bb, ok := b.(Project)
+		return ok && a.Parts == bb.Parts && a.Groups == bb.Groups && a.Paths == bb.Paths &&
+			EqualSpace(a.In, bb.In)
+	default:
+		return false
+	}
+}
+
+// EqualSpace reports structural equality of two space expressions.
+func EqualSpace(a, b SpaceExpr) bool {
+	switch a := a.(type) {
+	case GroupBy:
+		bb, ok := b.(GroupBy)
+		return ok && a.Key == bb.Key && Equal(a.In, bb.In)
+	case OrderBy:
+		bb, ok := b.(OrderBy)
+		return ok && a.Key == bb.Key && EqualSpace(a.In, bb.In)
+	default:
+		return false
+	}
+}
+
+// FormatTree renders a path expression as an indented evaluation tree, in
+// the spirit of the paper's Figures 2–5 and the parser output in §7.2.
+func FormatTree(e PathExpr) string {
+	var sb strings.Builder
+	writeTree(&sb, e, 0)
+	return sb.String()
+}
+
+func indent(sb *strings.Builder, depth int) {
+	for i := 0; i < depth; i++ {
+		sb.WriteString("  ")
+	}
+}
+
+func writeTree(sb *strings.Builder, e PathExpr, depth int) {
+	indent(sb, depth)
+	switch e := e.(type) {
+	case Nodes:
+		sb.WriteString("Nodes(G)\n")
+	case Edges:
+		sb.WriteString("Edges(G)\n")
+	case Select:
+		fmt.Fprintf(sb, "Select: %s\n", e.Cond)
+		writeTree(sb, e.In, depth+1)
+	case Join:
+		sb.WriteString("Join\n")
+		writeTree(sb, e.L, depth+1)
+		writeTree(sb, e.R, depth+1)
+	case Union:
+		sb.WriteString("Union\n")
+		writeTree(sb, e.L, depth+1)
+		writeTree(sb, e.R, depth+1)
+	case Recurse:
+		fmt.Fprintf(sb, "Recursive Join (restrictor: %s)\n", strings.ToUpper(e.Sem.String()))
+		writeTree(sb, e.In, depth+1)
+	case Restrict:
+		fmt.Fprintf(sb, "Restrict (%s)\n", strings.ToUpper(e.Sem.String()))
+		writeTree(sb, e.In, depth+1)
+	case Project:
+		fmt.Fprintf(sb, "Projection (%s PARTITIONS %s GROUPS %s PATHS)\n",
+			projWord(e.Parts), projWord(e.Groups), projWord(e.Paths))
+		writeSpaceTree(sb, e.In, depth+1)
+	default:
+		fmt.Fprintf(sb, "%s\n", e)
+	}
+}
+
+func writeSpaceTree(sb *strings.Builder, e SpaceExpr, depth int) {
+	indent(sb, depth)
+	switch e := e.(type) {
+	case GroupBy:
+		fmt.Fprintf(sb, "Group (%s)\n", e.Key.Words())
+		writeTree(sb, e.In, depth+1)
+	case OrderBy:
+		fmt.Fprintf(sb, "OrderBy (%s)\n", e.Key.Words())
+		writeSpaceTree(sb, e.In, depth+1)
+	default:
+		fmt.Fprintf(sb, "%s\n", e)
+	}
+}
+
+func projWord(c Count) string {
+	if c.All {
+		return "ALL"
+	}
+	return fmt.Sprintf("%d", c.N)
+}

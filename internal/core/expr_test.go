@@ -1,0 +1,132 @@
+package core
+
+import (
+	"strings"
+	"testing"
+
+	"pathalgebra/internal/cond"
+	"pathalgebra/internal/graph"
+)
+
+func knowsSelect() Select {
+	return Select{Cond: cond.Label(cond.EdgeAt(1), "Knows"), In: Edges{}}
+}
+
+// figure2Plan builds the plan of the paper's Figure 2:
+// σ[first.name=Moe ∧ last.name=Apu](ϕ(Knows) ∪ ϕ(Likes ⋈ Has_creator)).
+func figure2Plan(sem Semantics) PathExpr {
+	knows := knowsSelect()
+	likes := Select{Cond: cond.Label(cond.EdgeAt(1), "Likes"), In: Edges{}}
+	hc := Select{Cond: cond.Label(cond.EdgeAt(1), "Has_creator"), In: Edges{}}
+	return Select{
+		Cond: cond.And{
+			L: cond.Prop(cond.First(), "name", graph.StringValue("Moe")),
+			R: cond.Prop(cond.Last(), "name", graph.StringValue("Apu")),
+		},
+		In: Union{
+			L: Recurse{Sem: sem, In: knows},
+			R: Recurse{Sem: sem, In: Join{L: likes, R: hc}},
+		},
+	}
+}
+
+func TestExprStrings(t *testing.T) {
+	tests := []struct {
+		e    PathExpr
+		want string
+	}{
+		{Nodes{}, "Nodes(G)"},
+		{Edges{}, "Edges(G)"},
+		{knowsSelect(), `σ[label(edge(1)) = "Knows"](Edges(G))`},
+		{Join{L: Nodes{}, R: Edges{}}, "(Nodes(G) ⋈ Edges(G))"},
+		{Union{L: Nodes{}, R: Edges{}}, "(Nodes(G) ∪ Edges(G))"},
+		{Recurse{Sem: Trail, In: Edges{}}, "ϕTrail(Edges(G))"},
+		{
+			Project{Parts: AllCount(), Groups: NCount(1), Paths: AllCount(),
+				In: OrderBy{Key: OrderGroup, In: GroupBy{Key: GroupSTL, In: Edges{}}}},
+			"π(*,1,*)(τG(γSTL(Edges(G))))",
+		},
+	}
+	for _, tc := range tests {
+		if got := tc.e.String(); got != tc.want {
+			t.Errorf("String = %q, want %q", got, tc.want)
+		}
+	}
+}
+
+func TestCount(t *testing.T) {
+	if AllCount().Limit(5) != 5 || AllCount().String() != "*" {
+		t.Error("AllCount misbehaves")
+	}
+	if NCount(3).Limit(5) != 3 || NCount(3).Limit(2) != 2 || NCount(3).String() != "3" {
+		t.Error("NCount misbehaves")
+	}
+}
+
+func TestEqual(t *testing.T) {
+	a := figure2Plan(Simple)
+	b := figure2Plan(Simple)
+	if !Equal(a, b) {
+		t.Error("structurally identical plans must be Equal")
+	}
+	c := figure2Plan(Trail)
+	if Equal(a, c) {
+		t.Error("plans with different semantics must differ")
+	}
+	if Equal(Nodes{}, Edges{}) {
+		t.Error("Nodes != Edges")
+	}
+	if !Equal(Nodes{}, Nodes{}) || !Equal(Edges{}, Edges{}) {
+		t.Error("atom equality")
+	}
+	p1 := Project{Parts: AllCount(), Groups: AllCount(), Paths: NCount(1),
+		In: GroupBy{Key: GroupST, In: Edges{}}}
+	p2 := Project{Parts: AllCount(), Groups: AllCount(), Paths: NCount(1),
+		In: GroupBy{Key: GroupST, In: Edges{}}}
+	if !Equal(p1, p2) {
+		t.Error("equal projections must be Equal")
+	}
+	p3 := p2
+	p3.Paths = NCount(2)
+	if Equal(p1, p3) {
+		t.Error("different projection bounds must differ")
+	}
+	o1 := Project{Parts: AllCount(), Groups: AllCount(), Paths: AllCount(),
+		In: OrderBy{Key: OrderPath, In: GroupBy{Key: GroupST, In: Edges{}}}}
+	o2 := o1
+	o2.In = OrderBy{Key: OrderGroup, In: GroupBy{Key: GroupST, In: Edges{}}}
+	if Equal(o1, o2) {
+		t.Error("different order keys must differ")
+	}
+	if EqualSpace(GroupBy{Key: GroupST, In: Edges{}}, OrderBy{Key: OrderPath, In: GroupBy{}}) {
+		t.Error("GroupBy != OrderBy")
+	}
+}
+
+func TestFormatTree(t *testing.T) {
+	tree := FormatTree(figure2Plan(Simple))
+	for _, want := range []string{
+		"Select: (first.name = \"Moe\" AND last.name = \"Apu\")",
+		"Union",
+		"Recursive Join (restrictor: SIMPLE)",
+		"Join",
+		`Select: label(edge(1)) = "Likes"`,
+		"Edges(G)",
+	} {
+		if !strings.Contains(tree, want) {
+			t.Errorf("FormatTree missing %q:\n%s", want, tree)
+		}
+	}
+	withSpace := Project{Parts: AllCount(), Groups: AllCount(), Paths: NCount(1),
+		In: OrderBy{Key: OrderPath, In: GroupBy{Key: GroupST, In: Edges{}}}}
+	tree2 := FormatTree(withSpace)
+	for _, want := range []string{
+		"Projection (ALL PARTITIONS ALL GROUPS 1 PATHS)",
+		"OrderBy (Path)",
+		"Group (Source Target)",
+	} {
+		if !strings.Contains(tree2, want) {
+			t.Errorf("FormatTree missing %q:\n%s", want, tree2)
+		}
+	}
+}

@@ -1,0 +1,94 @@
+package core
+
+import (
+	"pathalgebra/internal/cond"
+	"pathalgebra/internal/graph"
+	"pathalgebra/internal/path"
+	"pathalgebra/internal/pathset"
+)
+
+// This file contains the reference implementations of the core algebra
+// operators — direct transcriptions of Definition 3.1. They favour clarity
+// over speed and serve as the correctness oracle for the optimized
+// executor in internal/engine.
+
+// EvalNodes implements the atom Nodes(G): one length-zero path per node.
+func EvalNodes(g *graph.Graph) *pathset.Set {
+	out := pathset.New(g.NumNodes())
+	for i := 0; i < g.NumNodes(); i++ {
+		out.Add(path.FromNode(graph.NodeID(i)))
+	}
+	return out
+}
+
+// EvalEdges implements the atom Edges(G): one length-one path per edge.
+func EvalEdges(g *graph.Graph) *pathset.Set {
+	out := pathset.New(g.NumEdges())
+	for i := 0; i < g.NumEdges(); i++ {
+		out.Add(path.FromEdge(g, graph.EdgeID(i)))
+	}
+	return out
+}
+
+// EvalSelect implements σc(S) = {p ∈ S | ev(p, c) = True}.
+func EvalSelect(g *graph.Graph, c cond.Cond, s *pathset.Set) *pathset.Set {
+	return s.Filter(func(p path.Path) bool { return c.Eval(g, p) })
+}
+
+// EvalJoin implements S ⋈ S′ = {p1 ◦ p2 | p1 ∈ S, p2 ∈ S′,
+// Last(p1) = First(p2)} by the definition's nested loop.
+func EvalJoin(s, t *pathset.Set) *pathset.Set {
+	out := pathset.New(s.Len())
+	for _, p1 := range s.Paths() {
+		for _, p2 := range t.Paths() {
+			if p1.CanConcat(p2) {
+				out.Add(p1.Concat(p2))
+			}
+		}
+	}
+	return out
+}
+
+// EvalUnion implements S ∪ S′ with duplicate elimination.
+func EvalUnion(s, t *pathset.Set) *pathset.Set {
+	return pathset.Union(s, t)
+}
+
+// EvalRestrict implements ρSem(S): the paths of S admitted by the
+// semantics. Unlike ϕ it performs no recursion — it is the filter §2.3
+// needs when an outer restrictor applies to the concatenation of two
+// sub-queries' answer sets. Under Shortest it keeps, for every endpoint
+// pair occurring in S, exactly the minimal-length paths of S.
+func EvalRestrict(sem Semantics, s *pathset.Set) *pathset.Set {
+	if sem != Shortest {
+		return s.Filter(sem.Admits)
+	}
+	best := make(map[[2]graph.NodeID]int, s.Len())
+	for _, p := range s.Paths() {
+		k := [2]graph.NodeID{p.First(), p.Last()}
+		if m, ok := best[k]; !ok || p.Len() < m {
+			best[k] = p.Len()
+		}
+	}
+	return s.Filter(func(p path.Path) bool {
+		return p.Len() == best[[2]graph.NodeID{p.First(), p.Last()}]
+	})
+}
+
+// Admits reports whether the given semantics admits path p. For Walk the
+// answer is always true; Shortest is a property of a whole path set, not
+// of a single path, and is handled inside the recursive operator.
+func (s Semantics) Admits(p path.Path) bool {
+	switch s {
+	case Walk, Shortest:
+		return true
+	case Trail:
+		return p.IsTrail()
+	case Acyclic:
+		return p.IsAcyclic()
+	case Simple:
+		return p.IsSimple()
+	default:
+		return false
+	}
+}

@@ -1,0 +1,174 @@
+package core
+
+import (
+	"testing"
+
+	"pathalgebra/internal/cond"
+	"pathalgebra/internal/graph"
+	"pathalgebra/internal/ldbc"
+	"pathalgebra/internal/path"
+	"pathalgebra/internal/pathset"
+)
+
+func knowsEdges(g *graph.Graph) *pathset.Set {
+	return EvalSelect(g, cond.Label(cond.EdgeAt(1), ldbc.LabelKnows), EvalEdges(g))
+}
+
+func TestEvalNodes(t *testing.T) {
+	g := ldbc.Figure1()
+	s := EvalNodes(g)
+	if s.Len() != 7 {
+		t.Fatalf("Nodes(G) has %d paths, want 7", s.Len())
+	}
+	for _, p := range s.Paths() {
+		if p.Len() != 0 {
+			t.Errorf("Nodes(G) produced a path of length %d", p.Len())
+		}
+	}
+}
+
+func TestEvalEdges(t *testing.T) {
+	g := ldbc.Figure1()
+	s := EvalEdges(g)
+	if s.Len() != 11 {
+		t.Fatalf("Edges(G) has %d paths, want 11", s.Len())
+	}
+	for _, p := range s.Paths() {
+		if p.Len() != 1 {
+			t.Errorf("Edges(G) produced a path of length %d", p.Len())
+		}
+	}
+}
+
+func TestEvalSelectByLabel(t *testing.T) {
+	g := ldbc.Figure1()
+	s := knowsEdges(g)
+	if s.Len() != 4 {
+		t.Fatalf("σ[Knows](Edges) has %d paths, want 4 (e1..e4)", s.Len())
+	}
+	for _, p := range s.Paths() {
+		e, _ := p.Edge(1)
+		if g.EdgeLabel(e) != ldbc.LabelKnows {
+			t.Errorf("selected edge %s has label %q", g.Edge(e).Key, g.EdgeLabel(e))
+		}
+	}
+}
+
+func TestEvalJoinDefinition(t *testing.T) {
+	g := ldbc.Figure1()
+	knows := knowsEdges(g)
+	joined := EvalJoin(knows, knows)
+	// Knows/Knows 2-hop paths: n1→n2→n3, n1→n2→n4, n2→n3→n2, n3→n2→n3,
+	// n3→n2→n4.
+	want := pathset.FromPaths(
+		path.MustFromKeys(g, "n1", "e1", "n2", "e2", "n3"),
+		path.MustFromKeys(g, "n1", "e1", "n2", "e4", "n4"),
+		path.MustFromKeys(g, "n2", "e2", "n3", "e3", "n2"),
+		path.MustFromKeys(g, "n3", "e3", "n2", "e2", "n3"),
+		path.MustFromKeys(g, "n3", "e3", "n2", "e4", "n4"),
+	)
+	if !joined.Equal(want) {
+		t.Errorf("Knows ⋈ Knows =\n%s\nwant\n%s", joined.Format(g), want.Format(g))
+	}
+}
+
+func TestJoinWithNodesIsIdentity(t *testing.T) {
+	g := ldbc.Figure1()
+	knows := knowsEdges(g)
+	nodes := EvalNodes(g)
+	if got := EvalJoin(knows, nodes); !got.Equal(knows) {
+		t.Error("S ⋈ Nodes(G) must equal S")
+	}
+	if got := EvalJoin(nodes, knows); !got.Equal(knows) {
+		t.Error("Nodes(G) ⋈ S must equal S")
+	}
+}
+
+func TestEvalUnion(t *testing.T) {
+	g := ldbc.Figure1()
+	knows := knowsEdges(g)
+	likes := EvalSelect(g, cond.Label(cond.EdgeAt(1), ldbc.LabelLikes), EvalEdges(g))
+	u := EvalUnion(knows, likes)
+	if u.Len() != knows.Len()+likes.Len() {
+		t.Errorf("disjoint union size %d, want %d", u.Len(), knows.Len()+likes.Len())
+	}
+	if again := EvalUnion(u, knows); !again.Equal(u) {
+		t.Error("union with a subset must be a no-op")
+	}
+}
+
+// TestFigure3Query reproduces the §3 example: friends and friends-of-
+// friends of Moe, i.e. σ[first.name=Moe](Knows ∪ (Knows ⋈ Knows)).
+func TestFigure3Query(t *testing.T) {
+	g := ldbc.Figure1()
+	knows := knowsEdges(g)
+	u := EvalUnion(knows, EvalJoin(knows, knows))
+	res := EvalSelect(g, cond.Prop(cond.First(), "name", graph.StringValue("Moe")), u)
+	want := pathset.FromPaths(
+		path.MustFromKeys(g, "n1", "e1", "n2"),
+		path.MustFromKeys(g, "n1", "e1", "n2", "e2", "n3"),
+		path.MustFromKeys(g, "n1", "e1", "n2", "e4", "n4"),
+	)
+	if !res.Equal(want) {
+		t.Errorf("Figure 3 query =\n%s\nwant\n%s", res.Format(g), want.Format(g))
+	}
+}
+
+func TestSemanticsAdmits(t *testing.T) {
+	g := ldbc.Figure1()
+	cycle := path.MustFromKeys(g, "n2", "e2", "n3", "e3", "n2")                  // simple cycle
+	repeatEdge := path.MustFromKeys(g, "n2", "e2", "n3", "e3", "n2", "e2", "n3") // repeats e2
+	straight := path.MustFromKeys(g, "n1", "e1", "n2")
+
+	if !Walk.Admits(cycle) || !Walk.Admits(repeatEdge) {
+		t.Error("Walk must admit everything")
+	}
+	if !Shortest.Admits(cycle) {
+		t.Error("Shortest.Admits is per-set, must not reject individual paths")
+	}
+	if !Trail.Admits(cycle) || Trail.Admits(repeatEdge) {
+		t.Error("Trail admission wrong")
+	}
+	if Acyclic.Admits(cycle) || !Acyclic.Admits(straight) {
+		t.Error("Acyclic admission wrong")
+	}
+	if !Simple.Admits(cycle) || Simple.Admits(repeatEdge) {
+		t.Error("Simple admission wrong")
+	}
+}
+
+func TestSemanticsStrings(t *testing.T) {
+	want := map[Semantics]string{
+		Walk: "Walk", Trail: "Trail", Acyclic: "Acyclic",
+		Simple: "Simple", Shortest: "Shortest",
+	}
+	for sem, s := range want {
+		if sem.String() != s {
+			t.Errorf("%d.String() = %q, want %q", sem, sem.String(), s)
+		}
+	}
+	if Semantics(42).String() != "Semantics(42)" {
+		t.Error("unknown semantics String")
+	}
+	if len(AllSemantics()) != 5 {
+		t.Error("AllSemantics must list 5 semantics")
+	}
+}
+
+func TestParseSemantics(t *testing.T) {
+	for _, tc := range []struct {
+		in   string
+		want Semantics
+	}{
+		{"WALK", Walk}, {"walk", Walk}, {"Walk", Walk},
+		{"TRAIL", Trail}, {"ACYCLIC", Acyclic}, {"SIMPLE", Simple}, {"SHORTEST", Shortest},
+	} {
+		got, err := ParseSemantics(tc.in)
+		if err != nil || got != tc.want {
+			t.Errorf("ParseSemantics(%q) = %v, %v", tc.in, got, err)
+		}
+	}
+	if _, err := ParseSemantics("BOGUS"); err == nil {
+		t.Error("ParseSemantics(BOGUS) should fail")
+	}
+}

@@ -1,0 +1,210 @@
+package core
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"pathalgebra/internal/cond"
+	"pathalgebra/internal/graph"
+	"pathalgebra/internal/ldbc"
+	"pathalgebra/internal/path"
+	"pathalgebra/internal/pathset"
+)
+
+// randomBase builds a base path set from a random subset of a graph's
+// edges, optionally mixed with some zero-length node paths.
+func randomBase(g *graph.Graph, rng *rand.Rand) *pathset.Set {
+	s := pathset.New(8)
+	for i := 0; i < g.NumEdges(); i++ {
+		if rng.Intn(2) == 0 {
+			s.Add(path.FromEdge(g, graph.EdgeID(i)))
+		}
+	}
+	for i := 0; i < g.NumNodes(); i++ {
+		if rng.Intn(5) == 0 {
+			s.Add(path.FromNode(graph.NodeID(i)))
+		}
+	}
+	return s
+}
+
+// TestRecursionAdmissibilityProperty: every ϕSem output path is admitted
+// by the semantics, for random base sets.
+func TestRecursionAdmissibilityProperty(t *testing.T) {
+	g := ldbc.Figure1()
+	rng := rand.New(rand.NewSource(99))
+	f := func(seed int64) bool {
+		local := rand.New(rand.NewSource(seed))
+		base := randomBase(g, local)
+		for _, sem := range []Semantics{Trail, Acyclic, Simple} {
+			out, err := EvalRecurse(sem, base, Limits{})
+			if err != nil {
+				return false
+			}
+			for _, p := range out.Paths() {
+				if !sem.Admits(p) {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{Rand: rng, MaxCount: 25}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestRecursionClosureProperty: ϕSem(S) is closed under admissible
+// concatenation with base paths — if p is in the result, b is an
+// admissible base path, and p ◦ b is admissible, then p ◦ b is in the
+// result (the fix-point condition of Definition 4.1).
+func TestRecursionClosureProperty(t *testing.T) {
+	g := ldbc.Figure1()
+	rng := rand.New(rand.NewSource(123))
+	f := func(seed int64) bool {
+		local := rand.New(rand.NewSource(seed))
+		base := randomBase(g, local)
+		for _, sem := range []Semantics{Trail, Acyclic, Simple} {
+			out, err := EvalRecurse(sem, base, Limits{})
+			if err != nil {
+				return false
+			}
+			admissibleBase := base.Filter(sem.Admits)
+			for _, p := range out.Paths() {
+				for _, b := range admissibleBase.Paths() {
+					if b.Len() == 0 || !p.CanConcat(b) {
+						continue
+					}
+					q := p.Concat(b)
+					if sem.Admits(q) && !out.Contains(q) {
+						t.Logf("ϕ%s not closed: %s ◦ %s missing", sem, p.Format(g), b.Format(g))
+						return false
+					}
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{Rand: rng, MaxCount: 15}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestShortestMinimalityProperty: every ϕShortest output is minimal among
+// the outputs sharing its endpoints, and unique pairs cover the closure.
+func TestShortestMinimalityProperty(t *testing.T) {
+	g := ldbc.Figure1()
+	f := func(seed int64) bool {
+		local := rand.New(rand.NewSource(seed))
+		base := randomBase(g, local)
+		out, err := EvalRecurse(Shortest, base, Limits{})
+		if err != nil {
+			return false
+		}
+		best := map[[2]graph.NodeID]int{}
+		for _, p := range out.Paths() {
+			k := [2]graph.NodeID{p.First(), p.Last()}
+			if m, ok := best[k]; !ok || p.Len() < m {
+				best[k] = p.Len()
+			}
+		}
+		for _, p := range out.Paths() {
+			if p.Len() != best[[2]graph.NodeID{p.First(), p.Last()}] {
+				return false // two different lengths for one pair
+			}
+		}
+		// Cross-check against bounded Walk closure: any pair reachable
+		// within length 4 must appear with length ≤ its walk minimum.
+		walks, err := EvalRecurse(Walk, base, Limits{MaxLen: 4})
+		if err != nil {
+			return false
+		}
+		for _, w := range walks.Paths() {
+			k := [2]graph.NodeID{w.First(), w.Last()}
+			m, ok := best[k]
+			if !ok || m > w.Len() {
+				return false // shortest missed a shorter walk
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{Rand: rand.New(rand.NewSource(5)), MaxCount: 25}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestUnionSelectDistributivity: σc(A ∪ B) = σc(A) ∪ σc(B) — the identity
+// behind the optimizer's union pushdown — for random sets and conditions.
+func TestUnionSelectDistributivity(t *testing.T) {
+	g := ldbc.Figure1()
+	conds := []struct{ c string }{
+		{`len() = 1`},
+		{`label(edge(1)) = "Knows"`},
+		{`first.name = "Moe" OR last.name = "Apu"`},
+		{`NOT (len() >= 2)`},
+	}
+	f := func(seed int64, which uint8) bool {
+		local := rand.New(rand.NewSource(seed))
+		a := randomBase(g, local)
+		b := randomBase(g, local)
+		c := mustCond(t, conds[int(which)%len(conds)].c)
+		lhs := EvalSelect(g, c, EvalUnion(a, b))
+		rhs := EvalUnion(EvalSelect(g, c, a), EvalSelect(g, c, b))
+		return lhs.Equal(rhs)
+	}
+	if err := quick.Check(f, &quick.Config{Rand: rand.New(rand.NewSource(17)), MaxCount: 40}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestJoinAssociativityProperty: (A ⋈ B) ⋈ C = A ⋈ (B ⋈ C) on random
+// sets — path concatenation is associative, so the join is too.
+func TestJoinAssociativityProperty(t *testing.T) {
+	g := ldbc.Figure1()
+	f := func(seed int64) bool {
+		local := rand.New(rand.NewSource(seed))
+		a := randomBase(g, local)
+		b := randomBase(g, local)
+		c := randomBase(g, local)
+		lhs := EvalJoin(EvalJoin(a, b), c)
+		rhs := EvalJoin(a, EvalJoin(b, c))
+		return lhs.Equal(rhs)
+	}
+	if err := quick.Check(f, &quick.Config{Rand: rand.New(rand.NewSource(29)), MaxCount: 30}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestRestrictIdempotentProperty: ρSem(ρSem(S)) = ρSem(S) for random sets
+// and all semantics.
+func TestRestrictIdempotentProperty(t *testing.T) {
+	g := ldbc.Figure1()
+	f := func(seed int64) bool {
+		local := rand.New(rand.NewSource(seed))
+		walks, err := EvalRecurse(Walk, randomBase(g, local), Limits{MaxLen: 3})
+		if err != nil {
+			return false
+		}
+		for _, sem := range AllSemantics() {
+			once := EvalRestrict(sem, walks)
+			twice := EvalRestrict(sem, once)
+			if !once.Equal(twice) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{Rand: rand.New(rand.NewSource(31)), MaxCount: 25}); err != nil {
+		t.Error(err)
+	}
+}
+
+func mustCond(t *testing.T, src string) cond.Cond {
+	t.Helper()
+	c, err := cond.Parse(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return c
+}

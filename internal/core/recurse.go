@@ -1,0 +1,233 @@
+package core
+
+import (
+	"container/heap"
+	"errors"
+	"fmt"
+
+	"pathalgebra/internal/graph"
+	"pathalgebra/internal/path"
+	"pathalgebra/internal/pathset"
+)
+
+// Limits bounds the evaluation of the recursive operator. The paper notes
+// (§4) that ϕWalk on a cyclic graph never halts and that GQL copes by
+// forcing a selector; this package copes by making every recursion run
+// under an explicit budget.
+type Limits struct {
+	// MaxLen caps the edge length of generated paths; <= 0 means no cap.
+	MaxLen int
+	// MaxPaths caps the number of result paths; <= 0 selects
+	// DefaultMaxPaths. Exceeding it aborts with ErrBudgetExceeded, so a
+	// diverging ϕWalk fails loudly instead of hanging.
+	MaxPaths int
+	// MaxWork caps the total number of node slots materialized across all
+	// result paths (Σ Len(p)+1); <= 0 selects DefaultMaxWork. A path
+	// count alone is not enough: on a thin cycle the number of walks
+	// grows only linearly with their length, so a runaway ϕWalk would
+	// burn quadratic time and memory long before reaching MaxPaths.
+	MaxWork int
+}
+
+// DefaultMaxPaths is the result-size safety net applied when Limits.
+// MaxPaths is unset.
+const DefaultMaxPaths = 1 << 20
+
+// DefaultMaxWork is the materialization safety net applied when Limits.
+// MaxWork is unset: at most ~16M node slots (≈128 MB of path data).
+const DefaultMaxWork = 1 << 24
+
+// ErrBudgetExceeded reports that a recursion produced more paths than its
+// budget allows. For ϕWalk over a cyclic input this is the expected
+// outcome unless MaxLen is set; the paper's Table 3 marks such queries as
+// having "an infinite number of solutions".
+var ErrBudgetExceeded = errors.New("core: recursion exceeded its path budget (ϕWalk over a cyclic input is infinite; set Limits.MaxLen or use a restrictive semantics)")
+
+func (l Limits) maxPaths() int {
+	if l.MaxPaths <= 0 {
+		return DefaultMaxPaths
+	}
+	return l.MaxPaths
+}
+
+func (l Limits) maxWork() int {
+	if l.MaxWork <= 0 {
+		return DefaultMaxWork
+	}
+	return l.MaxWork
+}
+
+func (l Limits) withinLen(p path.Path) bool {
+	return l.MaxLen <= 0 || p.Len() <= l.MaxLen
+}
+
+// budget tracks both the path-count and the materialized-work budgets of
+// one recursion evaluation.
+type budget struct {
+	lim   Limits
+	paths int
+	work  int
+}
+
+// charge accounts for one emitted path of length n and reports whether
+// the budget still holds.
+func (b *budget) charge(n int) bool {
+	b.paths++
+	b.work += n + 1
+	return b.paths <= b.lim.maxPaths() && b.work <= b.lim.maxWork()
+}
+
+// EvalRecurse implements the recursive operator ϕSem(S) of Definition 4.1:
+// the closure of S under path join, restricted to paths admitted by the
+// semantics. The result always contains the admissible paths of S itself
+// (the definition's base case ϕ0).
+//
+// Trail, Acyclic and Simple prune during expansion: every prefix of an
+// admissible path is itself admissible (trails/acyclic trivially; a simple
+// path only closes its cycle at the very last node, so proper prefixes are
+// acyclic), hence frontier filtering loses no answers. Shortest uses a
+// uniform-cost search; see evalShortest. Walk enumerates under Limits.
+func EvalRecurse(sem Semantics, base *pathset.Set, lim Limits) (*pathset.Set, error) {
+	if sem == Shortest {
+		return evalShortest(base, lim)
+	}
+	admissible := base.Filter(sem.Admits).Filter(lim.withinLen)
+	result := admissible.Clone()
+	bud := budget{lim: lim}
+	for _, p := range result.Paths() {
+		if !bud.charge(p.Len()) {
+			return result, ErrBudgetExceeded
+		}
+	}
+
+	byFirst := indexByFirst(admissible)
+
+	frontier := append([]path.Path(nil), admissible.Paths()...)
+	for len(frontier) > 0 {
+		var next []path.Path
+		for _, p := range frontier {
+			for _, b := range byFirst[p.Last()] {
+				q := p.Concat(b)
+				if !lim.withinLen(q) || !sem.Admits(q) {
+					continue
+				}
+				if result.Add(q) {
+					next = append(next, q)
+					if !bud.charge(q.Len()) {
+						return result, ErrBudgetExceeded
+					}
+				}
+			}
+		}
+		frontier = next
+	}
+	return result, nil
+}
+
+// indexByFirst indexes the positive-length paths of s by their first node.
+// Zero-length paths are omitted: p ◦ (n) = p, so they never create new
+// paths during expansion (they are already in the result via ϕ0).
+func indexByFirst(s *pathset.Set) map[graph.NodeID][]path.Path {
+	idx := make(map[graph.NodeID][]path.Path)
+	for _, p := range s.Paths() {
+		if p.Len() == 0 {
+			continue
+		}
+		idx[p.First()] = append(idx[p.First()], p)
+	}
+	return idx
+}
+
+type endpointPair struct {
+	s, t graph.NodeID
+}
+
+// pathHeap orders paths by (length, canonical sequence) for uniform-cost
+// search.
+type pathHeap []path.Path
+
+func (h pathHeap) Len() int { return len(h) }
+func (h pathHeap) Less(i, j int) bool {
+	return path.Compare(h[i], h[j]) < 0
+}
+func (h pathHeap) Swap(i, j int) { h[i], h[j] = h[j], h[i] }
+func (h *pathHeap) Push(x any)   { *h = append(*h, x.(path.Path)) }
+func (h *pathHeap) Pop() any {
+	old := *h
+	n := len(old)
+	p := old[n-1]
+	*h = old[:n-1]
+	return p
+}
+
+// evalShortest implements ϕShortest(S): for every endpoint pair (s, t)
+// connected by the join-closure of S, all closure paths of minimal length.
+//
+// It runs a uniform-cost search over the closure. Because concatenation
+// lengths are non-negative, every prefix (along base-path boundaries) of a
+// minimal-length closure path is itself minimal for its own endpoint pair
+// — the classical cut-and-paste argument — so paths that pop longer than
+// the established minimum for their pair can be discarded without losing
+// any shortest path. The search therefore terminates even on cyclic
+// inputs: only minimal paths are ever extended, and for a fixed pair only
+// finitely many walks share the minimal length.
+func evalShortest(base *pathset.Set, lim Limits) (*pathset.Set, error) {
+	result := pathset.New(base.Len())
+	byFirst := indexByFirst(base)
+
+	h := &pathHeap{}
+	visited := pathset.New(base.Len())
+	for _, p := range base.Paths() {
+		if lim.withinLen(p) && visited.Add(p) {
+			heap.Push(h, p)
+		}
+	}
+
+	best := make(map[endpointPair]int)
+	bud := budget{lim: lim}
+	for h.Len() > 0 {
+		p := heap.Pop(h).(path.Path)
+		pair := endpointPair{p.First(), p.Last()}
+		if b, known := best[pair]; known && p.Len() > b {
+			continue // strictly longer than the minimum for this pair
+		}
+		best[pair] = p.Len()
+		if result.Add(p) && !bud.charge(p.Len()) {
+			return result, ErrBudgetExceeded
+		}
+		for _, b := range byFirst[p.Last()] {
+			q := p.Concat(b)
+			if lim.withinLen(q) && visited.Add(q) {
+				heap.Push(h, q)
+			}
+		}
+	}
+	return result, nil
+}
+
+// KleenePlus is a convenience wrapper for ϕSem(S): the "one or more"
+// closure corresponding to a regular-expression +.
+func KleenePlus(sem Semantics, base *pathset.Set, lim Limits) (*pathset.Set, error) {
+	return EvalRecurse(sem, base, lim)
+}
+
+// KleeneStar computes ϕSem(S) ∪ Nodes(G): the "zero or more" closure
+// corresponding to a regular-expression *, which the paper expresses as a
+// union with the length-zero paths (Figure 4).
+func KleeneStar(g *graph.Graph, sem Semantics, base *pathset.Set, lim Limits) (*pathset.Set, error) {
+	plus, err := EvalRecurse(sem, base, lim)
+	if err != nil {
+		return plus, err
+	}
+	return EvalUnion(plus, EvalNodes(g)), nil
+}
+
+// CheckedRecurse evaluates ϕ and decorates budget errors with the operator
+// rendering, for friendlier engine errors.
+func CheckedRecurse(sem Semantics, base *pathset.Set, lim Limits) (*pathset.Set, error) {
+	out, err := EvalRecurse(sem, base, lim)
+	if err != nil {
+		return out, fmt.Errorf("evaluating ϕ%s: %w", sem, err)
+	}
+	return out, nil
+}

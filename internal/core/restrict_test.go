@@ -1,0 +1,169 @@
+package core
+
+import (
+	"strings"
+	"testing"
+
+	"pathalgebra/internal/ldbc"
+	"pathalgebra/internal/path"
+	"pathalgebra/internal/pathset"
+)
+
+// boundedWalks computes Knows+ walks up to length 4 on Figure 1 — a mixed
+// bag containing trails, cycles and edge-repeating walks.
+func boundedWalks(t *testing.T) *pathset.Set {
+	t.Helper()
+	g := ldbc.Figure1()
+	s, err := EvalRecurse(Walk, knowsEdges(g), Limits{MaxLen: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return s
+}
+
+func TestRestrictFilters(t *testing.T) {
+	g := ldbc.Figure1()
+	walks := boundedWalks(t)
+	for _, sem := range []Semantics{Trail, Acyclic, Simple} {
+		got := EvalRestrict(sem, walks)
+		for _, p := range got.Paths() {
+			if !sem.Admits(p) {
+				t.Errorf("ρ%s kept inadmissible path %s", sem, p.Format(g))
+			}
+		}
+		want := walks.Filter(sem.Admits)
+		if !got.Equal(want) {
+			t.Errorf("ρ%s: %d paths, want %d", sem, got.Len(), want.Len())
+		}
+	}
+	if !EvalRestrict(Walk, walks).Equal(walks) {
+		t.Error("ρWalk must be the identity")
+	}
+}
+
+func TestRestrictShortestPerPair(t *testing.T) {
+	g := ldbc.Figure1()
+	walks := boundedWalks(t)
+	got := EvalRestrict(Shortest, walks)
+	// Per endpoint pair, only minimal-length members of the INPUT set.
+	type pair struct{ s, t string }
+	min := map[pair]int{}
+	for _, p := range walks.Paths() {
+		k := pair{g.Node(p.First()).Key, g.Node(p.Last()).Key}
+		if m, ok := min[k]; !ok || p.Len() < m {
+			min[k] = p.Len()
+		}
+	}
+	for _, p := range got.Paths() {
+		k := pair{g.Node(p.First()).Key, g.Node(p.Last()).Key}
+		if p.Len() != min[k] {
+			t.Errorf("ρShortest kept non-minimal %s (len %d, min %d)", p.Format(g), p.Len(), min[k])
+		}
+	}
+	for _, p := range walks.Paths() {
+		k := pair{g.Node(p.First()).Key, g.Node(p.Last()).Key}
+		if p.Len() == min[k] && !got.Contains(p) {
+			t.Errorf("ρShortest dropped minimal %s", p.Format(g))
+		}
+	}
+	// ρShortest(ϕWalk-bounded) equals ϕShortest here because every
+	// per-pair minimum is within the bound.
+	phi, err := EvalRecurse(Shortest, knowsEdges(g), Limits{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !got.Equal(phi) {
+		t.Errorf("ρShortest(walks≤4) =\n%s\nϕShortest =\n%s", got.Format(g), phi.Format(g))
+	}
+}
+
+func TestRestrictExprString(t *testing.T) {
+	e := Restrict{Sem: Trail, In: Edges{}}
+	if e.String() != "ρTrail(Edges(G))" {
+		t.Errorf("String = %q", e.String())
+	}
+	if !Equal(e, Restrict{Sem: Trail, In: Edges{}}) {
+		t.Error("equal Restricts must be Equal")
+	}
+	if Equal(e, Restrict{Sem: Simple, In: Edges{}}) {
+		t.Error("different semantics must differ")
+	}
+	if Equal(e, Recurse{Sem: Trail, In: Edges{}}) {
+		t.Error("Restrict != Recurse")
+	}
+}
+
+func TestDescendingProjection(t *testing.T) {
+	g := ldbc.Figure1()
+	trails, err := EvalRecurse(Trail, knowsEdges(g), Limits{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ss := EvalOrderBy(OrderPath, EvalGroupBy(GroupST, trails))
+
+	// Ascending: the shortest trail per partition; descending: the
+	// longest.
+	shortest := EvalProject(AllCount(), AllCount(), NCount(1), ss)
+	longest := EvalProject(AllCount(), AllCount(), NCount(1).Descending(), ss)
+	if shortest.Equal(longest) {
+		t.Fatal("ascending and descending projections agree; graph should distinguish them")
+	}
+	// n1→n2 partition: shortest is p1 (len 1), longest is p2 (len 3).
+	p1 := path.MustFromKeys(g, "n1", "e1", "n2")
+	p2 := path.MustFromKeys(g, "n1", "e1", "n2", "e2", "n3", "e3", "n2")
+	if !shortest.Contains(p1) || shortest.Contains(p2) {
+		t.Error("ascending projection should pick p1 for (n1,n2)")
+	}
+	if !longest.Contains(p2) || longest.Contains(p1) {
+		t.Error("descending projection should pick p2 for (n1,n2)")
+	}
+	// Both directions keep all partitions.
+	if shortest.Len() != longest.Len() {
+		t.Errorf("partition counts differ: %d vs %d", shortest.Len(), longest.Len())
+	}
+}
+
+func TestDescendingGroupProjection(t *testing.T) {
+	g := ldbc.Figure1()
+	trails, err := EvalRecurse(Trail, knowsEdges(g), Limits{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// γL + τG: groups by length; descending 1 group = the longest-length
+	// group.
+	ss := EvalOrderBy(OrderGroup, EvalGroupBy(GroupLength, trails))
+	top := EvalProject(AllCount(), NCount(1).Descending(), AllCount(), ss)
+	maxLen := 0
+	for _, p := range trails.Paths() {
+		if p.Len() > maxLen {
+			maxLen = p.Len()
+		}
+	}
+	for _, p := range top.Paths() {
+		if p.Len() != maxLen {
+			t.Errorf("descending group projection kept length %d, want only %d", p.Len(), maxLen)
+		}
+	}
+	if top.Len() == 0 {
+		t.Fatal("descending group projection returned nothing")
+	}
+}
+
+func TestCountDescString(t *testing.T) {
+	if got := NCount(3).Descending().String(); got != "3↓" {
+		t.Errorf("String = %q, want 3↓", got)
+	}
+	if got := AllCount().Descending().String(); got != "*↓" {
+		t.Errorf("String = %q, want *↓", got)
+	}
+	if NCount(2).Descending().Limit(5) != 2 {
+		t.Error("Desc must not change Limit")
+	}
+}
+
+func TestRestrictFormatTree(t *testing.T) {
+	tree := FormatTree(Restrict{Sem: Shortest, In: Join{L: Edges{}, R: Edges{}}})
+	if want := "Restrict (SHORTEST)"; !strings.Contains(tree, want) {
+		t.Errorf("FormatTree missing %q:\n%s", want, tree)
+	}
+}

@@ -1,0 +1,83 @@
+// Package core implements the path algebra that is the paper's primary
+// contribution: the core operators σ (selection), ⋈ (join) and ∪ (union)
+// over sets of paths (§3), the recursive operator ϕ under the five path
+// semantics Walk/Trail/Acyclic/Simple/Shortest (§4), and the extended
+// algebra of solution spaces with γ (group-by), τ (order-by) and π
+// (projection) (§5).
+//
+// The package has two layers:
+//
+//   - Expression trees (expr.go): the logical-plan representation. Plans
+//     are two-sorted — PathExpr nodes evaluate to sets of paths, SpaceExpr
+//     nodes to solution spaces — so ill-sorted plans are unrepresentable.
+//   - Reference operator implementations (ops.go, recurse.go, space.go):
+//     direct transcriptions of the paper's definitions, used as the
+//     correctness oracle. The optimized executor lives in internal/engine
+//     and is cross-checked against these in tests.
+package core
+
+import "fmt"
+
+// Semantics selects the path semantics of the recursive operator ϕ,
+// mirroring the GQL restrictors (§4, Table 2).
+type Semantics uint8
+
+const (
+	// Walk admits every path (GQL's WALK restrictor; may be infinite on
+	// cyclic graphs, so evaluation requires a budget).
+	Walk Semantics = iota
+	// Trail admits paths with no repeated edge.
+	Trail
+	// Acyclic admits paths with no repeated node.
+	Acyclic
+	// Simple admits paths with no repeated node except that the first and
+	// last node may coincide.
+	Simple
+	// Shortest admits, for each (first, last) node pair, exactly the walks
+	// of minimal length between them.
+	Shortest
+)
+
+// String renders the semantics in the paper's subscript notation.
+func (s Semantics) String() string {
+	switch s {
+	case Walk:
+		return "Walk"
+	case Trail:
+		return "Trail"
+	case Acyclic:
+		return "Acyclic"
+	case Simple:
+		return "Simple"
+	case Shortest:
+		return "Shortest"
+	default:
+		return fmt.Sprintf("Semantics(%d)", uint8(s))
+	}
+}
+
+// ParseSemantics maps a GQL restrictor keyword to a Semantics value.
+// It accepts the paper's extended restrictor set (§7.1), which adds
+// SHORTEST to the four standard restrictors.
+func ParseSemantics(keyword string) (Semantics, error) {
+	switch keyword {
+	case "WALK", "Walk", "walk":
+		return Walk, nil
+	case "TRAIL", "Trail", "trail":
+		return Trail, nil
+	case "ACYCLIC", "Acyclic", "acyclic":
+		return Acyclic, nil
+	case "SIMPLE", "Simple", "simple":
+		return Simple, nil
+	case "SHORTEST", "Shortest", "shortest":
+		return Shortest, nil
+	default:
+		return 0, fmt.Errorf("core: unknown restrictor %q", keyword)
+	}
+}
+
+// AllSemantics lists the five semantics in the paper's order (Table 3
+// columns W, T, A, S, Sh).
+func AllSemantics() []Semantics {
+	return []Semantics{Walk, Trail, Acyclic, Simple, Shortest}
+}

@@ -1,0 +1,357 @@
+// Package engine executes path algebra plans (internal/core expression
+// trees) against a property graph. It is the optimized counterpart of the
+// reference operator implementations in internal/core: joins use endpoint
+// hashing instead of nested loops, label-equality selections over the
+// Edges/Nodes atoms use the graph's label indexes, and every evaluation
+// runs under an explicit recursion budget. Tests cross-check the engine
+// against the reference implementations.
+package engine
+
+import (
+	"fmt"
+
+	"pathalgebra/internal/automaton"
+	"pathalgebra/internal/cond"
+	"pathalgebra/internal/core"
+	"pathalgebra/internal/graph"
+	"pathalgebra/internal/path"
+	"pathalgebra/internal/pathset"
+	"pathalgebra/internal/rpq"
+)
+
+// JoinStrategy selects the physical join operator.
+type JoinStrategy uint8
+
+const (
+	// HashJoin builds a hash index on First(p2) and probes with Last(p1).
+	HashJoin JoinStrategy = iota
+	// NestedLoop compares every pair, as in Definition 3.1. Mainly useful
+	// as a baseline for the join-strategy ablation benchmark.
+	NestedLoop
+)
+
+// String names the strategy.
+func (s JoinStrategy) String() string {
+	switch s {
+	case HashJoin:
+		return "hash"
+	case NestedLoop:
+		return "nested-loop"
+	default:
+		return fmt.Sprintf("JoinStrategy(%d)", uint8(s))
+	}
+}
+
+// Options configures an Engine.
+type Options struct {
+	// Limits bounds every recursive operator evaluation. The zero value
+	// applies core.DefaultMaxPaths as a safety net.
+	Limits core.Limits
+	// Join selects the physical join operator (default HashJoin).
+	Join JoinStrategy
+	// DisableLabelIndex turns off the label-index shortcut for selections
+	// of the form σ[label(edge(1)) = L](Edges(G)); used by ablation
+	// benchmarks.
+	DisableLabelIndex bool
+	// DisableExpand turns off the graph-expansion fast path for
+	// recursions over single-label bases (ϕ over σ[label]Edges), which
+	// otherwise evaluates via product search on the adjacency lists
+	// instead of materializing the base set first; used by ablation
+	// benchmarks.
+	DisableExpand bool
+}
+
+// Stats accumulates execution counters across one engine's evaluations.
+type Stats struct {
+	// PathsProduced counts paths emitted by all operators.
+	PathsProduced int64
+	// JoinProbes counts path pair comparisons (nested loop) or hash
+	// probes (hash join).
+	JoinProbes int64
+	// IndexedScans counts selections answered from a label index.
+	IndexedScans int64
+	// Recursions counts recursive operator evaluations.
+	Recursions int64
+	// ExpandedRecursions counts recursions answered by the graph-
+	// expansion fast path rather than generic closure over a
+	// materialized base set.
+	ExpandedRecursions int64
+}
+
+// Engine evaluates plans against one graph. It is not safe for concurrent
+// use; create one engine per goroutine (graphs themselves are immutable
+// and shareable).
+type Engine struct {
+	g     *graph.Graph
+	opts  Options
+	stats Stats
+}
+
+// New returns an engine over g with the given options.
+func New(g *graph.Graph, opts Options) *Engine {
+	return &Engine{g: g, opts: opts}
+}
+
+// Graph returns the engine's graph.
+func (e *Engine) Graph() *graph.Graph { return e.g }
+
+// Stats returns the counters accumulated so far.
+func (e *Engine) Stats() Stats { return e.stats }
+
+// ResetStats zeroes the counters.
+func (e *Engine) ResetStats() { e.stats = Stats{} }
+
+// EvalPaths evaluates a path-sorted expression to a set of paths.
+func (e *Engine) EvalPaths(x core.PathExpr) (*pathset.Set, error) {
+	switch x := x.(type) {
+	case core.Nodes:
+		s := core.EvalNodes(e.g)
+		e.stats.PathsProduced += int64(s.Len())
+		return s, nil
+	case core.Edges:
+		s := core.EvalEdges(e.g)
+		e.stats.PathsProduced += int64(s.Len())
+		return s, nil
+	case core.Select:
+		return e.evalSelect(x)
+	case core.Join:
+		l, err := e.EvalPaths(x.L)
+		if err != nil {
+			return nil, err
+		}
+		r, err := e.EvalPaths(x.R)
+		if err != nil {
+			return nil, err
+		}
+		return e.join(l, r), nil
+	case core.Union:
+		l, err := e.EvalPaths(x.L)
+		if err != nil {
+			return nil, err
+		}
+		r, err := e.EvalPaths(x.R)
+		if err != nil {
+			return nil, err
+		}
+		u := core.EvalUnion(l, r)
+		e.stats.PathsProduced += int64(u.Len())
+		return u, nil
+	case core.Recurse:
+		e.stats.Recursions++
+		if !e.opts.DisableExpand {
+			if out, ok, err := e.expandRecurse(x); ok {
+				if err != nil {
+					return nil, fmt.Errorf("engine: ϕ%s: %w", x.Sem, err)
+				}
+				e.stats.ExpandedRecursions++
+				e.stats.PathsProduced += int64(out.Len())
+				return out, nil
+			}
+		}
+		base, err := e.EvalPaths(x.In)
+		if err != nil {
+			return nil, err
+		}
+		out, err := core.EvalRecurse(x.Sem, base, e.opts.Limits)
+		if err != nil {
+			return nil, fmt.Errorf("engine: ϕ%s: %w", x.Sem, err)
+		}
+		e.stats.PathsProduced += int64(out.Len())
+		return out, nil
+	case core.Restrict:
+		in, err := e.EvalPaths(x.In)
+		if err != nil {
+			return nil, err
+		}
+		out := core.EvalRestrict(x.Sem, in)
+		e.stats.PathsProduced += int64(out.Len())
+		return out, nil
+	case core.Project:
+		ss, err := e.EvalSpace(x.In)
+		if err != nil {
+			return nil, err
+		}
+		out := core.EvalProject(x.Parts, x.Groups, x.Paths, ss)
+		e.stats.PathsProduced += int64(out.Len())
+		return out, nil
+	case nil:
+		return nil, fmt.Errorf("engine: nil path expression")
+	default:
+		return nil, fmt.Errorf("engine: unsupported path expression %T", x)
+	}
+}
+
+// EvalSpace evaluates a space-sorted expression to a solution space.
+func (e *Engine) EvalSpace(x core.SpaceExpr) (*core.SolutionSpace, error) {
+	switch x := x.(type) {
+	case core.GroupBy:
+		in, err := e.EvalPaths(x.In)
+		if err != nil {
+			return nil, err
+		}
+		return core.EvalGroupBy(x.Key, in), nil
+	case core.OrderBy:
+		in, err := e.EvalSpace(x.In)
+		if err != nil {
+			return nil, err
+		}
+		return core.EvalOrderBy(x.Key, in), nil
+	case nil:
+		return nil, fmt.Errorf("engine: nil space expression")
+	default:
+		return nil, fmt.Errorf("engine: unsupported space expression %T", x)
+	}
+}
+
+// evalSelect evaluates σ, answering label-equality selections over the
+// Edges/Nodes atoms straight from the graph's label indexes when allowed.
+func (e *Engine) evalSelect(s core.Select) (*pathset.Set, error) {
+	if !e.opts.DisableLabelIndex {
+		if out, ok := e.indexedSelect(s); ok {
+			e.stats.IndexedScans++
+			e.stats.PathsProduced += int64(out.Len())
+			return out, nil
+		}
+	}
+	in, err := e.EvalPaths(s.In)
+	if err != nil {
+		return nil, err
+	}
+	out := core.EvalSelect(e.g, s.Cond, in)
+	e.stats.PathsProduced += int64(out.Len())
+	return out, nil
+}
+
+// indexedSelect recognizes σ[label(edge(1)) = L](Edges(G)) and
+// σ[label(first|node(1)) = L](Nodes(G)) and answers them from indexes.
+func (e *Engine) indexedSelect(s core.Select) (*pathset.Set, bool) {
+	lc, ok := s.Cond.(cond.LabelCmp)
+	if !ok || lc.Op != cond.EQ {
+		return nil, false
+	}
+	switch s.In.(type) {
+	case core.Edges:
+		if lc.Target.Kind != cond.TargetEdge || lc.Target.Pos != 1 {
+			return nil, false
+		}
+		ids := e.g.EdgesWithLabel(lc.Value)
+		out := pathset.New(len(ids))
+		for _, id := range ids {
+			out.Add(path.FromEdge(e.g, id))
+		}
+		return out, true
+	case core.Nodes:
+		isFirst := lc.Target.Kind == cond.TargetFirst ||
+			(lc.Target.Kind == cond.TargetNode && lc.Target.Pos == 1) ||
+			lc.Target.Kind == cond.TargetLast // first == last on length-0 paths
+		if !isFirst {
+			return nil, false
+		}
+		ids := e.g.NodesWithLabel(lc.Value)
+		out := pathset.New(len(ids))
+		for _, id := range ids {
+			out.Add(path.FromNode(id))
+		}
+		return out, true
+	default:
+		return nil, false
+	}
+}
+
+// expandRecurse answers ϕSem(In) by product search over the graph's
+// adjacency lists when the base expression is a label pattern —
+// σ[label(edge(1)) = L](Edges(G)), Edges(G), or joins/unions of such.
+// The closure of such a base equals the language (pattern)+, so the
+// recursion is exactly an RPQ and the automaton evaluator applies. ok is
+// false when the base has a different shape.
+func (e *Engine) expandRecurse(x core.Recurse) (*pathset.Set, bool, error) {
+	re, ok := labelPattern(x.In)
+	if !ok {
+		return nil, false, nil
+	}
+	nfa := automaton.Build(rpq.Plus{In: re})
+	out, err := automaton.Eval(e.g, nfa, x.Sem, e.opts.Limits)
+	return out, true, err
+}
+
+// labelPattern converts a base expression built from label-equality
+// selections over Edges(G), joins and unions into the equivalent regular
+// path expression.
+func labelPattern(x core.PathExpr) (rpq.Expr, bool) {
+	switch x := x.(type) {
+	case core.Edges:
+		return rpq.AnyLabel{}, true
+	case core.Select:
+		lc, ok := x.Cond.(cond.LabelCmp)
+		if !ok || lc.Op != cond.EQ || lc.Target.Kind != cond.TargetEdge || lc.Target.Pos != 1 {
+			return nil, false
+		}
+		if _, ok := x.In.(core.Edges); !ok {
+			return nil, false
+		}
+		return rpq.Label{Name: lc.Value}, true
+	case core.Join:
+		l, ok := labelPattern(x.L)
+		if !ok {
+			return nil, false
+		}
+		r, ok := labelPattern(x.R)
+		if !ok {
+			return nil, false
+		}
+		return rpq.Concat{L: l, R: r}, true
+	case core.Union:
+		l, ok := labelPattern(x.L)
+		if !ok {
+			return nil, false
+		}
+		r, ok := labelPattern(x.R)
+		if !ok {
+			return nil, false
+		}
+		return rpq.Alt{L: l, R: r}, true
+	default:
+		return nil, false
+	}
+}
+
+// join dispatches on the configured strategy.
+func (e *Engine) join(l, r *pathset.Set) *pathset.Set {
+	var out *pathset.Set
+	switch e.opts.Join {
+	case NestedLoop:
+		out = e.nestedLoopJoin(l, r)
+	default:
+		out = e.hashJoin(l, r)
+	}
+	e.stats.PathsProduced += int64(out.Len())
+	return out
+}
+
+func (e *Engine) nestedLoopJoin(l, r *pathset.Set) *pathset.Set {
+	out := pathset.New(l.Len())
+	for _, p := range l.Paths() {
+		for _, q := range r.Paths() {
+			e.stats.JoinProbes++
+			if p.CanConcat(q) {
+				out.Add(p.Concat(q))
+			}
+		}
+	}
+	return out
+}
+
+func (e *Engine) hashJoin(l, r *pathset.Set) *pathset.Set {
+	byFirst := make(map[graph.NodeID][]path.Path, r.Len())
+	for _, q := range r.Paths() {
+		byFirst[q.First()] = append(byFirst[q.First()], q)
+	}
+	out := pathset.New(l.Len())
+	for _, p := range l.Paths() {
+		for _, q := range byFirst[p.Last()] {
+			e.stats.JoinProbes++
+			out.Add(p.Concat(q))
+		}
+	}
+	return out
+}

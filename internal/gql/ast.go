@@ -1,0 +1,194 @@
+package gql
+
+import (
+	"fmt"
+	"strings"
+
+	"pathalgebra/internal/cond"
+	"pathalgebra/internal/core"
+	"pathalgebra/internal/graph"
+	"pathalgebra/internal/rpq"
+)
+
+// SelectorKind enumerates the GQL selectors of Table 1.
+type SelectorKind uint8
+
+const (
+	// SelNone marks the absence of a classic selector (extended syntax).
+	SelNone SelectorKind = iota
+	// SelAll is ALL.
+	SelAll
+	// SelAnyShortest is ANY SHORTEST.
+	SelAnyShortest
+	// SelAllShortest is ALL SHORTEST.
+	SelAllShortest
+	// SelAny is ANY.
+	SelAny
+	// SelAnyK is ANY k.
+	SelAnyK
+	// SelShortestK is SHORTEST k.
+	SelShortestK
+	// SelShortestKGroup is SHORTEST k GROUP.
+	SelShortestKGroup
+)
+
+// Selector is a classic GQL selector clause.
+type Selector struct {
+	Kind SelectorKind
+	K    int // for SelAnyK, SelShortestK, SelShortestKGroup
+}
+
+// String renders the selector keywords.
+func (s Selector) String() string {
+	switch s.Kind {
+	case SelAll:
+		return "ALL"
+	case SelAnyShortest:
+		return "ANY SHORTEST"
+	case SelAllShortest:
+		return "ALL SHORTEST"
+	case SelAny:
+		return "ANY"
+	case SelAnyK:
+		return fmt.Sprintf("ANY %d", s.K)
+	case SelShortestK:
+		return fmt.Sprintf("SHORTEST %d", s.K)
+	case SelShortestKGroup:
+		return fmt.Sprintf("SHORTEST %d GROUP", s.K)
+	default:
+		return ""
+	}
+}
+
+// AllSelectors lists the seven selectors in Table 1 order, using k=2 for
+// the parameterized ones.
+func AllSelectors(k int) []Selector {
+	return []Selector{
+		{Kind: SelAll},
+		{Kind: SelAnyShortest},
+		{Kind: SelAllShortest},
+		{Kind: SelAny},
+		{Kind: SelAnyK, K: k},
+		{Kind: SelShortestK, K: k},
+		{Kind: SelShortestKGroup, K: k},
+	}
+}
+
+// Projection is the extended projection clause of §7.1:
+// (ALL | n) PARTITIONS (ALL | n) GROUPS (ALL | n) PATHS.
+type Projection struct {
+	Parts  core.Count
+	Groups core.Count
+	Paths  core.Count
+}
+
+// String renders the clause.
+func (p Projection) String() string {
+	word := func(c core.Count, unit string) string {
+		s := "ALL"
+		if !c.All {
+			s = fmt.Sprintf("%d", c.N)
+		}
+		s += " " + unit
+		if c.Desc {
+			s += " DESC"
+		}
+		return s
+	}
+	return fmt.Sprintf("%s %s %s",
+		word(p.Parts, "PARTITIONS"), word(p.Groups, "GROUPS"), word(p.Paths, "PATHS"))
+}
+
+// PropFilter is one {prop: value} entry of a node specification.
+type PropFilter struct {
+	Prop  string
+	Value graph.Value
+}
+
+// NodeSpec is one endpoint of a path pattern: an optional variable, an
+// optional label and optional property filters, e.g. (?x:Person
+// {name:"Moe"}).
+type NodeSpec struct {
+	Var   string
+	Label string
+	Props []PropFilter
+}
+
+// String renders the node specification.
+func (n NodeSpec) String() string {
+	var sb strings.Builder
+	sb.WriteByte('(')
+	if n.Var != "" {
+		sb.WriteByte('?')
+		sb.WriteString(n.Var)
+	}
+	if n.Label != "" {
+		sb.WriteByte(':')
+		sb.WriteString(n.Label)
+	}
+	if len(n.Props) > 0 {
+		if n.Var != "" || n.Label != "" {
+			sb.WriteByte(' ')
+		}
+		sb.WriteByte('{')
+		for i, pf := range n.Props {
+			if i > 0 {
+				sb.WriteString(", ")
+			}
+			if pf.Value.Kind == graph.KindString {
+				fmt.Fprintf(&sb, "%s:%q", pf.Prop, pf.Value.Str())
+			} else {
+				fmt.Fprintf(&sb, "%s:%s", pf.Prop, pf.Value)
+			}
+		}
+		sb.WriteByte('}')
+	}
+	sb.WriteByte(')')
+	return sb.String()
+}
+
+// Query is a parsed path query. Exactly one of Selector.Kind != SelNone
+// (classic GQL syntax) or Proj != nil (extended §7.1 syntax) holds; when
+// both are absent the query returns the bare pattern result.
+type Query struct {
+	Selector   Selector
+	Proj       *Projection
+	Restrictor core.Semantics
+	PathVar    string
+	Src        NodeSpec
+	Dst        NodeSpec
+	Regex      rpq.Expr
+	Where      cond.Cond      // nil when absent
+	GroupBy    *core.GroupKey // nil when absent
+	OrderBy    *core.OrderKey // nil when absent
+}
+
+// String re-renders the query in extended GQL syntax.
+func (q *Query) String() string {
+	var sb strings.Builder
+	sb.WriteString("MATCH ")
+	if q.Proj != nil {
+		sb.WriteString(q.Proj.String())
+		sb.WriteByte(' ')
+	} else if q.Selector.Kind != SelNone {
+		sb.WriteString(q.Selector.String())
+		sb.WriteByte(' ')
+	}
+	sb.WriteString(strings.ToUpper(q.Restrictor.String()))
+	sb.WriteByte(' ')
+	if q.PathVar != "" {
+		sb.WriteString(q.PathVar)
+		sb.WriteString(" = ")
+	}
+	fmt.Fprintf(&sb, "%s-[%s]->%s", q.Src, q.Regex, q.Dst)
+	if q.Where != nil {
+		fmt.Fprintf(&sb, " WHERE %s", q.Where)
+	}
+	if q.GroupBy != nil {
+		fmt.Fprintf(&sb, " GROUP BY %s", strings.ToUpper(q.GroupBy.Words()))
+	}
+	if q.OrderBy != nil {
+		fmt.Fprintf(&sb, " ORDER BY %s", strings.ToUpper(q.OrderBy.Words()))
+	}
+	return sb.String()
+}

@@ -1,0 +1,113 @@
+package gql
+
+import (
+	"fmt"
+
+	"pathalgebra/internal/cond"
+	"pathalgebra/internal/core"
+	"pathalgebra/internal/rpq"
+)
+
+// Compile translates a parsed query into a path algebra logical plan.
+//
+// The pattern's regular expression compiles per Figures 2–4 with the
+// restrictor applied to every recursive operator; endpoint labels and
+// property filters become a selection over the pattern result; a classic
+// selector is then expanded per Table 7, while the extended syntax maps
+// its projection / GROUP BY / ORDER BY clauses directly onto π, γ and τ.
+func Compile(q *Query) (core.PathExpr, error) {
+	if q.Regex == nil {
+		return nil, fmt.Errorf("gql: query has no path pattern")
+	}
+	plan := rpq.Compile(q.Regex, q.Restrictor)
+
+	var conds []cond.Cond
+	if q.Src.Label != "" {
+		conds = append(conds, cond.Label(cond.First(), q.Src.Label))
+	}
+	for _, pf := range q.Src.Props {
+		conds = append(conds, cond.Prop(cond.First(), pf.Prop, pf.Value))
+	}
+	if q.Dst.Label != "" {
+		conds = append(conds, cond.Label(cond.Last(), q.Dst.Label))
+	}
+	for _, pf := range q.Dst.Props {
+		conds = append(conds, cond.Prop(cond.Last(), pf.Prop, pf.Value))
+	}
+	if q.Where != nil {
+		conds = append(conds, q.Where)
+	}
+	if len(conds) > 0 {
+		plan = core.Select{Cond: cond.Conj(conds...), In: plan}
+	}
+
+	switch {
+	case q.Proj != nil:
+		key := core.GroupNone
+		if q.GroupBy != nil {
+			key = *q.GroupBy
+		}
+		var space core.SpaceExpr = core.GroupBy{Key: key, In: plan}
+		if q.OrderBy != nil {
+			space = core.OrderBy{Key: *q.OrderBy, In: space}
+		}
+		return core.Project{Parts: q.Proj.Parts, Groups: q.Proj.Groups, Paths: q.Proj.Paths, In: space}, nil
+	case q.Selector.Kind != SelNone:
+		return CompileSelector(q.Selector, plan)
+	default:
+		return plan, nil
+	}
+}
+
+// MustCompile parses and compiles a query, panicking on error.
+func MustCompile(query string) core.PathExpr {
+	q := MustParse(query)
+	plan, err := Compile(q)
+	if err != nil {
+		panic(err)
+	}
+	return plan
+}
+
+// CompileSelector expands a classic GQL selector over a pattern plan into
+// the γ/τ/π combination of the paper's Table 7:
+//
+//	ALL                π(*,*,*)(γ(in))
+//	ANY SHORTEST       π(*,*,1)(τA(γST(in)))
+//	ALL SHORTEST       π(*,1,*)(τG(γSTL(in)))
+//	ANY                π(*,*,1)(γST(in))
+//	ANY k              π(*,*,k)(γST(in))
+//	SHORTEST k         π(*,*,k)(τA(γST(in)))
+//	SHORTEST k GROUP   π(*,k,*)(τG(γSTL(in)))
+func CompileSelector(sel Selector, in core.PathExpr) (core.PathExpr, error) {
+	all := core.AllCount()
+	switch sel.Kind {
+	case SelAll:
+		return core.Project{Parts: all, Groups: all, Paths: all,
+			In: core.GroupBy{Key: core.GroupNone, In: in}}, nil
+	case SelAnyShortest:
+		return core.Project{Parts: all, Groups: all, Paths: core.NCount(1),
+			In: core.OrderBy{Key: core.OrderPath,
+				In: core.GroupBy{Key: core.GroupST, In: in}}}, nil
+	case SelAllShortest:
+		return core.Project{Parts: all, Groups: core.NCount(1), Paths: all,
+			In: core.OrderBy{Key: core.OrderGroup,
+				In: core.GroupBy{Key: core.GroupSTL, In: in}}}, nil
+	case SelAny:
+		return core.Project{Parts: all, Groups: all, Paths: core.NCount(1),
+			In: core.GroupBy{Key: core.GroupST, In: in}}, nil
+	case SelAnyK:
+		return core.Project{Parts: all, Groups: all, Paths: core.NCount(sel.K),
+			In: core.GroupBy{Key: core.GroupST, In: in}}, nil
+	case SelShortestK:
+		return core.Project{Parts: all, Groups: all, Paths: core.NCount(sel.K),
+			In: core.OrderBy{Key: core.OrderPath,
+				In: core.GroupBy{Key: core.GroupST, In: in}}}, nil
+	case SelShortestKGroup:
+		return core.Project{Parts: all, Groups: core.NCount(sel.K), Paths: all,
+			In: core.OrderBy{Key: core.OrderGroup,
+				In: core.GroupBy{Key: core.GroupSTL, In: in}}}, nil
+	default:
+		return nil, fmt.Errorf("gql: cannot compile selector %v", sel.Kind)
+	}
+}

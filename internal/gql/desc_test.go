@@ -1,0 +1,68 @@
+package gql
+
+import (
+	"strings"
+	"testing"
+
+	"pathalgebra/internal/core"
+)
+
+func TestParseDescProjection(t *testing.T) {
+	q, err := Parse(`MATCH ALL PARTITIONS ALL GROUPS DESC 1 PATHS DESC TRAIL p = (?x)-[:K+]->(?y)
+		GROUP BY SOURCE TARGET LENGTH ORDER BY GROUP PATH`)
+	if err != nil {
+		t.Fatalf("Parse: %v", err)
+	}
+	if q.Proj == nil {
+		t.Fatal("projection missing")
+	}
+	if q.Proj.Parts.Desc {
+		t.Error("PARTITIONS should be ascending")
+	}
+	if !q.Proj.Groups.Desc {
+		t.Error("GROUPS DESC lost")
+	}
+	if !q.Proj.Paths.Desc || q.Proj.Paths.N != 1 {
+		t.Errorf("PATHS DESC lost: %+v", q.Proj.Paths)
+	}
+	// Rendering round-trips.
+	q2, err := Parse(q.String())
+	if err != nil {
+		t.Fatalf("re-Parse(%q): %v", q.String(), err)
+	}
+	if q.String() != q2.String() {
+		t.Errorf("unstable rendering: %q vs %q", q.String(), q2.String())
+	}
+	plan, err := Compile(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(plan.String(), "π(*,*↓,1↓)") {
+		t.Errorf("plan = %s, want π(*,*↓,1↓)", plan)
+	}
+}
+
+// TestDescLongestPerPair: the descending extension answers "the longest
+// trail per endpoint pair" — a query GQL cannot express.
+func TestDescLongestPerPair(t *testing.T) {
+	q := MustParse(`MATCH ALL PARTITIONS ALL GROUPS 1 PATHS DESC TRAIL p = (?x)-[:Knows+]->(?y)
+		GROUP BY SOURCE TARGET ORDER BY PATH`)
+	plan, err := Compile(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	proj, ok := plan.(core.Project)
+	if !ok {
+		t.Fatalf("top = %T", plan)
+	}
+	if !proj.Paths.Desc {
+		t.Error("descending flag lost in compilation")
+	}
+}
+
+func TestDescNotOnClassicSelectors(t *testing.T) {
+	// Classic selector syntax has no DESC slot; "ANY DESC" fails.
+	if _, err := Parse(`MATCH ANY DESC WALK p = (?x)-[:K]->(?y)`); err == nil {
+		t.Error("classic selector with DESC should fail to parse")
+	}
+}

@@ -1,0 +1,158 @@
+package gql
+
+import (
+	"strings"
+	"testing"
+)
+
+func lexAll(t *testing.T, src string) []token {
+	t.Helper()
+	l := newLexer(src)
+	var toks []token
+	for {
+		if err := l.next(); err != nil {
+			t.Fatalf("lex %q: %v", src, err)
+		}
+		if l.tok.kind == tokEOF {
+			return toks
+		}
+		toks = append(toks, l.tok)
+	}
+}
+
+func TestLexerTokens(t *testing.T) {
+	toks := lexAll(t, `MATCH p = (?x:Person {age: 40, score: -1.5})-[:Knows+]->(?y) WHERE len() <= 3`)
+	var kinds []tokenKind
+	for _, tok := range toks {
+		kinds = append(kinds, tok.kind)
+	}
+	// Spot-check key positions rather than the full sequence.
+	if toks[0].kind != tokIdent || toks[0].text != "MATCH" {
+		t.Errorf("first token = %v", toks[0])
+	}
+	found := map[tokenKind]bool{}
+	for _, k := range kinds {
+		found[k] = true
+	}
+	for _, want := range []tokenKind{
+		tokIdent, tokEquals, tokLParen, tokQuestion, tokColon, tokLBrace,
+		tokNumber, tokComma, tokRBrace, tokDash, tokRegex, tokArrow,
+		tokRParen, tokCmp,
+	} {
+		if !found[want] {
+			t.Errorf("token kind %d missing from lex output", want)
+		}
+	}
+}
+
+func TestLexerRegexCapture(t *testing.T) {
+	toks := lexAll(t, `-[(:Knows+)|(:Likes/:Has_creator)*]->`)
+	if len(toks) != 3 {
+		t.Fatalf("tokens = %v", toks)
+	}
+	if toks[1].kind != tokRegex || toks[1].text != `(:Knows+)|(:Likes/:Has_creator)*` {
+		t.Errorf("regex token = %v", toks[1])
+	}
+	if toks[2].kind != tokArrow {
+		t.Errorf("arrow token = %v", toks[2])
+	}
+}
+
+func TestLexerQuotedBracketInRegex(t *testing.T) {
+	// A ']' inside a quoted label must not close the pattern.
+	toks := lexAll(t, `-[:"weird]label"]->`)
+	if toks[1].kind != tokRegex || !strings.Contains(toks[1].text, "weird]label") {
+		t.Errorf("regex token = %v", toks[1])
+	}
+}
+
+func TestLexerStringsAndNumbers(t *testing.T) {
+	toks := lexAll(t, `"a\"b" -42 3.5 true`)
+	if toks[0].kind != tokString || toks[0].text != `a"b` {
+		t.Errorf("string token = %v", toks[0])
+	}
+	if toks[1].kind != tokNumber || toks[1].text != "-42" {
+		t.Errorf("negative number = %v", toks[1])
+	}
+	if toks[2].kind != tokNumber || toks[2].text != "3.5" {
+		t.Errorf("float = %v", toks[2])
+	}
+	if toks[3].kind != tokIdent || toks[3].text != "true" {
+		t.Errorf("ident = %v", toks[3])
+	}
+}
+
+func TestLexerComparisons(t *testing.T) {
+	toks := lexAll(t, `= != < <= > >= <>`)
+	wantTexts := []string{"=", "!=", "<", "<=", ">", ">=", "!="}
+	if len(toks) != len(wantTexts) {
+		t.Fatalf("tokens = %v", toks)
+	}
+	for i, want := range wantTexts {
+		if toks[i].text != want {
+			t.Errorf("token %d = %q, want %q", i, toks[i].text, want)
+		}
+	}
+}
+
+func TestLexerErrors(t *testing.T) {
+	cases := []string{
+		`[unterminated`,
+		`"unterminated`,
+		`"bad escape \`,
+		`!x`,
+		"\x01",
+	}
+	for _, src := range cases {
+		l := newLexer(src)
+		var err error
+		for i := 0; i < 10 && err == nil; i++ {
+			err = l.next()
+			if l.tok.kind == tokEOF {
+				break
+			}
+		}
+		if err == nil {
+			t.Errorf("lexing %q should fail", src)
+		}
+	}
+}
+
+func TestTokenString(t *testing.T) {
+	if (token{kind: tokEOF}).String() != "end of query" {
+		t.Error("EOF token rendering")
+	}
+	if (token{kind: tokIdent, text: "MATCH"}).String() != `"MATCH"` {
+		t.Error("ident token rendering")
+	}
+}
+
+func TestNodeSpecString(t *testing.T) {
+	q := MustParse(`MATCH WALK p = (?x:Person {name:"Moe", age:40})-[:K]->(y)`)
+	s := q.Src.String()
+	for _, want := range []string{"?x", ":Person", `name:"Moe"`, "age:40"} {
+		if !strings.Contains(s, want) {
+			t.Errorf("NodeSpec rendering missing %q: %s", want, s)
+		}
+	}
+	if q.Dst.String() != "(?y)" {
+		t.Errorf("dst rendering = %q", q.Dst.String())
+	}
+	empty := NodeSpec{}
+	if empty.String() != "()" {
+		t.Errorf("empty spec = %q", empty.String())
+	}
+	labeled := NodeSpec{Label: "Person"}
+	if labeled.String() != "(:Person)" {
+		t.Errorf("label-only spec = %q", labeled.String())
+	}
+}
+
+func TestMustCompilePanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("MustCompile should panic on a bad query")
+		}
+	}()
+	MustCompile("not a query")
+}

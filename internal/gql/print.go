@@ -1,0 +1,133 @@
+package gql
+
+import (
+	"fmt"
+	"strings"
+
+	"pathalgebra/internal/core"
+)
+
+// PrintPlan renders a compiled logical plan in the textual tree format of
+// the paper's §7.2 parser output:
+//
+//	Projection (ALL PARTITIONS ALL GROUPS 1 PATHS)
+//	OrderBy (Path)
+//	Group (Target)
+//	Restrictor (TRAIL)
+//	-> Recursive Join (restrictor: TRAIL)
+//	  -> Select: (label(edge(1)) = "Knows" , EDGES(G))
+//
+// The extended-algebra wrappers (π, τ, γ) print as header lines; the
+// pattern subtree prints as indented "->" lines.
+func PrintPlan(plan core.PathExpr) string {
+	var sb strings.Builder
+	printPathHeader(&sb, plan)
+	return sb.String()
+}
+
+func printPathHeader(sb *strings.Builder, e core.PathExpr) {
+	if p, ok := e.(core.Project); ok {
+		fmt.Fprintf(sb, "Projection (%s)\n", Projection{Parts: p.Parts, Groups: p.Groups, Paths: p.Paths})
+		printSpaceHeader(sb, p.In)
+		return
+	}
+	printBody(sb, e, 0)
+}
+
+func printSpaceHeader(sb *strings.Builder, e core.SpaceExpr) {
+	switch e := e.(type) {
+	case core.OrderBy:
+		fmt.Fprintf(sb, "OrderBy (%s)\n", e.Key.Words())
+		printSpaceHeader(sb, e.In)
+	case core.GroupBy:
+		fmt.Fprintf(sb, "Group (%s)\n", e.Key.Words())
+		if sem, ok := patternRestrictor(e.In); ok {
+			fmt.Fprintf(sb, "Restrictor (%s)\n", strings.ToUpper(sem.String()))
+		}
+		printBody(sb, e.In, 0)
+	default:
+		fmt.Fprintf(sb, "%s\n", e)
+	}
+}
+
+// patternRestrictor reports the semantics of the outermost recursive
+// operator of the pattern subtree, if there is one — the "Restrictor"
+// header line of the §7.2 output.
+func patternRestrictor(e core.PathExpr) (core.Semantics, bool) {
+	switch e := e.(type) {
+	case core.Recurse:
+		return e.Sem, true
+	case core.Restrict:
+		return e.Sem, true
+	case core.Select:
+		return patternRestrictor(e.In)
+	case core.Join:
+		if s, ok := patternRestrictor(e.L); ok {
+			return s, true
+		}
+		return patternRestrictor(e.R)
+	case core.Union:
+		if s, ok := patternRestrictor(e.L); ok {
+			return s, true
+		}
+		return patternRestrictor(e.R)
+	default:
+		return 0, false
+	}
+}
+
+func printBody(sb *strings.Builder, e core.PathExpr, depth int) {
+	prefix := strings.Repeat("  ", depth) + "-> "
+	switch e := e.(type) {
+	case core.Nodes:
+		fmt.Fprintf(sb, "%sNODES(G)\n", prefix)
+	case core.Edges:
+		fmt.Fprintf(sb, "%sEDGES(G)\n", prefix)
+	case core.Select:
+		// Selections over an atom print on one line, as in the paper:
+		// -> Select: (label(edge(1)) = "Knows" , EDGES(G))
+		switch e.In.(type) {
+		case core.Edges:
+			fmt.Fprintf(sb, "%sSelect: (%s , EDGES(G))\n", prefix, e.Cond)
+		case core.Nodes:
+			fmt.Fprintf(sb, "%sSelect: (%s , NODES(G))\n", prefix, e.Cond)
+		default:
+			fmt.Fprintf(sb, "%sSelect: (%s)\n", prefix, e.Cond)
+			printBody(sb, e.In, depth+1)
+		}
+	case core.Join:
+		fmt.Fprintf(sb, "%sJoin\n", prefix)
+		printBody(sb, e.L, depth+1)
+		printBody(sb, e.R, depth+1)
+	case core.Union:
+		fmt.Fprintf(sb, "%sUnion\n", prefix)
+		printBody(sb, e.L, depth+1)
+		printBody(sb, e.R, depth+1)
+	case core.Recurse:
+		fmt.Fprintf(sb, "%sRecursive Join (restrictor: %s)\n", prefix, strings.ToUpper(e.Sem.String()))
+		printBody(sb, e.In, depth+1)
+	case core.Restrict:
+		fmt.Fprintf(sb, "%sRestrict (%s)\n", prefix, strings.ToUpper(e.Sem.String()))
+		printBody(sb, e.In, depth+1)
+	case core.Project:
+		fmt.Fprintf(sb, "%sProjection (%s)\n", prefix,
+			Projection{Parts: e.Parts, Groups: e.Groups, Paths: e.Paths})
+		printSpaceBody(sb, e.In, depth+1)
+	default:
+		fmt.Fprintf(sb, "%s%s\n", prefix, e)
+	}
+}
+
+func printSpaceBody(sb *strings.Builder, e core.SpaceExpr, depth int) {
+	prefix := strings.Repeat("  ", depth) + "-> "
+	switch e := e.(type) {
+	case core.GroupBy:
+		fmt.Fprintf(sb, "%sGroup (%s)\n", prefix, e.Key.Words())
+		printBody(sb, e.In, depth+1)
+	case core.OrderBy:
+		fmt.Fprintf(sb, "%sOrderBy (%s)\n", prefix, e.Key.Words())
+		printSpaceBody(sb, e.In, depth+1)
+	default:
+		fmt.Fprintf(sb, "%s%s\n", prefix, e)
+	}
+}

@@ -1,0 +1,168 @@
+package graph
+
+import (
+	"encoding/csv"
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+)
+
+// ReadCSV loads a property graph from two CSV streams, the common
+// interchange format of LDBC SNB dumps.
+//
+// The node file needs a header whose first two columns are "key" and
+// "label"; remaining columns become properties. The edge file's first
+// four header columns are "key", "src", "dst" and "label". Property
+// columns are strings by default; a ":int", ":float" or ":bool" suffix on
+// the header name selects a typed parse (e.g. "age:int"). Empty cells
+// leave the property unset (ν is partial).
+func ReadCSV(nodes, edges io.Reader) (*Graph, error) {
+	b := NewBuilder()
+	if err := readNodeCSV(b, nodes); err != nil {
+		return nil, err
+	}
+	if err := readEdgeCSV(b, edges); err != nil {
+		return nil, err
+	}
+	return b.Build()
+}
+
+type propColumn struct {
+	name string
+	kind ValueKind
+}
+
+func parseHeader(fields []string, fixed []string, what string) ([]propColumn, error) {
+	if len(fields) < len(fixed) {
+		return nil, fmt.Errorf("graph: %s CSV header needs at least %v", what, fixed)
+	}
+	for i, want := range fixed {
+		if !strings.EqualFold(strings.TrimSpace(fields[i]), want) {
+			return nil, fmt.Errorf("graph: %s CSV header column %d is %q, want %q",
+				what, i+1, fields[i], want)
+		}
+	}
+	var props []propColumn
+	for _, f := range fields[len(fixed):] {
+		name := strings.TrimSpace(f)
+		kind := KindString
+		if idx := strings.LastIndexByte(name, ':'); idx >= 0 {
+			switch strings.ToLower(name[idx+1:]) {
+			case "int":
+				kind = KindInt
+			case "float":
+				kind = KindFloat
+			case "bool":
+				kind = KindBool
+			case "string":
+				kind = KindString
+			default:
+				return nil, fmt.Errorf("graph: %s CSV header %q has unknown type suffix", what, name)
+			}
+			name = name[:idx]
+		}
+		if name == "" {
+			return nil, fmt.Errorf("graph: %s CSV has an empty property column name", what)
+		}
+		props = append(props, propColumn{name: name, kind: kind})
+	}
+	return props, nil
+}
+
+func parseProps(cols []propColumn, cells []string) (map[string]Value, error) {
+	var props map[string]Value
+	for i, col := range cols {
+		cell := strings.TrimSpace(cells[i])
+		if cell == "" {
+			continue
+		}
+		var v Value
+		switch col.kind {
+		case KindInt:
+			n, err := strconv.ParseInt(cell, 10, 64)
+			if err != nil {
+				return nil, fmt.Errorf("column %q: %w", col.name, err)
+			}
+			v = IntValue(n)
+		case KindFloat:
+			f, err := strconv.ParseFloat(cell, 64)
+			if err != nil {
+				return nil, fmt.Errorf("column %q: %w", col.name, err)
+			}
+			v = FloatValue(f)
+		case KindBool:
+			bv, err := strconv.ParseBool(cell)
+			if err != nil {
+				return nil, fmt.Errorf("column %q: %w", col.name, err)
+			}
+			v = BoolValue(bv)
+		default:
+			v = StringValue(cell)
+		}
+		if props == nil {
+			props = make(map[string]Value, len(cols))
+		}
+		props[col.name] = v
+	}
+	return props, nil
+}
+
+func readNodeCSV(b *Builder, r io.Reader) error {
+	cr := csv.NewReader(r)
+	cr.TrimLeadingSpace = true
+	header, err := cr.Read()
+	if err != nil {
+		return fmt.Errorf("graph: reading node CSV header: %w", err)
+	}
+	cols, err := parseHeader(header, []string{"key", "label"}, "node")
+	if err != nil {
+		return err
+	}
+	line := 1
+	for {
+		rec, err := cr.Read()
+		if err == io.EOF {
+			return nil
+		}
+		if err != nil {
+			return fmt.Errorf("graph: node CSV line %d: %w", line+1, err)
+		}
+		line++
+		props, err := parseProps(cols, rec[2:])
+		if err != nil {
+			return fmt.Errorf("graph: node CSV line %d: %w", line, err)
+		}
+		b.AddNode(strings.TrimSpace(rec[0]), strings.TrimSpace(rec[1]), props)
+	}
+}
+
+func readEdgeCSV(b *Builder, r io.Reader) error {
+	cr := csv.NewReader(r)
+	cr.TrimLeadingSpace = true
+	header, err := cr.Read()
+	if err != nil {
+		return fmt.Errorf("graph: reading edge CSV header: %w", err)
+	}
+	cols, err := parseHeader(header, []string{"key", "src", "dst", "label"}, "edge")
+	if err != nil {
+		return err
+	}
+	line := 1
+	for {
+		rec, err := cr.Read()
+		if err == io.EOF {
+			return nil
+		}
+		if err != nil {
+			return fmt.Errorf("graph: edge CSV line %d: %w", line+1, err)
+		}
+		line++
+		props, err := parseProps(cols, rec[4:])
+		if err != nil {
+			return fmt.Errorf("graph: edge CSV line %d: %w", line, err)
+		}
+		b.AddEdge(strings.TrimSpace(rec[0]), strings.TrimSpace(rec[1]),
+			strings.TrimSpace(rec[2]), strings.TrimSpace(rec[3]), props)
+	}
+}

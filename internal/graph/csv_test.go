@@ -1,0 +1,98 @@
+package graph
+
+import (
+	"strings"
+	"testing"
+)
+
+const nodesCSV = `key,label,name,age:int,score:float,active:bool
+n1,Person,Moe,40,1.5,true
+n2,Person,Apu,,,
+n3,Message,,,,
+`
+
+const edgesCSV = `key,src,dst,label,since:int
+e1,n1,n2,Knows,2010
+e2,n1,n3,Likes,
+`
+
+func TestReadCSV(t *testing.T) {
+	g, err := ReadCSV(strings.NewReader(nodesCSV), strings.NewReader(edgesCSV))
+	if err != nil {
+		t.Fatalf("ReadCSV: %v", err)
+	}
+	if g.NumNodes() != 3 || g.NumEdges() != 2 {
+		t.Fatalf("shape = %d/%d, want 3/2", g.NumNodes(), g.NumEdges())
+	}
+	n1, _ := g.NodeByKey("n1")
+	if got := g.NodeProp(n1.ID, "name"); got.Str() != "Moe" {
+		t.Errorf("name = %v", got)
+	}
+	if got := g.NodeProp(n1.ID, "age"); got.Int() != 40 {
+		t.Errorf("age = %v", got)
+	}
+	if got := g.NodeProp(n1.ID, "score"); got.Float() != 1.5 {
+		t.Errorf("score = %v", got)
+	}
+	if got := g.NodeProp(n1.ID, "active"); !got.Bool() {
+		t.Errorf("active = %v", got)
+	}
+	// Empty cells leave properties unset.
+	n2, _ := g.NodeByKey("n2")
+	if got := g.NodeProp(n2.ID, "age"); !got.IsNull() {
+		t.Errorf("empty age cell = %v, want null", got)
+	}
+	e1, _ := g.EdgeByKey("e1")
+	if got := g.EdgeProp(e1.ID, "since"); got.Int() != 2010 {
+		t.Errorf("since = %v", got)
+	}
+	src, dst := g.Endpoints(e1.ID)
+	if g.Node(src).Key != "n1" || g.Node(dst).Key != "n2" {
+		t.Error("edge endpoints wrong")
+	}
+}
+
+func TestReadCSVErrors(t *testing.T) {
+	okNodes := "key,label\na,L\nb,L\n"
+	okEdges := "key,src,dst,label\ne,a,b,X\n"
+	cases := []struct {
+		name         string
+		nodes, edges string
+		mention      string
+	}{
+		{"bad node header", "id,label\na,L\n", okEdges, `want "key"`},
+		{"bad edge header", okNodes, "key,from,to,label\ne,a,b,X\n", `want "src"`},
+		{"unknown type suffix", "key,label,x:date\na,L,1\n", okEdges, "unknown type suffix"},
+		{"empty prop name", "key,label,:int\na,L,1\n", okEdges, "empty property column"},
+		{"bad int", "key,label,age:int\na,L,forty\n", okEdges, "column \"age\""},
+		{"bad float", "key,label,s:float\na,L,x\n", okEdges, "column \"s\""},
+		{"bad bool", "key,label,b:bool\na,L,x\n", okEdges, "column \"b\""},
+		{"unknown endpoint", okNodes, "key,src,dst,label\ne,a,zzz,X\n", "unknown target"},
+		{"short record", "key,label,p\na,L\n", okEdges, "wrong number of fields"},
+		{"empty node file", "", okEdges, "header"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			_, err := ReadCSV(strings.NewReader(tc.nodes), strings.NewReader(tc.edges))
+			if err == nil {
+				t.Fatal("ReadCSV succeeded, want error")
+			}
+			if !strings.Contains(err.Error(), tc.mention) {
+				t.Errorf("error %q does not mention %q", err, tc.mention)
+			}
+		})
+	}
+}
+
+func TestReadCSVExplicitStringSuffix(t *testing.T) {
+	nodes := "key,label,name:string\na,L,x\n"
+	edges := "key,src,dst,label\n"
+	g, err := ReadCSV(strings.NewReader(nodes), strings.NewReader(edges))
+	if err != nil {
+		t.Fatal(err)
+	}
+	n, _ := g.NodeByKey("a")
+	if got := g.NodeProp(n.ID, "name"); got.Str() != "x" {
+		t.Errorf("name = %v", got)
+	}
+}

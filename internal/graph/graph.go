@@ -1,0 +1,293 @@
+// Package graph implements the property graph data model of Definition 2.1
+// in "Path-based Algebraic Foundations of Graph Query Languages"
+// (Angles, Bonifati, García, Vrgoč — EDBT 2025).
+//
+// A property graph is a tuple G = (N, E, ρ, λ, ν): finite sets of node and
+// edge identifiers, a total endpoint function ρ : E → N×N, a partial label
+// function λ and a partial property function ν. Here nodes and edges are
+// stored in dense slices indexed by NodeID / EdgeID, which keeps path
+// values compact and all per-object lookups O(1).
+package graph
+
+import (
+	"fmt"
+	"sort"
+)
+
+// NodeID identifies a node within one Graph. IDs are dense: 0..NumNodes-1.
+type NodeID uint32
+
+// EdgeID identifies an edge within one Graph. IDs are dense: 0..NumEdges-1.
+type EdgeID uint32
+
+// Node is an entity of the graph. Label may be empty (λ is partial) and
+// Props may be nil (ν is partial).
+type Node struct {
+	ID    NodeID
+	Key   string // external, human-readable identifier (e.g. "n1")
+	Label string
+	Props map[string]Value
+}
+
+// Edge is a directed relationship between two nodes.
+type Edge struct {
+	ID    EdgeID
+	Key   string // external, human-readable identifier (e.g. "e1")
+	Src   NodeID
+	Dst   NodeID
+	Label string
+	Props map[string]Value
+}
+
+// Graph is an immutable property graph. Construct one with a Builder;
+// after Build the graph is safe for concurrent readers.
+type Graph struct {
+	nodes []Node
+	edges []Edge
+
+	nodeByKey map[string]NodeID
+	edgeByKey map[string]EdgeID
+
+	// Adjacency, built once: edge IDs ordered by ID for determinism.
+	out [][]EdgeID // outgoing edges per node
+	in  [][]EdgeID // incoming edges per node
+
+	nodesByLabel map[string][]NodeID
+	edgesByLabel map[string][]EdgeID
+}
+
+// NumNodes returns |N|.
+func (g *Graph) NumNodes() int { return len(g.nodes) }
+
+// NumEdges returns |E|.
+func (g *Graph) NumEdges() int { return len(g.edges) }
+
+// Node returns the node with the given ID. It panics if id is out of
+// range, which indicates a path from a different graph.
+func (g *Graph) Node(id NodeID) *Node { return &g.nodes[id] }
+
+// Edge returns the edge with the given ID.
+func (g *Graph) Edge(id EdgeID) *Edge { return &g.edges[id] }
+
+// NodeByKey looks up a node by its external key.
+func (g *Graph) NodeByKey(key string) (*Node, bool) {
+	id, ok := g.nodeByKey[key]
+	if !ok {
+		return nil, false
+	}
+	return &g.nodes[id], true
+}
+
+// EdgeByKey looks up an edge by its external key.
+func (g *Graph) EdgeByKey(key string) (*Edge, bool) {
+	id, ok := g.edgeByKey[key]
+	if !ok {
+		return nil, false
+	}
+	return &g.edges[id], true
+}
+
+// Nodes returns all nodes in ID order. The slice is shared; do not modify.
+func (g *Graph) Nodes() []Node { return g.nodes }
+
+// Edges returns all edges in ID order. The slice is shared; do not modify.
+func (g *Graph) Edges() []Edge { return g.edges }
+
+// Out returns the IDs of edges leaving n, in ascending edge-ID order.
+func (g *Graph) Out(n NodeID) []EdgeID { return g.out[n] }
+
+// In returns the IDs of edges entering n, in ascending edge-ID order.
+func (g *Graph) In(n NodeID) []EdgeID { return g.in[n] }
+
+// NodesWithLabel returns node IDs labelled l, ascending.
+func (g *Graph) NodesWithLabel(l string) []NodeID { return g.nodesByLabel[l] }
+
+// EdgesWithLabel returns edge IDs labelled l, ascending.
+func (g *Graph) EdgesWithLabel(l string) []EdgeID { return g.edgesByLabel[l] }
+
+// NodeLabel implements λ for nodes; returns "" when unlabelled.
+func (g *Graph) NodeLabel(id NodeID) string { return g.nodes[id].Label }
+
+// EdgeLabel implements λ for edges; returns "" when unlabelled.
+func (g *Graph) EdgeLabel(id EdgeID) string { return g.edges[id].Label }
+
+// NodeProp implements ν for nodes; returns Null when undefined.
+func (g *Graph) NodeProp(id NodeID, prop string) Value {
+	return g.nodes[id].Props[prop]
+}
+
+// EdgeProp implements ν for edges; returns Null when undefined.
+func (g *Graph) EdgeProp(id EdgeID, prop string) Value {
+	return g.edges[id].Props[prop]
+}
+
+// Endpoints implements ρ.
+func (g *Graph) Endpoints(id EdgeID) (src, dst NodeID) {
+	e := &g.edges[id]
+	return e.Src, e.Dst
+}
+
+// Labels returns the sorted set of all labels used by nodes and edges.
+func (g *Graph) Labels() []string {
+	seen := make(map[string]bool, len(g.nodesByLabel)+len(g.edgesByLabel))
+	for l := range g.nodesByLabel {
+		seen[l] = true
+	}
+	for l := range g.edgesByLabel {
+		seen[l] = true
+	}
+	out := make([]string, 0, len(seen))
+	for l := range seen {
+		out = append(out, l)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Builder accumulates nodes and edges and produces an immutable Graph.
+// The zero Builder is ready to use.
+type Builder struct {
+	nodes []Node
+	edges []Edge
+
+	nodeByKey map[string]NodeID
+	edgeByKey map[string]EdgeID
+
+	err error
+}
+
+// NewBuilder returns an empty Builder.
+func NewBuilder() *Builder {
+	return &Builder{
+		nodeByKey: make(map[string]NodeID),
+		edgeByKey: make(map[string]EdgeID),
+	}
+}
+
+// AddNode appends a node with the given external key, label and properties.
+// Keys must be unique among nodes and edges combined (N ∩ E = ∅ in the
+// paper). Errors are deferred to Build.
+func (b *Builder) AddNode(key, label string, props map[string]Value) NodeID {
+	if b.err == nil {
+		if _, dup := b.nodeByKey[key]; dup {
+			b.err = fmt.Errorf("graph: duplicate node key %q", key)
+		} else if _, dup := b.edgeByKey[key]; dup {
+			b.err = fmt.Errorf("graph: key %q used by both a node and an edge", key)
+		}
+	}
+	id := NodeID(len(b.nodes))
+	b.nodes = append(b.nodes, Node{ID: id, Key: key, Label: label, Props: cloneProps(props)})
+	b.nodeByKey[key] = id
+	return id
+}
+
+// AddEdge appends a directed edge src→dst identified by key.
+func (b *Builder) AddEdge(key, srcKey, dstKey, label string, props map[string]Value) EdgeID {
+	src, okSrc := b.nodeByKey[srcKey]
+	dst, okDst := b.nodeByKey[dstKey]
+	if b.err == nil {
+		switch {
+		case !okSrc:
+			b.err = fmt.Errorf("graph: edge %q references unknown source node %q", key, srcKey)
+		case !okDst:
+			b.err = fmt.Errorf("graph: edge %q references unknown target node %q", key, dstKey)
+		}
+		if _, dup := b.edgeByKey[key]; dup {
+			b.err = fmt.Errorf("graph: duplicate edge key %q", key)
+		} else if _, dup := b.nodeByKey[key]; dup {
+			b.err = fmt.Errorf("graph: key %q used by both a node and an edge", key)
+		}
+	}
+	id := EdgeID(len(b.edges))
+	b.edges = append(b.edges, Edge{ID: id, Key: key, Src: src, Dst: dst, Label: label, Props: cloneProps(props)})
+	b.edgeByKey[key] = id
+	return id
+}
+
+// Err returns the first accumulated construction error, if any.
+func (b *Builder) Err() error { return b.err }
+
+// Build finalizes the graph, computing adjacency and label indexes.
+func (b *Builder) Build() (*Graph, error) {
+	if b.err != nil {
+		return nil, b.err
+	}
+	g := &Graph{
+		nodes:        b.nodes,
+		edges:        b.edges,
+		nodeByKey:    b.nodeByKey,
+		edgeByKey:    b.edgeByKey,
+		out:          make([][]EdgeID, len(b.nodes)),
+		in:           make([][]EdgeID, len(b.nodes)),
+		nodesByLabel: make(map[string][]NodeID),
+		edgesByLabel: make(map[string][]EdgeID),
+	}
+	for i := range g.edges {
+		e := &g.edges[i]
+		g.out[e.Src] = append(g.out[e.Src], e.ID)
+		g.in[e.Dst] = append(g.in[e.Dst], e.ID)
+		if e.Label != "" {
+			g.edgesByLabel[e.Label] = append(g.edgesByLabel[e.Label], e.ID)
+		}
+	}
+	for i := range g.nodes {
+		n := &g.nodes[i]
+		if n.Label != "" {
+			g.nodesByLabel[n.Label] = append(g.nodesByLabel[n.Label], n.ID)
+		}
+	}
+	return g, nil
+}
+
+// MustBuild is Build for tests and fixtures; it panics on error.
+func (b *Builder) MustBuild() *Graph {
+	g, err := b.Build()
+	if err != nil {
+		panic(err)
+	}
+	return g
+}
+
+func cloneProps(props map[string]Value) map[string]Value {
+	if len(props) == 0 {
+		return nil
+	}
+	out := make(map[string]Value, len(props))
+	for k, v := range props {
+		out[k] = v
+	}
+	return out
+}
+
+// Props is a convenience constructor for property maps in fixtures:
+// graph.Props("name", graph.StringValue("Moe")).
+// It panics on an odd number of arguments or a non-string key.
+func Props(kv ...any) map[string]Value {
+	if len(kv)%2 != 0 {
+		panic("graph.Props: odd number of arguments")
+	}
+	m := make(map[string]Value, len(kv)/2)
+	for i := 0; i < len(kv); i += 2 {
+		k, ok := kv[i].(string)
+		if !ok {
+			panic(fmt.Sprintf("graph.Props: key %v is not a string", kv[i]))
+		}
+		switch v := kv[i+1].(type) {
+		case Value:
+			m[k] = v
+		case string:
+			m[k] = StringValue(v)
+		case int:
+			m[k] = IntValue(int64(v))
+		case int64:
+			m[k] = IntValue(v)
+		case float64:
+			m[k] = FloatValue(v)
+		case bool:
+			m[k] = BoolValue(v)
+		default:
+			panic(fmt.Sprintf("graph.Props: unsupported value type %T", kv[i+1]))
+		}
+	}
+	return m
+}

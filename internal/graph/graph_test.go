@@ -1,0 +1,238 @@
+package graph
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func buildSample(t *testing.T) *Graph {
+	t.Helper()
+	b := NewBuilder()
+	b.AddNode("n1", "Person", Props("name", "Moe", "age", 40))
+	b.AddNode("n2", "Person", Props("name", "Apu"))
+	b.AddNode("n3", "Message", Props("content", "hi", "score", 4.5))
+	b.AddEdge("e1", "n1", "n2", "Knows", Props("since", 2010))
+	b.AddEdge("e2", "n1", "n3", "Likes", nil)
+	b.AddEdge("e3", "n3", "n2", "Has_creator", nil)
+	g, err := b.Build()
+	if err != nil {
+		t.Fatalf("Build: %v", err)
+	}
+	return g
+}
+
+func TestBuilderCounts(t *testing.T) {
+	g := buildSample(t)
+	if g.NumNodes() != 3 {
+		t.Errorf("NumNodes = %d, want 3", g.NumNodes())
+	}
+	if g.NumEdges() != 3 {
+		t.Errorf("NumEdges = %d, want 3", g.NumEdges())
+	}
+}
+
+func TestNodeLookup(t *testing.T) {
+	g := buildSample(t)
+	n, ok := g.NodeByKey("n1")
+	if !ok {
+		t.Fatal("NodeByKey(n1) not found")
+	}
+	if n.Label != "Person" {
+		t.Errorf("label = %q, want Person", n.Label)
+	}
+	if got := g.NodeProp(n.ID, "name"); got.Str() != "Moe" {
+		t.Errorf("name = %v, want Moe", got)
+	}
+	if got := g.NodeProp(n.ID, "missing"); !got.IsNull() {
+		t.Errorf("missing prop = %v, want null", got)
+	}
+	if _, ok := g.NodeByKey("nope"); ok {
+		t.Error("NodeByKey(nope) should not be found")
+	}
+}
+
+func TestEdgeLookupAndEndpoints(t *testing.T) {
+	g := buildSample(t)
+	e, ok := g.EdgeByKey("e1")
+	if !ok {
+		t.Fatal("EdgeByKey(e1) not found")
+	}
+	src, dst := g.Endpoints(e.ID)
+	if g.Node(src).Key != "n1" || g.Node(dst).Key != "n2" {
+		t.Errorf("endpoints = %s→%s, want n1→n2", g.Node(src).Key, g.Node(dst).Key)
+	}
+	if got := g.EdgeProp(e.ID, "since"); got.Int() != 2010 {
+		t.Errorf("since = %v, want 2010", got)
+	}
+}
+
+func TestAdjacency(t *testing.T) {
+	g := buildSample(t)
+	n1, _ := g.NodeByKey("n1")
+	if got := len(g.Out(n1.ID)); got != 2 {
+		t.Errorf("out-degree of n1 = %d, want 2", got)
+	}
+	n2, _ := g.NodeByKey("n2")
+	if got := len(g.In(n2.ID)); got != 2 {
+		t.Errorf("in-degree of n2 = %d, want 2", got)
+	}
+	if got := len(g.Out(n2.ID)); got != 0 {
+		t.Errorf("out-degree of n2 = %d, want 0", got)
+	}
+}
+
+func TestLabelIndexes(t *testing.T) {
+	g := buildSample(t)
+	if got := len(g.NodesWithLabel("Person")); got != 2 {
+		t.Errorf("Person nodes = %d, want 2", got)
+	}
+	if got := len(g.EdgesWithLabel("Knows")); got != 1 {
+		t.Errorf("Knows edges = %d, want 1", got)
+	}
+	if got := len(g.EdgesWithLabel("Nope")); got != 0 {
+		t.Errorf("Nope edges = %d, want 0", got)
+	}
+	want := []string{"Has_creator", "Knows", "Likes", "Message", "Person"}
+	got := g.Labels()
+	if len(got) != len(want) {
+		t.Fatalf("Labels() = %v, want %v", got, want)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Errorf("Labels()[%d] = %q, want %q", i, got[i], want[i])
+		}
+	}
+}
+
+func TestBuilderErrors(t *testing.T) {
+	tests := []struct {
+		name  string
+		build func(b *Builder)
+		want  string
+	}{
+		{
+			name: "duplicate node key",
+			build: func(b *Builder) {
+				b.AddNode("x", "", nil)
+				b.AddNode("x", "", nil)
+			},
+			want: "duplicate node key",
+		},
+		{
+			name: "duplicate edge key",
+			build: func(b *Builder) {
+				b.AddNode("a", "", nil)
+				b.AddNode("b", "", nil)
+				b.AddEdge("e", "a", "b", "", nil)
+				b.AddEdge("e", "a", "b", "", nil)
+			},
+			want: "duplicate edge key",
+		},
+		{
+			name: "unknown source",
+			build: func(b *Builder) {
+				b.AddNode("a", "", nil)
+				b.AddEdge("e", "missing", "a", "", nil)
+			},
+			want: "unknown source",
+		},
+		{
+			name: "unknown target",
+			build: func(b *Builder) {
+				b.AddNode("a", "", nil)
+				b.AddEdge("e", "a", "missing", "", nil)
+			},
+			want: "unknown target",
+		},
+		{
+			name: "node/edge key clash",
+			build: func(b *Builder) {
+				b.AddNode("a", "", nil)
+				b.AddNode("b", "", nil)
+				b.AddEdge("a", "a", "b", "", nil)
+			},
+			want: "both a node and an edge",
+		},
+	}
+	for _, tc := range tests {
+		t.Run(tc.name, func(t *testing.T) {
+			b := NewBuilder()
+			tc.build(b)
+			_, err := b.Build()
+			if err == nil {
+				t.Fatal("Build succeeded, want error")
+			}
+			if !strings.Contains(err.Error(), tc.want) {
+				t.Errorf("error %q does not mention %q", err, tc.want)
+			}
+		})
+	}
+}
+
+func TestJSONRoundTrip(t *testing.T) {
+	g := buildSample(t)
+	var buf bytes.Buffer
+	if err := g.WriteJSON(&buf); err != nil {
+		t.Fatalf("WriteJSON: %v", err)
+	}
+	g2, err := ReadJSON(&buf)
+	if err != nil {
+		t.Fatalf("ReadJSON: %v", err)
+	}
+	if g2.NumNodes() != g.NumNodes() || g2.NumEdges() != g.NumEdges() {
+		t.Fatalf("round trip size mismatch: %d/%d vs %d/%d",
+			g2.NumNodes(), g2.NumEdges(), g.NumNodes(), g.NumEdges())
+	}
+	n, ok := g2.NodeByKey("n1")
+	if !ok {
+		t.Fatal("n1 lost in round trip")
+	}
+	if got := g2.NodeProp(n.ID, "age"); got.Int() != 40 {
+		t.Errorf("age after round trip = %v, want 40", got)
+	}
+	m, _ := g2.NodeByKey("n3")
+	if got := g2.NodeProp(m.ID, "score"); got.Float() != 4.5 {
+		t.Errorf("score after round trip = %v, want 4.5", got)
+	}
+	e, _ := g2.EdgeByKey("e1")
+	if got := g2.EdgeProp(e.ID, "since"); got.Int() != 2010 {
+		t.Errorf("since after round trip = %v, want 2010", got)
+	}
+}
+
+func TestReadJSONErrors(t *testing.T) {
+	cases := []string{
+		`{`,
+		`{"nodes":[{"key":"a"}],"edges":[{"key":"e","src":"a","dst":"zzz"}]}`,
+		`{"nodes":[{"key":"a","props":{"p":{"kind":"alien"}}}],"edges":[]}`,
+		`{"nodes":[{"key":"a","props":{"p":{"kind":"int"}}}],"edges":[]}`,
+	}
+	for i, src := range cases {
+		if _, err := ReadJSON(strings.NewReader(src)); err == nil {
+			t.Errorf("case %d: ReadJSON succeeded, want error", i)
+		}
+	}
+}
+
+func TestPropsHelper(t *testing.T) {
+	m := Props("s", "str", "i", 7, "i64", int64(8), "f", 1.5, "b", true, "v", IntValue(9))
+	if m["s"].Str() != "str" || m["i"].Int() != 7 || m["i64"].Int() != 8 ||
+		m["f"].Float() != 1.5 || !m["b"].Bool() || m["v"].Int() != 9 {
+		t.Errorf("Props built %v", m)
+	}
+	for _, bad := range []func(){
+		func() { Props("odd") },
+		func() { Props(1, 2) },
+		func() { Props("k", struct{}{}) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Error("Props should panic on invalid input")
+				}
+			}()
+			bad()
+		}()
+	}
+}

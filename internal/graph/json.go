@@ -1,0 +1,158 @@
+package graph
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+)
+
+// jsonValue is the wire form of a property value.
+type jsonValue struct {
+	Kind  string   `json:"kind"`
+	Str   *string  `json:"str,omitempty"`
+	Int   *int64   `json:"int,omitempty"`
+	Float *float64 `json:"float,omitempty"`
+	Bool  *bool    `json:"bool,omitempty"`
+}
+
+type jsonNode struct {
+	Key   string               `json:"key"`
+	Label string               `json:"label,omitempty"`
+	Props map[string]jsonValue `json:"props,omitempty"`
+}
+
+type jsonEdge struct {
+	Key   string               `json:"key"`
+	Src   string               `json:"src"`
+	Dst   string               `json:"dst"`
+	Label string               `json:"label,omitempty"`
+	Props map[string]jsonValue `json:"props,omitempty"`
+}
+
+type jsonGraph struct {
+	Nodes []jsonNode `json:"nodes"`
+	Edges []jsonEdge `json:"edges"`
+}
+
+func toJSONValue(v Value) jsonValue {
+	switch v.Kind {
+	case KindString:
+		s := v.Str()
+		return jsonValue{Kind: "string", Str: &s}
+	case KindInt:
+		i := v.Int()
+		return jsonValue{Kind: "int", Int: &i}
+	case KindFloat:
+		f := v.Float()
+		return jsonValue{Kind: "float", Float: &f}
+	case KindBool:
+		b := v.Bool()
+		return jsonValue{Kind: "bool", Bool: &b}
+	default:
+		return jsonValue{Kind: "null"}
+	}
+}
+
+func fromJSONValue(v jsonValue) (Value, error) {
+	switch v.Kind {
+	case "string":
+		if v.Str == nil {
+			return Value{}, fmt.Errorf("graph: string value missing payload")
+		}
+		return StringValue(*v.Str), nil
+	case "int":
+		if v.Int == nil {
+			return Value{}, fmt.Errorf("graph: int value missing payload")
+		}
+		return IntValue(*v.Int), nil
+	case "float":
+		if v.Float == nil {
+			return Value{}, fmt.Errorf("graph: float value missing payload")
+		}
+		return FloatValue(*v.Float), nil
+	case "bool":
+		if v.Bool == nil {
+			return Value{}, fmt.Errorf("graph: bool value missing payload")
+		}
+		return BoolValue(*v.Bool), nil
+	case "null", "":
+		return Null(), nil
+	default:
+		return Value{}, fmt.Errorf("graph: unknown value kind %q", v.Kind)
+	}
+}
+
+// WriteJSON serializes the graph as a single JSON document.
+func (g *Graph) WriteJSON(w io.Writer) error {
+	doc := jsonGraph{
+		Nodes: make([]jsonNode, 0, len(g.nodes)),
+		Edges: make([]jsonEdge, 0, len(g.edges)),
+	}
+	for i := range g.nodes {
+		n := &g.nodes[i]
+		jn := jsonNode{Key: n.Key, Label: n.Label}
+		if len(n.Props) > 0 {
+			jn.Props = make(map[string]jsonValue, len(n.Props))
+			for k, v := range n.Props {
+				jn.Props[k] = toJSONValue(v)
+			}
+		}
+		doc.Nodes = append(doc.Nodes, jn)
+	}
+	for i := range g.edges {
+		e := &g.edges[i]
+		je := jsonEdge{Key: e.Key, Src: g.nodes[e.Src].Key, Dst: g.nodes[e.Dst].Key, Label: e.Label}
+		if len(e.Props) > 0 {
+			je.Props = make(map[string]jsonValue, len(e.Props))
+			for k, v := range e.Props {
+				je.Props[k] = toJSONValue(v)
+			}
+		}
+		doc.Edges = append(doc.Edges, je)
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(doc)
+}
+
+// ReadJSON parses a graph previously written by WriteJSON (or authored by
+// hand in the same format).
+func ReadJSON(r io.Reader) (*Graph, error) {
+	var doc jsonGraph
+	dec := json.NewDecoder(r)
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&doc); err != nil {
+		return nil, fmt.Errorf("graph: decoding JSON: %w", err)
+	}
+	b := NewBuilder()
+	for _, n := range doc.Nodes {
+		props, err := decodeProps(n.Props)
+		if err != nil {
+			return nil, fmt.Errorf("graph: node %q: %w", n.Key, err)
+		}
+		b.AddNode(n.Key, n.Label, props)
+	}
+	for _, e := range doc.Edges {
+		props, err := decodeProps(e.Props)
+		if err != nil {
+			return nil, fmt.Errorf("graph: edge %q: %w", e.Key, err)
+		}
+		b.AddEdge(e.Key, e.Src, e.Dst, e.Label, props)
+	}
+	return b.Build()
+}
+
+func decodeProps(in map[string]jsonValue) (map[string]Value, error) {
+	if len(in) == 0 {
+		return nil, nil
+	}
+	out := make(map[string]Value, len(in))
+	for k, jv := range in {
+		v, err := fromJSONValue(jv)
+		if err != nil {
+			return nil, fmt.Errorf("property %q: %w", k, err)
+		}
+		out[k] = v
+	}
+	return out, nil
+}

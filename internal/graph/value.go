@@ -1,0 +1,164 @@
+package graph
+
+import (
+	"fmt"
+	"strconv"
+)
+
+// ValueKind discriminates the dynamic type of a property Value.
+//
+// Go has no sum types, so Value is a tagged struct: exactly one of the
+// payload fields is meaningful, selected by Kind. The zero Value has
+// KindNull, which represents an absent property.
+type ValueKind uint8
+
+const (
+	// KindNull is the absent/undefined value. Comparisons against it are
+	// never true (three-valued-logic style), matching the paper's partial
+	// functions λ and ν.
+	KindNull ValueKind = iota
+	// KindString is a string value.
+	KindString
+	// KindInt is a 64-bit signed integer value.
+	KindInt
+	// KindFloat is a 64-bit floating point value.
+	KindFloat
+	// KindBool is a boolean value.
+	KindBool
+)
+
+// String returns the kind name, for diagnostics.
+func (k ValueKind) String() string {
+	switch k {
+	case KindNull:
+		return "null"
+	case KindString:
+		return "string"
+	case KindInt:
+		return "int"
+	case KindFloat:
+		return "float"
+	case KindBool:
+		return "bool"
+	default:
+		return fmt.Sprintf("ValueKind(%d)", uint8(k))
+	}
+}
+
+// Value is a property value attached to a node or edge (the range of the
+// paper's ν function). The zero Value is Null.
+type Value struct {
+	Kind ValueKind
+	str  string
+	i64  int64
+	f64  float64
+	b    bool
+}
+
+// Null returns the absent value.
+func Null() Value { return Value{} }
+
+// String wraps a string into a Value.
+func StringValue(s string) Value { return Value{Kind: KindString, str: s} }
+
+// IntValue wraps an int64 into a Value.
+func IntValue(i int64) Value { return Value{Kind: KindInt, i64: i} }
+
+// FloatValue wraps a float64 into a Value.
+func FloatValue(f float64) Value { return Value{Kind: KindFloat, f64: f} }
+
+// BoolValue wraps a bool into a Value.
+func BoolValue(b bool) Value { return Value{Kind: KindBool, b: b} }
+
+// IsNull reports whether v is the absent value.
+func (v Value) IsNull() bool { return v.Kind == KindNull }
+
+// Str returns the string payload; valid only when Kind == KindString.
+func (v Value) Str() string { return v.str }
+
+// Int returns the integer payload; valid only when Kind == KindInt.
+func (v Value) Int() int64 { return v.i64 }
+
+// Float returns the float payload; valid only when Kind == KindFloat.
+func (v Value) Float() float64 { return v.f64 }
+
+// Bool returns the boolean payload; valid only when Kind == KindBool.
+func (v Value) Bool() bool { return v.b }
+
+// String renders the value for display and for canonical path keys.
+func (v Value) String() string {
+	switch v.Kind {
+	case KindNull:
+		return "null"
+	case KindString:
+		return v.str
+	case KindInt:
+		return strconv.FormatInt(v.i64, 10)
+	case KindFloat:
+		return strconv.FormatFloat(v.f64, 'g', -1, 64)
+	case KindBool:
+		return strconv.FormatBool(v.b)
+	default:
+		return "?"
+	}
+}
+
+// Equal reports value equality. Int/float cross-comparisons use numeric
+// equality so that a query constant 3 matches a stored 3.0.
+func (v Value) Equal(w Value) bool {
+	c, ok := v.Compare(w)
+	return ok && c == 0
+}
+
+// Compare orders two values. It returns (-1|0|1, true) when the values are
+// comparable (same kind, or int vs float) and (0, false) otherwise.
+// Null is comparable with nothing, including itself.
+func (v Value) Compare(w Value) (int, bool) {
+	switch {
+	case v.Kind == KindNull || w.Kind == KindNull:
+		return 0, false
+	case v.Kind == KindString && w.Kind == KindString:
+		return cmpOrdered(v.str, w.str), true
+	case v.Kind == KindBool && w.Kind == KindBool:
+		return cmpBool(v.b, w.b), true
+	case v.Kind == KindInt && w.Kind == KindInt:
+		return cmpOrdered(v.i64, w.i64), true
+	case v.isNumeric() && w.isNumeric():
+		return cmpOrdered(v.asFloat(), w.asFloat()), true
+	default:
+		return 0, false
+	}
+}
+
+func (v Value) isNumeric() bool { return v.Kind == KindInt || v.Kind == KindFloat }
+
+func (v Value) asFloat() float64 {
+	if v.Kind == KindInt {
+		return float64(v.i64)
+	}
+	return v.f64
+}
+
+func cmpOrdered[T interface {
+	~string | ~int64 | ~float64
+}](a, b T) int {
+	switch {
+	case a < b:
+		return -1
+	case a > b:
+		return 1
+	default:
+		return 0
+	}
+}
+
+func cmpBool(a, b bool) int {
+	switch {
+	case a == b:
+		return 0
+	case !a:
+		return -1
+	default:
+		return 1
+	}
+}

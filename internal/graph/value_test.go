@@ -1,0 +1,130 @@
+package graph
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestValueKinds(t *testing.T) {
+	tests := []struct {
+		v    Value
+		kind ValueKind
+		str  string
+	}{
+		{Null(), KindNull, "null"},
+		{StringValue("x"), KindString, "x"},
+		{IntValue(-3), KindInt, "-3"},
+		{FloatValue(2.5), KindFloat, "2.5"},
+		{BoolValue(true), KindBool, "true"},
+		{BoolValue(false), KindBool, "false"},
+	}
+	for _, tc := range tests {
+		if tc.v.Kind != tc.kind {
+			t.Errorf("%v kind = %v, want %v", tc.v, tc.v.Kind, tc.kind)
+		}
+		if tc.v.String() != tc.str {
+			t.Errorf("String() = %q, want %q", tc.v.String(), tc.str)
+		}
+	}
+	if !Null().IsNull() || StringValue("").IsNull() {
+		t.Error("IsNull misbehaves")
+	}
+}
+
+func TestValueKindString(t *testing.T) {
+	names := map[ValueKind]string{
+		KindNull: "null", KindString: "string", KindInt: "int",
+		KindFloat: "float", KindBool: "bool", ValueKind(99): "ValueKind(99)",
+	}
+	for k, want := range names {
+		if k.String() != want {
+			t.Errorf("%d.String() = %q, want %q", k, k.String(), want)
+		}
+	}
+}
+
+func TestValueCompare(t *testing.T) {
+	tests := []struct {
+		a, b       Value
+		want       int
+		comparable bool
+	}{
+		{StringValue("a"), StringValue("b"), -1, true},
+		{StringValue("b"), StringValue("b"), 0, true},
+		{StringValue("c"), StringValue("b"), 1, true},
+		{IntValue(1), IntValue(2), -1, true},
+		{IntValue(2), IntValue(2), 0, true},
+		{IntValue(3), IntValue(2), 1, true},
+		{IntValue(2), FloatValue(2.0), 0, true},
+		{IntValue(2), FloatValue(2.5), -1, true},
+		{FloatValue(3.0), IntValue(2), 1, true},
+		{BoolValue(false), BoolValue(true), -1, true},
+		{BoolValue(true), BoolValue(true), 0, true},
+		{BoolValue(true), BoolValue(false), 1, true},
+		{Null(), Null(), 0, false},
+		{Null(), IntValue(1), 0, false},
+		{StringValue("1"), IntValue(1), 0, false},
+		{BoolValue(true), IntValue(1), 0, false},
+	}
+	for _, tc := range tests {
+		got, ok := tc.a.Compare(tc.b)
+		if ok != tc.comparable || (ok && got != tc.want) {
+			t.Errorf("Compare(%v, %v) = (%d, %v), want (%d, %v)",
+				tc.a, tc.b, got, ok, tc.want, tc.comparable)
+		}
+	}
+}
+
+func TestValueEqual(t *testing.T) {
+	if !IntValue(3).Equal(FloatValue(3)) {
+		t.Error("3 should equal 3.0")
+	}
+	if IntValue(3).Equal(StringValue("3")) {
+		t.Error("3 should not equal \"3\"")
+	}
+	if Null().Equal(Null()) {
+		t.Error("null should not equal null (absent values)")
+	}
+}
+
+// Property: Compare is antisymmetric over ints and strings.
+func TestValueCompareAntisymmetric(t *testing.T) {
+	f := func(a, b int64) bool {
+		x, okx := IntValue(a).Compare(IntValue(b))
+		y, oky := IntValue(b).Compare(IntValue(a))
+		return okx && oky && x == -y
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+	g := func(a, b string) bool {
+		x, okx := StringValue(a).Compare(StringValue(b))
+		y, oky := StringValue(b).Compare(StringValue(a))
+		return okx && oky && x == -y
+	}
+	if err := quick.Check(g, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: int/float cross-kind comparison agrees with float comparison.
+func TestValueCrossKindConsistent(t *testing.T) {
+	f := func(a int32, b float64) bool {
+		x, ok := IntValue(int64(a)).Compare(FloatValue(b))
+		if !ok {
+			return false
+		}
+		fa := float64(a)
+		switch {
+		case fa < b:
+			return x == -1
+		case fa > b:
+			return x == 1
+		default:
+			return x == 0
+		}
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,76 @@
+package opt
+
+import (
+	"strings"
+	"testing"
+
+	"pathalgebra/internal/core"
+	"pathalgebra/internal/engine"
+	"pathalgebra/internal/ldbc"
+)
+
+func TestDropRedundantRestrictWalk(t *testing.T) {
+	plan := core.Restrict{Sem: core.Walk, In: knowsSel()}
+	res := Optimize(plan)
+	if !applied(res, "drop-redundant-restrict") {
+		t.Fatalf("rule did not fire; applied = %v", res.Applied)
+	}
+	if !core.Equal(res.Plan, knowsSel()) {
+		t.Errorf("ρWalk not removed: %s", res.Plan)
+	}
+}
+
+func TestDropRedundantRestrictOverSameRecursion(t *testing.T) {
+	for _, sem := range []core.Semantics{core.Trail, core.Acyclic, core.Simple, core.Shortest} {
+		plan := core.Restrict{Sem: sem, In: core.Recurse{Sem: sem, In: knowsSel()}}
+		res := Optimize(plan)
+		if _, still := res.Plan.(core.Restrict); still {
+			t.Errorf("ρ%s(ϕ%s) not simplified: %s", sem, sem, res.Plan)
+		}
+	}
+}
+
+func TestKeepRestrictOverDifferentRecursion(t *testing.T) {
+	// ρTrail(ϕWalk(X)) genuinely filters; it must stay.
+	plan := core.Restrict{Sem: core.Trail, In: core.Recurse{Sem: core.Walk, In: knowsSel()}}
+	res := Optimize(plan)
+	if _, ok := res.Plan.(core.Restrict); !ok {
+		t.Errorf("ρTrail over ϕWalk wrongly removed: %s", res.Plan)
+	}
+}
+
+func TestDropIdempotentRestrict(t *testing.T) {
+	plan := core.Restrict{Sem: core.Simple,
+		In: core.Restrict{Sem: core.Simple, In: knowsSel()}}
+	res := Optimize(plan)
+	if strings.Count(res.Plan.String(), "ρSimple") != 1 {
+		t.Errorf("stacked ρSimple not collapsed: %s", res.Plan)
+	}
+}
+
+// TestRestrictSimplificationPreservesResults: the rule is semantics-
+// preserving on composed plans.
+func TestRestrictSimplificationPreservesResults(t *testing.T) {
+	g := ldbc.Figure1()
+	sub := core.Recurse{Sem: core.Trail, In: knowsSel()}
+	plans := []core.PathExpr{
+		core.Restrict{Sem: core.Trail, In: sub},
+		core.Restrict{Sem: core.Walk, In: core.Join{L: sub, R: sub}},
+		core.Restrict{Sem: core.Acyclic, In: core.Restrict{Sem: core.Acyclic, In: sub}},
+	}
+	for _, plan := range plans {
+		want, err := engine.New(g, engine.Options{}).EvalPaths(plan)
+		if err != nil {
+			t.Fatal(err)
+		}
+		res := Optimize(plan)
+		got, err := engine.New(g, engine.Options{}).EvalPaths(res.Plan)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !got.Equal(want) {
+			t.Errorf("%s: simplification changed results (%d vs %d)",
+				plan, got.Len(), want.Len())
+		}
+	}
+}

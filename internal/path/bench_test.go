@@ -1,0 +1,56 @@
+package path
+
+import (
+	"testing"
+
+	"pathalgebra/internal/ldbc"
+)
+
+func BenchmarkConcat(b *testing.B) {
+	g := ldbc.Figure1()
+	p1 := MustFromKeys(g, "n1", "e1", "n2", "e2", "n3", "e3", "n2")
+	p2 := MustFromKeys(g, "n2", "e2", "n3", "e3", "n2", "e4", "n4")
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		p1.Concat(p2)
+	}
+}
+
+func BenchmarkKey(b *testing.B) {
+	g := ldbc.Figure1()
+	p := MustFromKeys(g, "n1", "e1", "n2", "e2", "n3", "e3", "n2", "e4", "n4")
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		_ = p.Key()
+	}
+}
+
+func BenchmarkClassification(b *testing.B) {
+	g := ldbc.Figure1()
+	p := MustFromKeys(g, "n1", "e1", "n2", "e2", "n3", "e3", "n2", "e4", "n4")
+	b.Run("IsTrail", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			p.IsTrail()
+		}
+	})
+	b.Run("IsAcyclic", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			p.IsAcyclic()
+		}
+	})
+	b.Run("IsSimple", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			p.IsSimple()
+		}
+	})
+}
+
+func BenchmarkExtend(b *testing.B) {
+	g := ldbc.Figure1()
+	p := MustFromKeys(g, "n1", "e1", "n2")
+	e4, _ := g.EdgeByKey("e4")
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		p.Extend(g, e4.ID)
+	}
+}

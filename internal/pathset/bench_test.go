@@ -1,0 +1,74 @@
+package pathset
+
+import (
+	"testing"
+
+	"pathalgebra/internal/graph"
+	"pathalgebra/internal/ldbc"
+	"pathalgebra/internal/path"
+)
+
+// benchPaths materializes every 1- and 2-hop path of a synthetic graph.
+func benchPaths(b *testing.B) []path.Path {
+	b.Helper()
+	g := ldbc.MustGenerate(ldbc.Config{
+		Persons: 50, Messages: 50, KnowsPerPerson: 3, LikesPerPerson: 2,
+		CycleFraction: 0.2, Seed: 3,
+	})
+	var out []path.Path
+	for i := 0; i < g.NumEdges(); i++ {
+		p := path.FromEdge(g, graph.EdgeID(i))
+		out = append(out, p)
+		for _, e2 := range g.Out(p.Last()) {
+			out = append(out, p.Extend(g, e2))
+		}
+	}
+	return out
+}
+
+func BenchmarkAdd(b *testing.B) {
+	paths := benchPaths(b)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		s := New(len(paths))
+		for _, p := range paths {
+			s.Add(p)
+		}
+	}
+}
+
+func BenchmarkContains(b *testing.B) {
+	paths := benchPaths(b)
+	s := FromPaths(paths...)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		for _, p := range paths {
+			if !s.Contains(p) {
+				b.Fatal("missing path")
+			}
+		}
+	}
+}
+
+func BenchmarkUnion(b *testing.B) {
+	paths := benchPaths(b)
+	half := len(paths) / 2
+	s1 := FromPaths(paths[:half]...)
+	s2 := FromPaths(paths[half/2:]...)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		Union(s1, s2)
+	}
+}
+
+func BenchmarkSorted(b *testing.B) {
+	s := FromPaths(benchPaths(b)...)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		s.Sorted()
+	}
+}

@@ -1,0 +1,170 @@
+// Package pathset provides the central data structure of the path algebra:
+// a duplicate-free set of paths. Every core and recursive algebra operator
+// consumes and produces values of this type (the algebra is closed under
+// sets of paths, §3), which is what gives the algebra composability.
+//
+// Iteration order is insertion order, so evaluation is deterministic; Sort
+// re-orders into the canonical (length, sequence) order used for output.
+package pathset
+
+import (
+	"sort"
+	"strings"
+
+	"pathalgebra/internal/graph"
+	"pathalgebra/internal/path"
+)
+
+// Set is an ordered, duplicate-free collection of paths. The zero Set is
+// empty and ready to use, but New pre-sizes the index.
+type Set struct {
+	paths []path.Path
+	index map[string]struct{}
+}
+
+// New returns an empty set with capacity for n paths.
+func New(n int) *Set {
+	return &Set{
+		paths: make([]path.Path, 0, n),
+		index: make(map[string]struct{}, n),
+	}
+}
+
+// FromPaths builds a set from the given paths, dropping duplicates.
+func FromPaths(ps ...path.Path) *Set {
+	s := New(len(ps))
+	for _, p := range ps {
+		s.Add(p)
+	}
+	return s
+}
+
+// Len returns the number of distinct paths.
+func (s *Set) Len() int { return len(s.paths) }
+
+// Add inserts p unless an equal path is present. It reports whether the
+// path was newly inserted.
+func (s *Set) Add(p path.Path) bool {
+	if s.index == nil {
+		s.index = make(map[string]struct{})
+	}
+	k := p.Key()
+	if _, dup := s.index[k]; dup {
+		return false
+	}
+	s.index[k] = struct{}{}
+	s.paths = append(s.paths, p)
+	return true
+}
+
+// Contains reports whether an equal path is in the set.
+func (s *Set) Contains(p path.Path) bool {
+	_, ok := s.index[p.Key()]
+	return ok
+}
+
+// Paths returns the underlying slice in insertion order. The slice is
+// shared; callers must not modify it.
+func (s *Set) Paths() []path.Path { return s.paths }
+
+// At returns the i-th path in insertion order.
+func (s *Set) At(i int) path.Path { return s.paths[i] }
+
+// AddAll inserts every path of t into s.
+func (s *Set) AddAll(t *Set) {
+	for _, p := range t.paths {
+		s.Add(p)
+	}
+}
+
+// Union returns a new set containing the paths of s followed by the new
+// paths of t (the algebra's ∪ operator, duplicate-eliminating).
+func Union(s, t *Set) *Set {
+	out := New(s.Len() + t.Len())
+	out.AddAll(s)
+	out.AddAll(t)
+	return out
+}
+
+// Intersect returns the paths present in both sets, in s's order.
+func Intersect(s, t *Set) *Set {
+	out := New(min(s.Len(), t.Len()))
+	for _, p := range s.paths {
+		if t.Contains(p) {
+			out.Add(p)
+		}
+	}
+	return out
+}
+
+// Minus returns the paths of s not present in t, in s's order.
+func Minus(s, t *Set) *Set {
+	out := New(s.Len())
+	for _, p := range s.paths {
+		if !t.Contains(p) {
+			out.Add(p)
+		}
+	}
+	return out
+}
+
+// Filter returns the paths satisfying keep, preserving order.
+func (s *Set) Filter(keep func(path.Path) bool) *Set {
+	out := New(s.Len())
+	for _, p := range s.paths {
+		if keep(p) {
+			out.Add(p)
+		}
+	}
+	return out
+}
+
+// Clone returns an independent copy of the set.
+func (s *Set) Clone() *Set {
+	out := New(s.Len())
+	out.AddAll(s)
+	return out
+}
+
+// Equal reports whether s and t contain exactly the same paths,
+// irrespective of order.
+func (s *Set) Equal(t *Set) bool {
+	if s.Len() != t.Len() {
+		return false
+	}
+	for _, p := range s.paths {
+		if !t.Contains(p) {
+			return false
+		}
+	}
+	return true
+}
+
+// Sort re-orders the set in place into the canonical (length, node
+// sequence, edge sequence) order.
+func (s *Set) Sort() {
+	sort.SliceStable(s.paths, func(i, j int) bool {
+		return path.Compare(s.paths[i], s.paths[j]) < 0
+	})
+}
+
+// Sorted returns a canonical-order copy, leaving s untouched.
+func (s *Set) Sorted() *Set {
+	out := s.Clone()
+	out.Sort()
+	return out
+}
+
+// Format renders the set one path per line in canonical order, using the
+// graph's external keys. Used by tests, the CLI and the papertables tool.
+func (s *Set) Format(g *graph.Graph) string {
+	c := s.Sorted()
+	var sb strings.Builder
+	for i, p := range c.paths {
+		if i > 0 {
+			sb.WriteByte('\n')
+		}
+		sb.WriteString(p.Format(g))
+	}
+	return sb.String()
+}

@@ -1,0 +1,162 @@
+package report
+
+import (
+	"strings"
+	"testing"
+
+	"pathalgebra/internal/ldbc"
+)
+
+func render(t *testing.T, id string) string {
+	t.Helper()
+	var sb strings.Builder
+	if err := Print(&sb, id); err != nil {
+		t.Fatalf("Print(%s): %v", id, err)
+	}
+	return sb.String()
+}
+
+func TestPrintAll(t *testing.T) {
+	out := render(t, "all")
+	for _, a := range Artifacts() {
+		if !strings.Contains(out, a.Title) {
+			t.Errorf("combined output missing %q", a.Title)
+		}
+	}
+}
+
+func TestPrintUnknown(t *testing.T) {
+	var sb strings.Builder
+	if err := Print(&sb, "nope"); err == nil {
+		t.Error("unknown artifact should error")
+	}
+}
+
+// TestTable3Golden pins the Table 3 reproduction row by row against the
+// paper's flags.
+func TestTable3Golden(t *testing.T) {
+	out := render(t, "3")
+	want := []string{
+		"p1   (n1, e1, n2)                                  ✓  ✓  ✓  ✓  ✓",
+		"p2   (n1, e1, n2, e2, n3, e3, n2)                  ✓  ✓",
+		"p3   (n1, e1, n2, e2, n3)                          ✓  ✓  ✓  ✓  ✓",
+		"p4   (n1, e1, n2, e2, n3, e3, n2, e2, n3)          ✓",
+		"p5   (n1, e1, n2, e4, n4)                          ✓  ✓  ✓  ✓  ✓",
+		"p6   (n1, e1, n2, e2, n3, e3, n2, e4, n4)          ✓  ✓",
+		"p7   (n2, e2, n3, e3, n2)                          ✓  ✓     ✓  ✓",
+		"p8   (n2, e2, n3, e3, n2, e2, n3, e3, n2)          ✓",
+		"p9   (n2, e2, n3)                                  ✓  ✓  ✓  ✓  ✓",
+		"p10  (n2, e2, n3, e3, n2, e2, n3)                  ✓",
+		"p11  (n2, e4, n4)                                  ✓  ✓  ✓  ✓  ✓",
+		"p12  (n2, e2, n3, e3, n2, e4, n4)                  ✓  ✓",
+		"p13  (n3, e3, n2, e4, n4)                          ✓  ✓  ✓  ✓  ✓",
+		"p14  (n3, e3, n2, e2, n3, e3, n2, e4, n4)          ✓",
+	}
+	for _, line := range want {
+		if !strings.Contains(out, line) {
+			t.Errorf("Table 3 output missing row %q\ngot:\n%s", line, out)
+		}
+	}
+}
+
+// TestTable7Golden pins the selector translations of Table 7.
+func TestTable7Golden(t *testing.T) {
+	out := render(t, "7")
+	want := []string{
+		"ALL WALK ppe              π(*,*,*)(γ∅(ϕWalk(RE)))",
+		"ANY SHORTEST WALK ppe     π(*,*,1)(τA(γST(ϕWalk(RE))))",
+		"ALL SHORTEST WALK ppe     π(*,1,*)(τG(γSTL(ϕWalk(RE))))",
+		"ANY WALK ppe              π(*,*,1)(γST(ϕWalk(RE)))",
+		"ANY 2 WALK ppe            π(*,*,2)(γST(ϕWalk(RE)))",
+		"SHORTEST 2 WALK ppe       π(*,*,2)(τA(γST(ϕWalk(RE))))",
+		"SHORTEST 2 GROUP WALK ppe π(*,2,*)(τG(γSTL(ϕWalk(RE))))",
+	}
+	for _, line := range want {
+		if !strings.Contains(out, line) {
+			t.Errorf("Table 7 output missing %q\ngot:\n%s", line, out)
+		}
+	}
+}
+
+func TestIntroGolden(t *testing.T) {
+	out := render(t, "intro")
+	for _, line := range []string{
+		"(n1, e1, n2, e4, n4)",
+		"(n1, e8, n6, e11, n3, e7, n7, e10, n4)",
+	} {
+		if !strings.Contains(out, line) {
+			t.Errorf("intro output missing %q", line)
+		}
+	}
+}
+
+func TestFigure5Golden(t *testing.T) {
+	out := render(t, "fig5")
+	// One shortest trail per Knows-closure endpoint pair (9 pairs).
+	if got := strings.Count(out, "(n"); got != 9 {
+		t.Errorf("Figure 5 result lists %d paths, want 9:\n%s", got, out)
+	}
+}
+
+func TestPlan72Golden(t *testing.T) {
+	out := render(t, "plan")
+	want := `Projection (ALL PARTITIONS ALL GROUPS 1 PATHS)
+OrderBy (Path)
+Group (Target)
+Restrictor (TRAIL)
+-> Recursive Join (restrictor: TRAIL)
+  -> Select: (label(edge(1)) = "Knows" , EDGES(G))`
+	if !strings.Contains(out, want) {
+		t.Errorf("§7.2 plan output mismatch:\n%s", out)
+	}
+}
+
+func TestTable2Sizes(t *testing.T) {
+	out := render(t, "2")
+	for _, want := range []string{"TRAIL", "12", "ACYCLIC", "SIMPLE", "SHORTEST"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("Table 2 output missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestTable4Golden(t *testing.T) {
+	out := render(t, "4")
+	for _, want := range []string{
+		"γ∅", "γST", "γSTL", "1 partition, 1 group",
+		"N partitions, M groups per partition",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("Table 4 output missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestTable5Golden(t *testing.T) {
+	out := render(t, "5")
+	for _, want := range []string{"MinL(P)", "MinL(G)", "Len(p)", "(n1, e1, n2)"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("Table 5 output missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestFigure6ShowsRewrite(t *testing.T) {
+	out := render(t, "fig6")
+	if !strings.Contains(out, "before:") || !strings.Contains(out, "pushdown-selection") {
+		t.Errorf("Figure 6 output:\n%s", out)
+	}
+}
+
+func TestFigure1Golden(t *testing.T) {
+	out := render(t, "fig1")
+	g := ldbc.Figure1()
+	if !strings.Contains(out, "7 nodes, 11 edges") {
+		t.Errorf("Figure 1 header wrong:\n%s", out)
+	}
+	for _, e := range g.Edges() {
+		if !strings.Contains(out, e.Key) {
+			t.Errorf("Figure 1 output missing edge %s", e.Key)
+		}
+	}
+}

@@ -1,0 +1,190 @@
+package rpq
+
+import (
+	"fmt"
+	"strings"
+	"unicode"
+)
+
+// Parse parses a regular path expression in the paper's GQL-like syntax:
+//
+//	:Knows+
+//	(:Knows+)|(:Likes/:Has_creator)*
+//	Knows|(Knows/Knows)
+//
+// Grammar (lowest to highest precedence):
+//
+//	alt    := concat ('|' concat)*
+//	concat := postfix ('/' postfix)*
+//	postfix:= atom ('*' | '+' | '?')*
+//	atom   := ':'? label | '-' | '(' alt ')'
+//
+// The leading ':' on labels is optional, matching both the paper's
+// `:Knows` and `Knows` spellings. Labels may be quoted ("Has creator") to
+// include spaces.
+func Parse(input string) (Expr, error) {
+	p := &parser{src: input}
+	p.skipSpace()
+	e, err := p.parseAlt()
+	if err != nil {
+		return nil, err
+	}
+	p.skipSpace()
+	if p.pos < len(p.src) {
+		return nil, fmt.Errorf("rpq: unexpected %q at offset %d", p.src[p.pos], p.pos)
+	}
+	return e, nil
+}
+
+// MustParse is Parse panicking on error, for fixtures and examples.
+func MustParse(input string) Expr {
+	e, err := Parse(input)
+	if err != nil {
+		panic(err)
+	}
+	return e
+}
+
+type parser struct {
+	src string
+	pos int
+}
+
+func (p *parser) skipSpace() {
+	for p.pos < len(p.src) && unicode.IsSpace(rune(p.src[p.pos])) {
+		p.pos++
+	}
+}
+
+func (p *parser) peek() byte {
+	if p.pos < len(p.src) {
+		return p.src[p.pos]
+	}
+	return 0
+}
+
+func (p *parser) parseAlt() (Expr, error) {
+	left, err := p.parseConcat()
+	if err != nil {
+		return nil, err
+	}
+	for {
+		p.skipSpace()
+		if p.peek() != '|' {
+			return left, nil
+		}
+		p.pos++
+		right, err := p.parseConcat()
+		if err != nil {
+			return nil, err
+		}
+		left = Alt{L: left, R: right}
+	}
+}
+
+func (p *parser) parseConcat() (Expr, error) {
+	left, err := p.parsePostfix()
+	if err != nil {
+		return nil, err
+	}
+	for {
+		p.skipSpace()
+		if p.peek() != '/' {
+			return left, nil
+		}
+		p.pos++
+		right, err := p.parsePostfix()
+		if err != nil {
+			return nil, err
+		}
+		left = Concat{L: left, R: right}
+	}
+}
+
+func (p *parser) parsePostfix() (Expr, error) {
+	e, err := p.parseAtom()
+	if err != nil {
+		return nil, err
+	}
+	for {
+		p.skipSpace()
+		switch p.peek() {
+		case '*':
+			p.pos++
+			e = Star{In: e}
+		case '+':
+			p.pos++
+			e = Plus{In: e}
+		case '?':
+			p.pos++
+			e = Opt{In: e}
+		default:
+			return e, nil
+		}
+	}
+}
+
+func (p *parser) parseAtom() (Expr, error) {
+	p.skipSpace()
+	switch c := p.peek(); {
+	case c == '(':
+		p.pos++
+		e, err := p.parseAlt()
+		if err != nil {
+			return nil, err
+		}
+		p.skipSpace()
+		if p.peek() != ')' {
+			return nil, fmt.Errorf("rpq: missing ')' at offset %d", p.pos)
+		}
+		p.pos++
+		return e, nil
+	case c == '-':
+		p.pos++
+		return AnyLabel{}, nil
+	case c == ':':
+		p.pos++
+		return p.parseLabel()
+	case c == '"':
+		return p.parseLabel()
+	case isLabelStart(rune(c)):
+		return p.parseLabel()
+	case c == 0:
+		return nil, fmt.Errorf("rpq: unexpected end of expression")
+	default:
+		return nil, fmt.Errorf("rpq: unexpected %q at offset %d", c, p.pos)
+	}
+}
+
+func (p *parser) parseLabel() (Expr, error) {
+	p.skipSpace()
+	if p.peek() == '"' {
+		p.pos++
+		var sb strings.Builder
+		for p.pos < len(p.src) && p.src[p.pos] != '"' {
+			sb.WriteByte(p.src[p.pos])
+			p.pos++
+		}
+		if p.pos >= len(p.src) {
+			return nil, fmt.Errorf("rpq: unterminated quoted label")
+		}
+		p.pos++
+		if sb.Len() == 0 {
+			return nil, fmt.Errorf("rpq: empty label")
+		}
+		return Label{Name: sb.String()}, nil
+	}
+	start := p.pos
+	for p.pos < len(p.src) && isLabelPart(rune(p.src[p.pos])) {
+		p.pos++
+	}
+	if p.pos == start {
+		return nil, fmt.Errorf("rpq: expected label at offset %d", p.pos)
+	}
+	return Label{Name: p.src[start:p.pos]}, nil
+}
+
+func isLabelStart(r rune) bool { return unicode.IsLetter(r) || r == '_' }
+func isLabelPart(r rune) bool {
+	return unicode.IsLetter(r) || unicode.IsDigit(r) || r == '_'
+}

@@ -1,0 +1,182 @@
+// Package rpq implements regular path expressions — the regex component of
+// regular path queries (§2.3) — and their compilation into path algebra
+// plans with the shapes of the paper's Figures 2–4: a label becomes a
+// selection over Edges(G), concatenation becomes ⋈, alternation becomes ∪,
+// Kleene plus becomes the recursive operator ϕ, and Kleene star becomes
+// ϕ ∪ Nodes(G).
+package rpq
+
+import (
+	"fmt"
+
+	"pathalgebra/internal/cond"
+	"pathalgebra/internal/core"
+)
+
+// Expr is a regular path expression over edge labels.
+type Expr interface {
+	fmt.Stringer
+	isRPQ()
+}
+
+// Label matches a single edge with the given label.
+type Label struct{ Name string }
+
+func (Label) isRPQ() {}
+
+func (l Label) String() string {
+	for _, r := range l.Name {
+		if !isLabelPart(r) {
+			return `:"` + l.Name + `"`
+		}
+	}
+	return ":" + l.Name
+}
+
+// AnyLabel matches a single edge with any label (written "-").
+type AnyLabel struct{}
+
+func (AnyLabel) isRPQ()         {}
+func (AnyLabel) String() string { return "-" }
+
+// Concat matches L followed by R (written L/R).
+type Concat struct{ L, R Expr }
+
+func (Concat) isRPQ() {}
+func (c Concat) String() string {
+	return fmt.Sprintf("%s/%s", parenthesize(c.L, precConcat), parenthesize(c.R, precConcat))
+}
+
+// Alt matches either L or R (written L|R).
+type Alt struct{ L, R Expr }
+
+func (Alt) isRPQ() {}
+func (a Alt) String() string {
+	return fmt.Sprintf("%s|%s", parenthesize(a.L, precAlt), parenthesize(a.R, precAlt))
+}
+
+// Star matches zero or more repetitions of In (written In*).
+type Star struct{ In Expr }
+
+func (Star) isRPQ()           {}
+func (s Star) String() string { return parenthesize(s.In, precPostfix) + "*" }
+
+// Plus matches one or more repetitions of In (written In+).
+type Plus struct{ In Expr }
+
+func (Plus) isRPQ()           {}
+func (p Plus) String() string { return parenthesize(p.In, precPostfix) + "+" }
+
+// Opt matches zero or one occurrence of In (written In?).
+type Opt struct{ In Expr }
+
+func (Opt) isRPQ()           {}
+func (o Opt) String() string { return parenthesize(o.In, precPostfix) + "?" }
+
+const (
+	precAlt = iota
+	precConcat
+	precPostfix
+)
+
+func precedence(e Expr) int {
+	switch e.(type) {
+	case Alt:
+		return precAlt
+	case Concat:
+		return precConcat
+	default:
+		return precPostfix
+	}
+}
+
+func parenthesize(e Expr, min int) string {
+	if precedence(e) < min {
+		return "(" + e.String() + ")"
+	}
+	return e.String()
+}
+
+// Compile translates a regular path expression into a path algebra plan,
+// applying the given path semantics to every recursive operator, as the
+// paper's restrictors do (§5): the restrictor chooses ϕSem uniformly for
+// the whole pattern.
+func Compile(e Expr, sem core.Semantics) core.PathExpr {
+	switch e := e.(type) {
+	case Label:
+		return core.Select{
+			Cond: cond.Label(cond.EdgeAt(1), e.Name),
+			In:   core.Edges{},
+		}
+	case AnyLabel:
+		return core.Edges{}
+	case Concat:
+		return core.Join{L: Compile(e.L, sem), R: Compile(e.R, sem)}
+	case Alt:
+		return core.Union{L: Compile(e.L, sem), R: Compile(e.R, sem)}
+	case Plus:
+		return core.Recurse{Sem: sem, In: Compile(e.In, sem)}
+	case Star:
+		// Figure 4: (Likes/Has_creator)* is ϕ(...) ∪ Nodes(G).
+		return core.Union{
+			L: core.Recurse{Sem: sem, In: Compile(e.In, sem)},
+			R: core.Nodes{},
+		}
+	case Opt:
+		return core.Union{L: Compile(e.In, sem), R: core.Nodes{}}
+	case nil:
+		panic("rpq: Compile of nil expression")
+	default:
+		panic(fmt.Sprintf("rpq: unknown expression type %T", e))
+	}
+}
+
+// HasRecursion reports whether the expression contains * or +, i.e.
+// whether its compiled plan contains a recursive operator.
+func HasRecursion(e Expr) bool {
+	switch e := e.(type) {
+	case Label, AnyLabel, nil:
+		return false
+	case Concat:
+		return HasRecursion(e.L) || HasRecursion(e.R)
+	case Alt:
+		return HasRecursion(e.L) || HasRecursion(e.R)
+	case Star, Plus:
+		return true
+	case Opt:
+		return HasRecursion(e.In)
+	default:
+		return false
+	}
+}
+
+// Labels returns the distinct edge labels mentioned by the expression, in
+// first-occurrence order.
+func Labels(e Expr) []string {
+	var out []string
+	seen := make(map[string]bool)
+	var walk func(Expr)
+	walk = func(e Expr) {
+		switch e := e.(type) {
+		case Label:
+			if !seen[e.Name] {
+				seen[e.Name] = true
+				out = append(out, e.Name)
+			}
+		case Concat:
+			walk(e.L)
+			walk(e.R)
+		case Alt:
+			walk(e.L)
+			walk(e.R)
+		case Star:
+			walk(e.In)
+		case Plus:
+			walk(e.In)
+		case Opt:
+			walk(e.In)
+		}
+	}
+	walk(e)
+	return out
+}

@@ -1,0 +1,241 @@
+package rpq
+
+import (
+	"strings"
+	"testing"
+
+	"pathalgebra/internal/core"
+)
+
+func TestParseShapes(t *testing.T) {
+	tests := []struct {
+		in   string
+		want string // canonical String rendering
+	}{
+		{":Knows", ":Knows"},
+		{"Knows", ":Knows"},
+		{":Knows+", ":Knows+"},
+		{":Knows*", ":Knows*"},
+		{":Knows?", ":Knows?"},
+		{"-", "-"},
+		{":A/:B", ":A/:B"},
+		{":A|:B", ":A|:B"},
+		{"(:A/:B)+", "(:A/:B)+"},
+		{"(:Knows+)|(:Likes/:Has_creator)*", ":Knows+|(:Likes/:Has_creator)*"},
+		{":A/:B/:C", ":A/:B/:C"},
+		{":A|:B|:C", ":A|:B|:C"},
+		{":A/(:B|:C)", ":A/(:B|:C)"},
+		{"(:A|:B)/:C", "(:A|:B)/:C"},
+		{`"Has creator"`, `:"Has creator"`},
+		{`:"Has creator"`, `:"Has creator"`},
+		{":A++", ":A++"},
+		{" :A / :B ", ":A/:B"},
+		{":A?*", ":A?*"},
+	}
+	for _, tc := range tests {
+		e, err := Parse(tc.in)
+		if err != nil {
+			t.Errorf("Parse(%q): %v", tc.in, err)
+			continue
+		}
+		if got := e.String(); got != tc.want {
+			t.Errorf("Parse(%q).String() = %q, want %q", tc.in, got, tc.want)
+		}
+		// The canonical rendering must re-parse to the same shape.
+		e2, err := Parse(e.String())
+		if err != nil {
+			t.Errorf("re-Parse(%q): %v", e.String(), err)
+			continue
+		}
+		if e2.String() != e.String() {
+			t.Errorf("canonical form unstable: %q -> %q", e.String(), e2.String())
+		}
+	}
+}
+
+func TestParsePrecedence(t *testing.T) {
+	// | binds loosest, / tighter, postfix tightest: :A|:B/:C+ is
+	// Alt(A, Concat(B, Plus(C))).
+	e := MustParse(":A|:B/:C+")
+	alt, ok := e.(Alt)
+	if !ok {
+		t.Fatalf("top = %T, want Alt", e)
+	}
+	if _, ok := alt.L.(Label); !ok {
+		t.Errorf("left of | = %T, want Label", alt.L)
+	}
+	concat, ok := alt.R.(Concat)
+	if !ok {
+		t.Fatalf("right of | = %T, want Concat", alt.R)
+	}
+	if _, ok := concat.R.(Plus); !ok {
+		t.Errorf("right of / = %T, want Plus", concat.R)
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	cases := []string{
+		"", "(", "(:A", ":A|", ":A/", "+", "|:A", ":A)", `":unterminated`,
+		`""`, ":A :B", ":", "()",
+	}
+	for _, in := range cases {
+		if _, err := Parse(in); err == nil {
+			t.Errorf("Parse(%q) succeeded, want error", in)
+		}
+	}
+}
+
+func TestMustParsePanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("MustParse should panic")
+		}
+	}()
+	MustParse("(((")
+}
+
+func TestCompileShapes(t *testing.T) {
+	tests := []struct {
+		in   string
+		want string // core plan rendering
+	}{
+		{":Knows", `σ[label(edge(1)) = "Knows"](Edges(G))`},
+		{"-", "Edges(G)"},
+		{
+			":Knows+",
+			`ϕTrail(σ[label(edge(1)) = "Knows"](Edges(G)))`,
+		},
+		{
+			":Likes/:Has_creator",
+			`(σ[label(edge(1)) = "Likes"](Edges(G)) ⋈ σ[label(edge(1)) = "Has_creator"](Edges(G)))`,
+		},
+		{
+			":A|:B",
+			`(σ[label(edge(1)) = "A"](Edges(G)) ∪ σ[label(edge(1)) = "B"](Edges(G)))`,
+		},
+		{
+			":A*",
+			`(ϕTrail(σ[label(edge(1)) = "A"](Edges(G))) ∪ Nodes(G))`,
+		},
+		{
+			":A?",
+			`(σ[label(edge(1)) = "A"](Edges(G)) ∪ Nodes(G))`,
+		},
+	}
+	for _, tc := range tests {
+		plan := Compile(MustParse(tc.in), core.Trail)
+		if got := plan.String(); got != tc.want {
+			t.Errorf("Compile(%q) = %q, want %q", tc.in, got, tc.want)
+		}
+	}
+}
+
+// TestFigure2PlanShape: the intro query's pattern compiles to the plan of
+// Figure 2 — a union of two recursions, the right one over a join.
+func TestFigure2PlanShape(t *testing.T) {
+	e := MustParse("(:Knows+)|(:Likes/:Has_creator)+")
+	plan := Compile(e, core.Walk)
+	u, ok := plan.(core.Union)
+	if !ok {
+		t.Fatalf("top operator %T, want Union", plan)
+	}
+	l, ok := u.L.(core.Recurse)
+	if !ok {
+		t.Fatalf("left branch %T, want Recurse", u.L)
+	}
+	if _, ok := l.In.(core.Select); !ok {
+		t.Errorf("left recursion input %T, want Select", l.In)
+	}
+	r, ok := u.R.(core.Recurse)
+	if !ok {
+		t.Fatalf("right branch %T, want Recurse", u.R)
+	}
+	if _, ok := r.In.(core.Join); !ok {
+		t.Errorf("right recursion input %T, want Join", r.In)
+	}
+}
+
+// TestFigure4PlanShape: the Kleene-star variant unions Nodes(G) into the
+// right branch, as in Figure 4.
+func TestFigure4PlanShape(t *testing.T) {
+	e := MustParse("(:Knows+)|(:Likes/:Has_creator)*")
+	plan := Compile(e, core.Walk)
+	u, ok := plan.(core.Union)
+	if !ok {
+		t.Fatalf("top operator %T, want Union", plan)
+	}
+	star, ok := u.R.(core.Union)
+	if !ok {
+		t.Fatalf("right branch %T, want Union (ϕ ∪ Nodes)", u.R)
+	}
+	if _, ok := star.R.(core.Nodes); !ok {
+		t.Errorf("star's right operand %T, want Nodes", star.R)
+	}
+	if s := plan.String(); !strings.Contains(s, "Nodes(G)") {
+		t.Errorf("plan rendering lacks Nodes(G): %s", s)
+	}
+}
+
+func TestCompileAppliesSemanticsUniformly(t *testing.T) {
+	e := MustParse("(:A+/:B+)+")
+	plan := Compile(e, core.Acyclic)
+	count := 0
+	var walk func(p core.PathExpr)
+	walk = func(p core.PathExpr) {
+		switch p := p.(type) {
+		case core.Recurse:
+			count++
+			if p.Sem != core.Acyclic {
+				t.Errorf("nested recursion uses %v, want Acyclic", p.Sem)
+			}
+			walk(p.In)
+		case core.Select:
+			walk(p.In)
+		case core.Join:
+			walk(p.L)
+			walk(p.R)
+		case core.Union:
+			walk(p.L)
+			walk(p.R)
+		}
+	}
+	walk(plan)
+	if count != 3 {
+		t.Errorf("found %d recursions, want 3", count)
+	}
+}
+
+func TestHasRecursion(t *testing.T) {
+	tests := map[string]bool{
+		":A":        false,
+		":A/:B":     false,
+		":A|:B":     false,
+		":A?":       false,
+		":A+":       true,
+		":A*":       true,
+		":A/(:B+)":  true,
+		"(:A|:B+)?": true,
+		"-":         false,
+	}
+	for in, want := range tests {
+		if got := HasRecursion(MustParse(in)); got != want {
+			t.Errorf("HasRecursion(%q) = %v, want %v", in, got, want)
+		}
+	}
+}
+
+func TestLabels(t *testing.T) {
+	got := Labels(MustParse("(:Knows+)|(:Likes/:Has_creator)*|:Knows"))
+	want := []string{"Knows", "Likes", "Has_creator"}
+	if len(got) != len(want) {
+		t.Fatalf("Labels = %v, want %v", got, want)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Errorf("Labels[%d] = %q, want %q", i, got[i], want[i])
+		}
+	}
+	if ls := Labels(MustParse("-")); len(ls) != 0 {
+		t.Errorf("Labels(-) = %v, want empty", ls)
+	}
+}
