@@ -219,8 +219,8 @@ func cmdRun(args []string) error {
 	}
 	if *qf.stats {
 		s := eng.Stats()
-		fmt.Printf("stats: paths=%d joinProbes=%d indexedScans=%d recursions=%d\n",
-			s.PathsProduced, s.JoinProbes, s.IndexedScans, s.Recursions)
+		fmt.Printf("stats: paths=%d joinProbes=%d indexedScans=%d recursions=%d fpCollisions=%d\n",
+			s.PathsProduced, s.JoinProbes, s.IndexedScans, s.Recursions, s.FingerprintCollisions)
 	}
 	return nil
 }

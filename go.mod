@@ -1,0 +1,3 @@
+module pathalgebra
+
+go 1.22

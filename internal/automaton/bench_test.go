@@ -48,3 +48,19 @@ func BenchmarkEvalTwoLabelPattern(b *testing.B) {
 		}
 	}
 }
+
+// BenchmarkEvalShortestOnly isolates the scratch-reusing shortest-path
+// evaluator (one BFS + enumeration per source node).
+func BenchmarkEvalShortestOnly(b *testing.B) {
+	g := ldbc.MustGenerate(ldbc.Config{
+		Persons: 30, Messages: 40, KnowsPerPerson: 2, LikesPerPerson: 2,
+		CycleFraction: 0.3, Seed: 8,
+	})
+	nfa := automaton.Build(rpq.MustParse("(:Likes/:Has_creator)+"))
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := automaton.Eval(g, nfa, core.Shortest, core.Limits{}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

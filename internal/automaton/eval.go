@@ -2,13 +2,33 @@ package automaton
 
 import (
 	"fmt"
-	"strconv"
 
 	"pathalgebra/internal/core"
 	"pathalgebra/internal/graph"
 	"pathalgebra/internal/path"
 	"pathalgebra/internal/pathset"
 )
+
+// visitedSet is the product search's mark set of (path, NFA state) pairs:
+// one fingerprint-indexed pathset.Set per state, so the identity check —
+// fingerprint bucket plus exact-Equal fallback on collision — lives in a
+// single place and no key strings are materialized.
+type visitedSet []*pathset.Set
+
+func newVisitedSet(nfa *NFA, capacity int) visitedSet {
+	v := make(visitedSet, nfa.NumStates())
+	for s := range v {
+		if s == 0 {
+			v[s] = pathset.New(capacity)
+		} else {
+			v[s] = pathset.New(0)
+		}
+	}
+	return v
+}
+
+// mark records (p, s) and reports whether the pair was new.
+func (v visitedSet) mark(p path.Path, s StateID) bool { return v[s].Add(p) }
 
 // Eval evaluates the regular path query described by the automaton over
 // every pair of endpoints in g, returning the matching paths under the
@@ -40,20 +60,15 @@ func Eval(g *graph.Graph, nfa *NFA, sem core.Semantics, lim core.Limits) (*paths
 		p     path.Path
 		state StateID
 	}
-	var frontier []item
-	visited := make(map[string]struct{})
-	mark := func(p path.Path, s StateID) bool {
-		k := p.Key() + "#" + strconv.Itoa(int(s))
-		if _, dup := visited[k]; dup {
-			return false
-		}
-		visited[k] = struct{}{}
-		return true
-	}
+	frontier := make([]item, 0, g.NumNodes())
+	// next is swapped with frontier after each BFS level, so item storage
+	// is reused across levels instead of reallocated.
+	next := make([]item, 0, g.NumNodes())
+	visited := newVisitedSet(nfa, g.NumNodes())
 
 	for i := 0; i < g.NumNodes(); i++ {
 		p := path.FromNode(graph.NodeID(i))
-		if mark(p, 0) {
+		if visited.mark(p, 0) {
 			frontier = append(frontier, item{p: p, state: 0})
 		}
 		if nfa.AcceptsEmpty() {
@@ -65,7 +80,7 @@ func Eval(g *graph.Graph, nfa *NFA, sem core.Semantics, lim core.Limits) (*paths
 	}
 
 	for len(frontier) > 0 {
-		var next []item
+		next = next[:0]
 		for _, it := range frontier {
 			if lim.MaxLen > 0 && it.p.Len() >= lim.MaxLen {
 				continue
@@ -86,7 +101,7 @@ func Eval(g *graph.Graph, nfa *NFA, sem core.Semantics, lim core.Limits) (*paths
 							return
 						}
 					}
-					if extend && mark(np, q) {
+					if extend && visited.mark(np, q) {
 						work += np.Len() + 1
 						if work > maxWork {
 							budgetErr = core.ErrBudgetExceeded
@@ -100,7 +115,7 @@ func Eval(g *graph.Graph, nfa *NFA, sem core.Semantics, lim core.Limits) (*paths
 				}
 			}
 		}
-		frontier = next
+		frontier, next = next, frontier
 	}
 	return result, nil
 }
@@ -142,8 +157,14 @@ func evalShortest(g *graph.Graph, nfa *NFA, lim core.Limits) (*pathset.Set, erro
 		maxPaths = core.DefaultMaxPaths
 	}
 	result := pathset.New(g.NumNodes())
+	// One scratch area serves every source: the per-source maps and stacks
+	// are cleared, not reallocated, between the NumNodes searches.
+	scratch := &shortestScratch{
+		dist:   make(map[productState]int32, g.NumNodes()),
+		minAcc: make(map[graph.NodeID]int32, g.NumNodes()),
+	}
 	for s := 0; s < g.NumNodes(); s++ {
-		if err := shortestFrom(g, nfa, graph.NodeID(s), lim.MaxLen, maxPaths, result); err != nil {
+		if err := shortestFrom(g, nfa, graph.NodeID(s), lim.MaxLen, maxPaths, result, scratch); err != nil {
 			return result, err
 		}
 	}
@@ -155,14 +176,31 @@ type productState struct {
 	state StateID
 }
 
-func shortestFrom(g *graph.Graph, nfa *NFA, src graph.NodeID, maxLen, maxPaths int, result *pathset.Set) error {
+// shortestScratch holds the per-source working storage of shortestFrom so
+// consecutive sources reuse it instead of reallocating.
+type shortestScratch struct {
+	dist           map[productState]int32
+	minAcc         map[graph.NodeID]int32
+	frontier, next []productState
+	work           []shortestItem
+}
+
+type shortestItem struct {
+	p     path.Path
+	state StateID
+}
+
+func shortestFrom(g *graph.Graph, nfa *NFA, src graph.NodeID, maxLen, maxPaths int, result *pathset.Set, sc *shortestScratch) error {
 	// Phase 1: BFS distances over the product space.
-	dist := map[productState]int{{node: src, state: 0}: 0}
-	frontier := []productState{{node: src, state: 0}}
-	depth := 0
-	for len(frontier) > 0 && (maxLen <= 0 || depth < maxLen) {
+	clear(sc.dist)
+	dist := sc.dist
+	dist[productState{node: src, state: 0}] = 0
+	frontier := append(sc.frontier[:0], productState{node: src, state: 0})
+	next := sc.next[:0]
+	depth := int32(0)
+	for len(frontier) > 0 && (maxLen <= 0 || int(depth) < maxLen) {
 		depth++
-		var next []productState
+		next = next[:0]
 		for _, ps := range frontier {
 			for _, eid := range g.Out(ps.node) {
 				label := g.EdgeLabel(eid)
@@ -176,12 +214,14 @@ func shortestFrom(g *graph.Graph, nfa *NFA, src graph.NodeID, maxLen, maxPaths i
 				})
 			}
 		}
-		frontier = next
+		frontier, next = next, frontier
 	}
+	sc.frontier, sc.next = frontier, next
 
 	// minAcc is the per-target minimum over accepting states — the length
 	// of the shortest matching path src→target.
-	minAcc := make(map[graph.NodeID]int)
+	clear(sc.minAcc)
+	minAcc := sc.minAcc
 	for ps, d := range dist {
 		if !nfa.Accepting(ps.state) {
 			continue
@@ -196,18 +236,15 @@ func shortestFrom(g *graph.Graph, nfa *NFA, src graph.NodeID, maxLen, maxPaths i
 
 	// Phase 2: enumerate all paths that are shortest product walks at
 	// every prefix; admit those reaching their target at its minimum.
-	type item struct {
-		p     path.Path
-		state StateID
-	}
-	work := []item{{p: path.FromNode(src), state: 0}}
+	work := append(sc.work[:0], shortestItem{p: path.FromNode(src), state: 0})
 	for len(work) > 0 {
 		it := work[len(work)-1]
 		work = work[:len(work)-1]
 		if nfa.Accepting(it.state) {
-			if m, ok := minAcc[it.p.Last()]; ok && it.p.Len() == m {
+			if m, ok := minAcc[it.p.Last()]; ok && it.p.Len() == int(m) {
 				result.Add(it.p)
 				if result.Len() > maxPaths {
+					sc.work = work
 					return fmt.Errorf("automaton: %w", core.ErrBudgetExceeded)
 				}
 			}
@@ -217,11 +254,12 @@ func shortestFrom(g *graph.Graph, nfa *NFA, src graph.NodeID, maxLen, maxPaths i
 			_, dst := g.Endpoints(eid)
 			nfa.Visit(it.state, label, func(q StateID) {
 				nps := productState{node: dst, state: q}
-				if d, ok := dist[nps]; ok && d == it.p.Len()+1 {
-					work = append(work, item{p: it.p.Extend(g, eid), state: q})
+				if d, ok := dist[nps]; ok && int(d) == it.p.Len()+1 {
+					work = append(work, shortestItem{p: it.p.Extend(g, eid), state: q})
 				}
 			})
 		}
 	}
+	sc.work = work
 	return nil
 }

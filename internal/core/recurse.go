@@ -100,14 +100,17 @@ func EvalRecurse(sem Semantics, base *pathset.Set, lim Limits) (*pathset.Set, er
 		}
 	}
 
-	byFirst := indexByFirst(admissible)
+	basePaths := admissible.Paths()
+	byFirst := indexByFirst(basePaths)
 
-	frontier := append([]path.Path(nil), admissible.Paths()...)
+	frontier := append([]path.Path(nil), basePaths...)
+	// next reuses its storage across rounds via the swap below.
+	next := make([]path.Path, 0, len(frontier))
 	for len(frontier) > 0 {
-		var next []path.Path
+		next = next[:0]
 		for _, p := range frontier {
-			for _, b := range byFirst[p.Last()] {
-				q := p.Concat(b)
+			for _, bi := range byFirst[p.Last()] {
+				q := p.Concat(basePaths[bi])
 				if !lim.withinLen(q) || !sem.Admits(q) {
 					continue
 				}
@@ -119,21 +122,22 @@ func EvalRecurse(sem Semantics, base *pathset.Set, lim Limits) (*pathset.Set, er
 				}
 			}
 		}
-		frontier = next
+		frontier, next = next, frontier
 	}
 	return result, nil
 }
 
-// indexByFirst indexes the positive-length paths of s by their first node.
-// Zero-length paths are omitted: p ◦ (n) = p, so they never create new
-// paths during expansion (they are already in the result via ϕ0).
-func indexByFirst(s *pathset.Set) map[graph.NodeID][]path.Path {
-	idx := make(map[graph.NodeID][]path.Path)
-	for _, p := range s.Paths() {
+// indexByFirst indexes the positive-length paths of ps by their first node,
+// as positions into ps (cheaper than bucketing path values). Zero-length
+// paths are omitted: p ◦ (n) = p, so they never create new paths during
+// expansion (they are already in the result via ϕ0).
+func indexByFirst(ps []path.Path) map[graph.NodeID][]int32 {
+	idx := make(map[graph.NodeID][]int32)
+	for i, p := range ps {
 		if p.Len() == 0 {
 			continue
 		}
-		idx[p.First()] = append(idx[p.First()], p)
+		idx[p.First()] = append(idx[p.First()], int32(i))
 	}
 	return idx
 }
@@ -173,7 +177,8 @@ func (h *pathHeap) Pop() any {
 // finitely many walks share the minimal length.
 func evalShortest(base *pathset.Set, lim Limits) (*pathset.Set, error) {
 	result := pathset.New(base.Len())
-	byFirst := indexByFirst(base)
+	basePaths := base.Paths()
+	byFirst := indexByFirst(basePaths)
 
 	h := &pathHeap{}
 	visited := pathset.New(base.Len())
@@ -195,8 +200,8 @@ func evalShortest(base *pathset.Set, lim Limits) (*pathset.Set, error) {
 		if result.Add(p) && !bud.charge(p.Len()) {
 			return result, ErrBudgetExceeded
 		}
-		for _, b := range byFirst[p.Last()] {
-			q := p.Concat(b)
+		for _, bi := range byFirst[p.Last()] {
+			q := p.Concat(basePaths[bi])
 			if lim.withinLen(q) && visited.Add(q) {
 				heap.Push(h, q)
 			}

@@ -76,6 +76,13 @@ type Stats struct {
 	// expansion fast path rather than generic closure over a
 	// materialized base set.
 	ExpandedRecursions int64
+	// FingerprintCollisions counts activations of the exact-equality
+	// fallback in fingerprint-bucketed path sets during this engine's
+	// evaluations (measured as the process-wide pathset.Collisions delta,
+	// so concurrent engines see each other's collisions). Nonzero values
+	// are harmless — the fallback preserves exactness — but should be
+	// vanishingly rare.
+	FingerprintCollisions int64
 }
 
 // Engine evaluates plans against one graph. It is not safe for concurrent
@@ -85,21 +92,31 @@ type Engine struct {
 	g     *graph.Graph
 	opts  Options
 	stats Stats
+	// collisionBase is the pathset.Collisions reading at construction (or
+	// last ResetStats); Stats reports the delta since then.
+	collisionBase int64
 }
 
 // New returns an engine over g with the given options.
 func New(g *graph.Graph, opts Options) *Engine {
-	return &Engine{g: g, opts: opts}
+	return &Engine{g: g, opts: opts, collisionBase: pathset.Collisions()}
 }
 
 // Graph returns the engine's graph.
 func (e *Engine) Graph() *graph.Graph { return e.g }
 
 // Stats returns the counters accumulated so far.
-func (e *Engine) Stats() Stats { return e.stats }
+func (e *Engine) Stats() Stats {
+	st := e.stats
+	st.FingerprintCollisions = pathset.Collisions() - e.collisionBase
+	return st
+}
 
 // ResetStats zeroes the counters.
-func (e *Engine) ResetStats() { e.stats = Stats{} }
+func (e *Engine) ResetStats() {
+	e.stats = Stats{}
+	e.collisionBase = pathset.Collisions()
+}
 
 // EvalPaths evaluates a path-sorted expression to a set of paths.
 func (e *Engine) EvalPaths(x core.PathExpr) (*pathset.Set, error) {
@@ -341,16 +358,21 @@ func (e *Engine) nestedLoopJoin(l, r *pathset.Set) *pathset.Set {
 	return out
 }
 
+// hashJoin builds a positional index on First(q) over r and probes it with
+// Last(p) for every p in l. Buckets hold int32 positions into r's path
+// slice rather than path values, and the output set dedupes by fingerprint,
+// so the join materializes no per-pair identity strings at all.
 func (e *Engine) hashJoin(l, r *pathset.Set) *pathset.Set {
-	byFirst := make(map[graph.NodeID][]path.Path, r.Len())
-	for _, q := range r.Paths() {
-		byFirst[q.First()] = append(byFirst[q.First()], q)
+	rp := r.Paths()
+	byFirst := make(map[graph.NodeID][]int32, r.Len())
+	for i, q := range rp {
+		byFirst[q.First()] = append(byFirst[q.First()], int32(i))
 	}
 	out := pathset.New(l.Len())
 	for _, p := range l.Paths() {
-		for _, q := range byFirst[p.Last()] {
+		for _, qi := range byFirst[p.Last()] {
 			e.stats.JoinProbes++
-			out.Add(p.Concat(q))
+			out.Add(p.Concat(rp[qi]))
 		}
 	}
 	return out

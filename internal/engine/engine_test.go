@@ -11,6 +11,7 @@ import (
 	"pathalgebra/internal/gql"
 	"pathalgebra/internal/graph"
 	"pathalgebra/internal/ldbc"
+	"pathalgebra/internal/path"
 	"pathalgebra/internal/pathset"
 	"pathalgebra/internal/rpq"
 )
@@ -358,4 +359,33 @@ func TestOptionsDefaults(t *testing.T) {
 		t.Errorf("default limits should trip on a cyclic walk, got %v", err)
 	}
 	_ = graph.Graph{} // keep graph import for the builder-based tests above
+}
+
+// TestFingerprintCollisionStat checks the observability hook for the
+// fingerprint fallback: a normal evaluation should see no collisions, and
+// the counter must rebase on ResetStats rather than accumulate forever.
+func TestFingerprintCollisionStat(t *testing.T) {
+	g := ldbc.MustGenerate(ldbc.Config{
+		Persons: 20, KnowsPerPerson: 3, CycleFraction: 0.3, Seed: 4,
+	})
+	e := New(g, Options{Limits: core.Limits{MaxLen: 5}})
+	if _, err := e.EvalPaths(rpq.Compile(rpq.MustParse(":Knows+"), core.Trail)); err != nil {
+		t.Fatal(err)
+	}
+	if got := e.Stats().FingerprintCollisions; got != 0 {
+		t.Errorf("FingerprintCollisions = %d on an honest evaluation, want 0", got)
+	}
+	// Force collisions through the shared pathset counter and check the
+	// engine observes exactly the delta since its construction.
+	s := pathset.New(0)
+	figure := ldbc.Figure1()
+	s.Add(path.ForceFingerprint(path.MustFromKeys(figure, "n1", "e1", "n2"), 7))
+	s.Add(path.ForceFingerprint(path.MustFromKeys(figure, "n2", "e2", "n3"), 7))
+	if got := e.Stats().FingerprintCollisions; got != 1 {
+		t.Errorf("FingerprintCollisions = %d after one injected collision, want 1", got)
+	}
+	e.ResetStats()
+	if got := e.Stats().FingerprintCollisions; got != 0 {
+		t.Errorf("FingerprintCollisions = %d after ResetStats, want 0", got)
+	}
 }

@@ -54,3 +54,12 @@ func BenchmarkExtend(b *testing.B) {
 		p.Extend(g, e4.ID)
 	}
 }
+
+func BenchmarkFingerprint(b *testing.B) {
+	g := ldbc.Figure1()
+	p := MustFromKeys(g, "n1", "e1", "n2", "e2", "n3", "e3", "n2", "e4", "n4")
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		_ = p.Fingerprint()
+	}
+}

@@ -1,0 +1,49 @@
+package path
+
+// Fingerprint identity layer: every Path carries a 64-bit structural hash of
+// its identifying sequence (first node, then each edge in order), maintained
+// incrementally by the constructors. Extending a path by one edge mixes in
+// exactly one value instead of rehashing the prefix, so the recursive
+// operators and the product-graph search pay O(1) per step for identity.
+//
+// Fingerprint equality is necessary but not sufficient for path equality:
+// consumers that need exactness (pathset.Set, the automaton's visited set)
+// bucket by fingerprint and fall back to Equal inside a bucket. Key() remains
+// the canonical serialization but is no longer used on hot paths.
+
+// fpSeed separates the start-node hash from the raw identifier space.
+const fpSeed uint64 = 0x9e3779b97f4a7c15
+
+// fpMix is the splitmix64 finalizer: a cheap bijective scrambler with full
+// avalanche, so sequential IDs land in unrelated buckets.
+func fpMix(x uint64) uint64 {
+	x ^= x >> 30
+	x *= 0xbf58476d1ce4e5b9
+	x ^= x >> 27
+	x *= 0x94d049bb133111eb
+	x ^= x >> 31
+	return x
+}
+
+// fpStart is the fingerprint of the length-zero path (n).
+func fpStart(n uint64) uint64 { return fpMix(fpSeed ^ n) }
+
+// fpAppend extends a fingerprint by one edge. XOR-ing the previous state
+// into the mixed edge value makes the hash order-sensitive, matching the
+// sequential identity of paths.
+func fpAppend(fp uint64, e uint64) uint64 { return fpMix(fp ^ fpMix(e+1)) }
+
+// Fingerprint returns the 64-bit structural hash of p. Equal paths always
+// have equal fingerprints; unequal paths collide with probability ~2^-64
+// per pair. The zero path has fingerprint 0.
+func (p Path) Fingerprint() uint64 { return p.fp }
+
+// ForceFingerprint returns a copy of p with its fingerprint overridden.
+// The copy compares Equal to p but hashes to fp, breaking the
+// "equal paths have equal fingerprints" invariant on purpose. It exists
+// solely so tests can inject fingerprint collisions and exercise the
+// Equal fallback in fingerprint-bucketed indexes; never use it otherwise.
+func ForceFingerprint(p Path, fp uint64) Path {
+	p.fp = fp
+	return p
+}

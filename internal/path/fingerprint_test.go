@@ -1,0 +1,127 @@
+package path
+
+import (
+	"math/rand"
+	"testing"
+
+	"pathalgebra/internal/graph"
+	"pathalgebra/internal/ldbc"
+)
+
+// TestZeroPathKeyAndFingerprint is the regression test for the zero-path
+// panic: Path{}.Key() used to index p.nodes[0] out of range. Both identity
+// accessors must return a defined value on the zero value.
+func TestZeroPathKeyAndFingerprint(t *testing.T) {
+	var p Path
+	if got := p.Key(); got != "" {
+		t.Errorf("zero path Key = %q, want \"\"", got)
+	}
+	if got := p.Fingerprint(); got != 0 {
+		t.Errorf("zero path Fingerprint = %d, want 0", got)
+	}
+	// No valid path may share the zero path's identity.
+	g := ldbc.Figure1()
+	q := MustFromKeys(g, "n1")
+	if q.Key() == "" {
+		t.Error("valid path has the zero path's key")
+	}
+	if q.Fingerprint() == 0 {
+		t.Error("valid path has the zero path's fingerprint")
+	}
+}
+
+// TestFingerprintIncremental checks that every constructor agrees on the
+// fingerprint of the same sequence: the incremental Extend/Concat variants
+// must match a from-scratch New of the identical path.
+func TestFingerprintIncremental(t *testing.T) {
+	g := ldbc.Figure1()
+	base := MustFromKeys(g, "n1", "e1", "n2")
+	ext := MustFromKeys(g, "n1", "e1", "n2", "e2", "n3")
+
+	e2, _ := g.EdgeByKey("e2")
+	if got := base.Extend(g, e2.ID).Fingerprint(); got != ext.Fingerprint() {
+		t.Errorf("Extend fingerprint %x != New fingerprint %x", got, ext.Fingerprint())
+	}
+	tail := MustFromKeys(g, "n2", "e2", "n3")
+	if got := base.Concat(tail).Fingerprint(); got != ext.Fingerprint() {
+		t.Errorf("Concat fingerprint %x != New fingerprint %x", got, ext.Fingerprint())
+	}
+	if got := FromEdge(g, e2.ID).Fingerprint(); got != MustFromKeys(g, "n2", "e2", "n3").Fingerprint() {
+		t.Errorf("FromEdge fingerprint %x != New fingerprint %x", got, tail.Fingerprint())
+	}
+	n1, _ := g.NodeByKey("n1")
+	if got := FromNode(n1.ID).Fingerprint(); got != MustFromKeys(g, "n1").Fingerprint() {
+		t.Error("FromNode fingerprint != New fingerprint")
+	}
+}
+
+// randomWalk samples a random walk of up to maxLen edges starting at a
+// random node of g.
+func randomWalk(g *graph.Graph, rng *rand.Rand, maxLen int) Path {
+	p := FromNode(graph.NodeID(rng.Intn(g.NumNodes())))
+	for i := rng.Intn(maxLen + 1); i > 0; i-- {
+		out := g.Out(p.Last())
+		if len(out) == 0 {
+			break
+		}
+		p = p.Extend(g, out[rng.Intn(len(out))])
+	}
+	return p
+}
+
+// TestFingerprintAgreesWithKey is the property test of the identity layer:
+// over randomly generated path families, fingerprint-equality refined by
+// the exact Equal fallback must agree with Key() equality (the canonical
+// serialization) on every pair.
+func TestFingerprintAgreesWithKey(t *testing.T) {
+	g := ldbc.MustGenerate(ldbc.Config{
+		Persons: 20, Messages: 20, KnowsPerPerson: 3, LikesPerPerson: 2,
+		CycleFraction: 0.4, Seed: 99,
+	})
+	rng := rand.New(rand.NewSource(42))
+	paths := make([]Path, 400)
+	for i := range paths {
+		paths[i] = randomWalk(g, rng, 6)
+	}
+	for i, p := range paths {
+		for _, q := range paths[i:] {
+			keyEq := p.Key() == q.Key()
+			fpEq := p.Fingerprint() == q.Fingerprint()
+			structEq := p.Equal(q)
+			if keyEq != structEq {
+				t.Fatalf("Key equality %v but Equal %v for %s vs %s", keyEq, structEq, p, q)
+			}
+			if structEq && !fpEq {
+				t.Fatalf("equal paths with different fingerprints: %s vs %s", p, q)
+			}
+			// The full identity predicate used by fingerprint-bucketed
+			// indexes: same fingerprint AND Equal.
+			if (fpEq && structEq) != keyEq {
+				t.Fatalf("fingerprint+Equal disagrees with Key for %s vs %s", p, q)
+			}
+		}
+	}
+}
+
+// TestForcedCollision checks the deliberate-collision support: distinct
+// paths forced onto one fingerprint must still be distinguished by Equal
+// and by Key.
+func TestForcedCollision(t *testing.T) {
+	g := ldbc.Figure1()
+	a := ForceFingerprint(MustFromKeys(g, "n1", "e1", "n2"), 0xdead)
+	b := ForceFingerprint(MustFromKeys(g, "n2", "e2", "n3"), 0xdead)
+	if a.Fingerprint() != b.Fingerprint() {
+		t.Fatal("ForceFingerprint did not align fingerprints")
+	}
+	if a.Equal(b) {
+		t.Error("distinct paths compare Equal after fingerprint forcing")
+	}
+	if a.Key() == b.Key() {
+		t.Error("distinct paths share a Key after fingerprint forcing")
+	}
+	// Forcing must not disturb the path's content.
+	orig := MustFromKeys(g, "n1", "e1", "n2")
+	if !a.Equal(orig) || a.Key() != orig.Key() {
+		t.Error("ForceFingerprint changed the path's identity sequence")
+	}
+}

@@ -17,21 +17,27 @@ import (
 // Path is an immutable walk through a graph. The zero Path is invalid;
 // construct paths with FromNode, FromEdge or Concat.
 //
-// Invariant: len(nodes) == len(edges)+1 and len(nodes) >= 1.
+// Invariant: len(nodes) == len(edges)+1 and len(nodes) >= 1, and fp is the
+// incremental fingerprint of (nodes[0], edges...); see fingerprint.go.
 type Path struct {
 	nodes []graph.NodeID
 	edges []graph.EdgeID
+	fp    uint64
 }
 
 // FromNode returns the length-zero path (n).
 func FromNode(n graph.NodeID) Path {
-	return Path{nodes: []graph.NodeID{n}}
+	return Path{nodes: []graph.NodeID{n}, fp: fpStart(uint64(n))}
 }
 
 // FromEdge returns the length-one path (src, e, dst).
 func FromEdge(g *graph.Graph, e graph.EdgeID) Path {
 	src, dst := g.Endpoints(e)
-	return Path{nodes: []graph.NodeID{src, dst}, edges: []graph.EdgeID{e}}
+	return Path{
+		nodes: []graph.NodeID{src, dst},
+		edges: []graph.EdgeID{e},
+		fp:    fpAppend(fpStart(uint64(src)), uint64(e)),
+	}
 }
 
 // New builds a path from explicit node and edge sequences, validating the
@@ -47,7 +53,11 @@ func New(g *graph.Graph, nodes []graph.NodeID, edges []graph.EdgeID) (Path, erro
 			return Path{}, fmt.Errorf("path: edge %d (%s) does not connect positions %d-%d", i, g.Edge(e).Key, i, i+1)
 		}
 	}
-	return Path{nodes: append([]graph.NodeID(nil), nodes...), edges: append([]graph.EdgeID(nil), edges...)}, nil
+	fp := fpStart(uint64(nodes[0]))
+	for _, e := range edges {
+		fp = fpAppend(fp, uint64(e))
+	}
+	return Path{nodes: append([]graph.NodeID(nil), nodes...), edges: append([]graph.EdgeID(nil), edges...), fp: fp}, nil
 }
 
 // FromKeys builds a path from the external keys of its alternating
@@ -139,7 +149,11 @@ func (p Path) Concat(q Path) Path {
 	edges := make([]graph.EdgeID, 0, len(p.edges)+len(q.edges))
 	edges = append(edges, p.edges...)
 	edges = append(edges, q.edges...)
-	return Path{nodes: nodes, edges: edges}
+	fp := p.fp
+	for _, e := range q.edges {
+		fp = fpAppend(fp, uint64(e))
+	}
+	return Path{nodes: nodes, edges: edges, fp: fp}
 }
 
 // Extend returns the path p extended by one edge e, whose source must equal
@@ -155,7 +169,7 @@ func (p Path) Extend(g *graph.Graph, e graph.EdgeID) Path {
 	edges := make([]graph.EdgeID, 0, len(p.edges)+1)
 	edges = append(edges, p.edges...)
 	edges = append(edges, e)
-	return Path{nodes: nodes, edges: edges}
+	return Path{nodes: nodes, edges: edges, fp: fpAppend(p.fp, uint64(e))}
 }
 
 // Equal reports whether p and q are the same sequence of identifiers.
@@ -176,10 +190,16 @@ func (p Path) Equal(q Path) bool {
 	return true
 }
 
-// Key returns a canonical byte-string identifying the path, used for
-// duplicate elimination in path sets. Two paths have equal keys iff they
-// are Equal. The edge sequence plus the start node determines the path.
+// Key returns a canonical byte-string identifying the path. Two paths have
+// equal keys iff they are Equal. The edge sequence plus the start node
+// determines the path. Key is the canonical serialization used by tests and
+// reports; duplicate elimination uses Fingerprint instead. The zero path
+// has the empty key (no valid path does: even a length-zero path encodes
+// its node).
 func (p Path) Key() string {
+	if p.IsZero() {
+		return ""
+	}
 	var b []byte
 	b = binary.AppendUvarint(b, uint64(p.nodes[0]))
 	for _, e := range p.edges {

@@ -72,3 +72,21 @@ func BenchmarkSorted(b *testing.B) {
 		s.Sorted()
 	}
 }
+
+// BenchmarkAddColliding measures the worst case of the fingerprint index:
+// every insert lands in one overflowing bucket and pays the linear
+// exact-Equal fallback.
+func BenchmarkAddColliding(b *testing.B) {
+	paths := benchPaths(b)[:200]
+	for i, p := range paths {
+		paths[i] = path.ForceFingerprint(p, 42)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		s := New(len(paths))
+		for _, p := range paths {
+			s.Add(p)
+		}
+	}
+}

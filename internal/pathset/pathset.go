@@ -3,6 +3,13 @@
 // consumes and produces values of this type (the algebra is closed under
 // sets of paths, §3), which is what gives the algebra composability.
 //
+// Duplicate elimination is fingerprint-based: the index maps each path's
+// 64-bit structural hash (path.Fingerprint) to the slice positions of the
+// paths bearing it, and membership falls back to exact path.Equal inside a
+// bucket, so hash collisions cost a comparison but never an answer. No key
+// strings are materialized. Fallback activations are counted process-wide
+// (Collisions) so the collision path stays observable.
+//
 // Iteration order is insertion order, so evaluation is deterministic; Sort
 // re-orders into the canonical (length, sequence) order used for output.
 package pathset
@@ -10,23 +17,40 @@ package pathset
 import (
 	"sort"
 	"strings"
+	"sync/atomic"
 
 	"pathalgebra/internal/graph"
 	"pathalgebra/internal/path"
 )
 
+// collisionCount tallies, process-wide, how many times an insert landed in
+// a non-empty fingerprint bucket — i.e. how often the exact-Equal fallback
+// had to disambiguate. It is a correctness observability hook: a sane run
+// keeps it at (or within a hair of) zero.
+var collisionCount atomic.Int64
+
+// Collisions returns the process-wide count of fingerprint-bucket fallback
+// activations since program start.
+func Collisions() int64 { return collisionCount.Load() }
+
 // Set is an ordered, duplicate-free collection of paths. The zero Set is
 // empty and ready to use, but New pre-sizes the index.
 type Set struct {
 	paths []path.Path
-	index map[string]struct{}
+	// index maps a fingerprint to the position in paths of the first path
+	// bearing it. Values live inline in the map, so the collision-free
+	// common case does no per-entry allocation.
+	index map[uint64]int32
+	// overflow holds the positions of further paths sharing a fingerprint
+	// already in index. It stays nil until the first collision.
+	overflow map[uint64][]int32
 }
 
 // New returns an empty set with capacity for n paths.
 func New(n int) *Set {
 	return &Set{
 		paths: make([]path.Path, 0, n),
-		index: make(map[string]struct{}, n),
+		index: make(map[uint64]int32, n),
 	}
 }
 
@@ -46,21 +70,47 @@ func (s *Set) Len() int { return len(s.paths) }
 // path was newly inserted.
 func (s *Set) Add(p path.Path) bool {
 	if s.index == nil {
-		s.index = make(map[string]struct{})
+		s.index = make(map[uint64]int32)
 	}
-	k := p.Key()
-	if _, dup := s.index[k]; dup {
-		return false
+	fp := p.Fingerprint()
+	pos := int32(len(s.paths))
+	if i, taken := s.index[fp]; taken {
+		if s.paths[i].Equal(p) {
+			return false
+		}
+		for _, j := range s.overflow[fp] {
+			if s.paths[j].Equal(p) {
+				return false
+			}
+		}
+		collisionCount.Add(1)
+		if s.overflow == nil {
+			s.overflow = make(map[uint64][]int32)
+		}
+		s.overflow[fp] = append(s.overflow[fp], pos)
+	} else {
+		s.index[fp] = pos
 	}
-	s.index[k] = struct{}{}
 	s.paths = append(s.paths, p)
 	return true
 }
 
 // Contains reports whether an equal path is in the set.
 func (s *Set) Contains(p path.Path) bool {
-	_, ok := s.index[p.Key()]
-	return ok
+	fp := p.Fingerprint()
+	i, taken := s.index[fp]
+	if !taken {
+		return false
+	}
+	if s.paths[i].Equal(p) {
+		return true
+	}
+	for _, j := range s.overflow[fp] {
+		if s.paths[j].Equal(p) {
+			return true
+		}
+	}
+	return false
 }
 
 // Paths returns the underlying slice in insertion order. The slice is
@@ -121,9 +171,28 @@ func (s *Set) Filter(keep func(path.Path) bool) *Set {
 
 // Clone returns an independent copy of the set.
 func (s *Set) Clone() *Set {
-	out := New(s.Len())
-	out.AddAll(s)
+	out := &Set{paths: append([]path.Path(nil), s.paths...)}
+	out.reindex()
 	return out
+}
+
+// reindex rebuilds the fingerprint index from the paths slice, which is
+// assumed duplicate-free already (so no collision accounting here: any
+// shared-fingerprint bucket was counted when it first formed).
+func (s *Set) reindex() {
+	s.index = make(map[uint64]int32, len(s.paths))
+	s.overflow = nil
+	for i, p := range s.paths {
+		fp := p.Fingerprint()
+		if _, taken := s.index[fp]; taken {
+			if s.overflow == nil {
+				s.overflow = make(map[uint64][]int32)
+			}
+			s.overflow[fp] = append(s.overflow[fp], int32(i))
+		} else {
+			s.index[fp] = int32(i)
+		}
+	}
 }
 
 // Equal reports whether s and t contain exactly the same paths,
@@ -141,17 +210,22 @@ func (s *Set) Equal(t *Set) bool {
 }
 
 // Sort re-orders the set in place into the canonical (length, node
-// sequence, edge sequence) order.
+// sequence, edge sequence) order. The positional index is rebuilt to match.
 func (s *Set) Sort() {
 	sort.SliceStable(s.paths, func(i, j int) bool {
 		return path.Compare(s.paths[i], s.paths[j]) < 0
 	})
+	s.reindex()
 }
 
-// Sorted returns a canonical-order copy, leaving s untouched.
+// Sorted returns a canonical-order copy, leaving s untouched. The copy is
+// sorted before its index is built, so it pays one reindex, not two.
 func (s *Set) Sorted() *Set {
-	out := s.Clone()
-	out.Sort()
+	out := &Set{paths: append([]path.Path(nil), s.paths...)}
+	sort.SliceStable(out.paths, func(i, j int) bool {
+		return path.Compare(out.paths[i], out.paths[j]) < 0
+	})
+	out.reindex()
 	return out
 }
 

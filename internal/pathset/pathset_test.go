@@ -200,3 +200,82 @@ func TestUnionProperties(t *testing.T) {
 		t.Error(err)
 	}
 }
+
+// collide returns the sample paths all forced onto one fingerprint, so
+// every insert after the first exercises the exact-Equal fallback.
+func collide(ps []path.Path) []path.Path {
+	out := make([]path.Path, len(ps))
+	for i, p := range ps {
+		out[i] = path.ForceFingerprint(p, 0xc0111de)
+	}
+	return out
+}
+
+// TestCollisionFallback injects deliberate fingerprint collisions and
+// checks that the bucketed index stays an exact set: distinct paths are
+// all kept, duplicates are still dropped, and the process-wide collision
+// counter records the fallback activations.
+func TestCollisionFallback(t *testing.T) {
+	ps, _ := samplePaths(t)
+	forced := collide(ps)
+	before := Collisions()
+	s := New(0)
+	for _, p := range forced {
+		if !s.Add(p) {
+			t.Errorf("first Add of colliding %s returned false", p)
+		}
+	}
+	if s.Len() != len(forced) {
+		t.Fatalf("Len = %d, want %d distinct colliding paths", s.Len(), len(forced))
+	}
+	for _, p := range forced {
+		if s.Add(p) {
+			t.Errorf("duplicate Add of colliding %s returned true", p)
+		}
+		if !s.Contains(p) {
+			t.Errorf("Contains(%s) = false after Add", p)
+		}
+	}
+	// len-1 fallback activations on first insertion; duplicate re-Adds and
+	// Contains probes don't count.
+	if got := Collisions() - before; got != int64(len(forced)-1) {
+		t.Errorf("Collisions delta = %d, want %d", got, len(forced)-1)
+	}
+}
+
+// TestCollisionSurvivesSortAndClone checks that the positional index is
+// rebuilt correctly by Sort and Clone even when buckets overflow.
+func TestCollisionSurvivesSortAndClone(t *testing.T) {
+	ps, _ := samplePaths(t)
+	s := FromPaths(collide(ps)...)
+	for _, derived := range []*Set{s.Sorted(), s.Clone()} {
+		if derived.Len() != len(ps) {
+			t.Fatalf("derived Len = %d, want %d", derived.Len(), len(ps))
+		}
+		for _, p := range collide(ps) {
+			if !derived.Contains(p) {
+				t.Errorf("derived set lost %s", p)
+			}
+			if derived.Add(p) {
+				t.Errorf("derived set re-admitted duplicate %s", p)
+			}
+		}
+	}
+}
+
+// TestSortRebuildsIndex is the regression test for the positional index:
+// after Sort permutes the path slice, membership queries must still answer
+// from the right positions.
+func TestSortRebuildsIndex(t *testing.T) {
+	ps, _ := samplePaths(t)
+	s := FromPaths(ps...)
+	s.Sort()
+	for _, p := range ps {
+		if !s.Contains(p) {
+			t.Errorf("Contains(%s) = false after Sort", p)
+		}
+		if s.Add(p) {
+			t.Errorf("Add(%s) re-admitted a member after Sort", p)
+		}
+	}
+}
