@@ -326,6 +326,80 @@ func BenchmarkSemanticsSweep(b *testing.B) {
 	}
 }
 
+// parallelWorkerCounts is the worker matrix of the parallel benchmarks.
+var parallelWorkerCounts = []int{1, 2, 4, 8}
+
+// parallelBenchGraph is sized so each recursion evaluation carries enough
+// per-source work for sharding to matter.
+func parallelBenchGraph() *Graph {
+	return ldbc.MustGenerate(ldbc.Config{
+		Persons: 150, Messages: 100, KnowsPerPerson: 3, LikesPerPerson: 2,
+		CycleFraction: 0.3, Seed: 29,
+	})
+}
+
+// BenchmarkParallelRecursion measures the sharded product search itself —
+// the multi-source recursion hot path — across worker counts.
+func BenchmarkParallelRecursion(b *testing.B) {
+	g := parallelBenchGraph()
+	nfa := automaton.Build(rpq.MustParse(":Knows+"))
+	lim := core.Limits{MaxLen: 5}
+	for _, w := range parallelWorkerCounts {
+		b.Run(fmt.Sprintf("workers=%d", w), func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				if _, err := automaton.EvalParallel(g, nfa, core.Trail, lim, w); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkParallelSelectors runs the Table 1 selector suite across
+// worker counts.
+func BenchmarkParallelSelectors(b *testing.B) {
+	g := benchGraph()
+	for _, w := range parallelWorkerCounts {
+		for _, sel := range gql.AllSelectors(2) {
+			pattern := rpq.Compile(rpq.MustParse(":Knows+"), core.Trail)
+			plan, err := gql.CompileSelector(sel, pattern)
+			if err != nil {
+				b.Fatal(err)
+			}
+			b.Run(fmt.Sprintf("workers=%d/%s", w, sel), func(b *testing.B) {
+				b.ReportAllocs()
+				for i := 0; i < b.N; i++ {
+					eng := engine.New(g, engine.Options{Limits: core.Limits{MaxLen: 8}, Parallelism: w})
+					if _, err := eng.EvalPaths(plan); err != nil {
+						b.Fatal(err)
+					}
+				}
+			})
+		}
+	}
+}
+
+// BenchmarkParallelRestrictors runs the Table 2/3 restrictor suite across
+// worker counts.
+func BenchmarkParallelRestrictors(b *testing.B) {
+	g := benchGraph()
+	for _, w := range parallelWorkerCounts {
+		for _, sem := range core.AllSemantics() {
+			plan := rpq.Compile(rpq.MustParse(":Knows+"), sem)
+			b.Run(fmt.Sprintf("workers=%d/%s", w, sem), func(b *testing.B) {
+				b.ReportAllocs()
+				for i := 0; i < b.N; i++ {
+					eng := engine.New(g, engine.Options{Limits: core.Limits{MaxLen: 6}, Parallelism: w})
+					if _, err := eng.EvalPaths(plan); err != nil {
+						b.Fatal(err)
+					}
+				}
+			})
+		}
+	}
+}
+
 // BenchmarkParser measures the §7 front-end alone.
 func BenchmarkParser(b *testing.B) {
 	query := `MATCH ALL PARTITIONS ALL GROUPS 1 PATHS TRAIL p =

@@ -64,6 +64,8 @@ flags (per command):
   -figure1  force the Figure 1 graph
   -maxlen   bound recursive path length (0 = unbounded)
   -maxpaths bound result size (0 = default safety net)
+  -parallel evaluation worker goroutines (0 = GOMAXPROCS; results are
+            identical for every worker count)
   -no-opt   skip the optimizer (run only)
   -stats    print execution statistics (run only)`)
 }
@@ -77,6 +79,7 @@ type queryFlags struct {
 	figure1  *bool
 	maxLen   *int
 	maxPaths *int
+	parallel *int
 	noOpt    *bool
 	stats    *bool
 }
@@ -92,6 +95,7 @@ func newQueryFlags(name string) *queryFlags {
 		figure1:  fs.Bool("figure1", false, "use the paper's Figure 1 graph"),
 		maxLen:   fs.Int("maxlen", 0, "bound recursive path length"),
 		maxPaths: fs.Int("maxpaths", 0, "bound result size"),
+		parallel: fs.Int("parallel", 0, "evaluation worker goroutines (0 = GOMAXPROCS)"),
 		noOpt:    fs.Bool("no-opt", false, "skip the optimizer"),
 		stats:    fs.Bool("stats", false, "print execution statistics"),
 	}
@@ -207,7 +211,8 @@ func cmdRun(args []string) error {
 		plan, _ = pathalgebra.Optimize(plan)
 	}
 	eng := pathalgebra.NewEngine(g, pathalgebra.EngineOptions{
-		Limits: pathalgebra.Limits{MaxLen: *qf.maxLen, MaxPaths: *qf.maxPaths},
+		Limits:      pathalgebra.Limits{MaxLen: *qf.maxLen, MaxPaths: *qf.maxPaths},
+		Parallelism: *qf.parallel,
 	})
 	res, err := eng.EvalPaths(plan)
 	if err != nil {
@@ -219,8 +224,9 @@ func cmdRun(args []string) error {
 	}
 	if *qf.stats {
 		s := eng.Stats()
-		fmt.Printf("stats: paths=%d joinProbes=%d indexedScans=%d recursions=%d fpCollisions=%d\n",
-			s.PathsProduced, s.JoinProbes, s.IndexedScans, s.Recursions, s.FingerprintCollisions)
+		fmt.Printf("stats: paths=%d joinProbes=%d indexedScans=%d recursions=%d fpCollisions=%d parallel=%d\n",
+			s.PathsProduced, s.JoinProbes, s.IndexedScans, s.Recursions, s.FingerprintCollisions,
+			eng.Parallelism())
 	}
 	return nil
 }

@@ -2,6 +2,9 @@ package automaton
 
 import (
 	"fmt"
+	"runtime"
+	"sync"
+	"sync/atomic"
 
 	"pathalgebra/internal/core"
 	"pathalgebra/internal/graph"
@@ -12,17 +15,16 @@ import (
 // visitedSet is the product search's mark set of (path, NFA state) pairs:
 // one fingerprint-indexed pathset.Set per state, so the identity check —
 // fingerprint bucket plus exact-Equal fallback on collision — lives in a
-// single place and no key strings are materialized.
+// single place and no key strings are materialized. Each search shard owns
+// its own visitedSet: paths record their start node, so (path, state)
+// pairs from different source nodes can never collide and per-source sets
+// partition the global mark set exactly.
 type visitedSet []*pathset.Set
 
-func newVisitedSet(nfa *NFA, capacity int) visitedSet {
+func newVisitedSet(nfa *NFA) visitedSet {
 	v := make(visitedSet, nfa.NumStates())
 	for s := range v {
-		if s == 0 {
-			v[s] = pathset.New(capacity)
-		} else {
-			v[s] = pathset.New(0)
-		}
+		v[s] = pathset.New(0)
 	}
 	return v
 }
@@ -30,10 +32,19 @@ func newVisitedSet(nfa *NFA, capacity int) visitedSet {
 // mark records (p, s) and reports whether the pair was new.
 func (v visitedSet) mark(p path.Path, s StateID) bool { return v[s].Add(p) }
 
+// reset empties every per-state set, keeping allocated storage, so one
+// visitedSet serves every source a worker processes.
+func (v visitedSet) reset() {
+	for _, s := range v {
+		s.Reset()
+	}
+}
+
 // Eval evaluates the regular path query described by the automaton over
 // every pair of endpoints in g, returning the matching paths under the
 // given semantics. It is the classical product-graph search: search states
-// are (path-so-far, NFA state) pairs.
+// are (path-so-far, NFA state) pairs. Eval runs single-threaded; it is
+// exactly EvalParallel with one worker.
 //
 // Semantics note: the automaton applies Trail/Acyclic/Simple to the whole
 // matched path, which coincides with the algebraic ϕSem(base) for patterns
@@ -42,43 +53,151 @@ func (v visitedSet) mark(p path.Path, s StateID) bool { return v[s].Add(p) }
 // algebra is by design more permissive (§2.3 applies restrictors per
 // query part). Cross-checking tests use patterns of the former shape.
 func Eval(g *graph.Graph, nfa *NFA, sem core.Semantics, lim core.Limits) (*pathset.Set, error) {
+	return EvalParallel(g, nfa, sem, lim, 1)
+}
+
+// EvalParallel is Eval sharded across worker goroutines by source node:
+// every source runs its own product search with a private frontier,
+// scratch and visited set, and the per-source result shards are merged
+// deterministically afterwards. Because every path belongs to exactly one
+// source (its first node), the shard searches partition the sequential
+// search exactly, and the merge reproduces the sequential discovery order
+// — BFS depth major, then ascending source node — so the result is
+// byte-identical to Eval for every worker count.
+//
+// Budgets are global, not per shard: all workers charge one shared atomic
+// core.Budget, so MaxPaths and MaxWork hold across the whole evaluation.
+// On a budget error the error is reported deterministically, but the
+// partial result may differ between runs (workers bail out as soon as any
+// shard trips the budget).
+//
+// workers <= 0 selects runtime.GOMAXPROCS(0); the count is capped by the
+// number of source nodes.
+func EvalParallel(g *graph.Graph, nfa *NFA, sem core.Semantics, lim core.Limits, workers int) (*pathset.Set, error) {
+	workers = normalizeWorkers(workers, g.NumNodes())
+	bud := core.NewBudget(lim)
 	if sem == core.Shortest {
-		return evalShortest(g, nfa, lim)
+		return evalShortest(g, nfa, lim, bud, workers)
 	}
-	maxPaths := lim.MaxPaths
-	if maxPaths <= 0 {
-		maxPaths = core.DefaultMaxPaths
-	}
-	maxWork := lim.MaxWork
-	if maxWork <= 0 {
-		maxWork = core.DefaultMaxWork
-	}
-	work := 0
-	result := pathset.New(g.NumNodes())
+	return evalSearch(g, nfa, sem, lim, bud, workers)
+}
 
-	type item struct {
-		p     path.Path
-		state StateID
+func normalizeWorkers(workers, sources int) int {
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
 	}
-	frontier := make([]item, 0, g.NumNodes())
-	// next is swapped with frontier after each BFS level, so item storage
-	// is reused across levels instead of reallocated.
-	next := make([]item, 0, g.NumNodes())
-	visited := newVisitedSet(nfa, g.NumNodes())
+	if workers > sources {
+		workers = sources
+	}
+	if workers < 1 {
+		workers = 1
+	}
+	return workers
+}
 
-	for i := 0; i < g.NumNodes(); i++ {
-		p := path.FromNode(graph.NodeID(i))
-		if visited.mark(p, 0) {
-			frontier = append(frontier, item{p: p, state: 0})
+// runSharded distributes sources 0..n-1 over the given number of workers.
+// Each worker gets one scratch value from newScratch and pulls sources off
+// a shared atomic cursor (work stealing, so uneven per-source costs
+// balance). run returning false stops the whole pool early — remaining
+// sources are skipped, which only happens after a budget error.
+func runSharded[S any](n, workers int, newScratch func() S, run func(sc S, src int) bool) {
+	var cursor atomic.Int64
+	var failed atomic.Bool
+	work := func() {
+		sc := newScratch()
+		for !failed.Load() {
+			src := int(cursor.Add(1)) - 1
+			if src >= n {
+				return
+			}
+			if !run(sc, src) {
+				failed.Store(true)
+				return
+			}
 		}
-		if nfa.AcceptsEmpty() {
-			result.Add(p)
+	}
+	if workers <= 1 {
+		work()
+		return
+	}
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			work()
+		}()
+	}
+	wg.Wait()
+}
+
+type searchItem struct {
+	p     path.Path
+	state StateID
+}
+
+// evalScratch is one worker's reusable working storage: frontier slices
+// and the per-source visited set survive across the sources the worker
+// processes.
+type evalScratch struct {
+	frontier, next []searchItem
+	visited        visitedSet
+}
+
+// shard is one source node's slice of the result: the admitted paths in
+// per-source discovery order, plus the cumulative result count at the end
+// of each BFS depth so the merge can interleave shards in the sequential
+// (depth, source) order.
+type shard struct {
+	set    *pathset.Set
+	levels []int
+	err    error
+}
+
+func evalSearch(g *graph.Graph, nfa *NFA, sem core.Semantics, lim core.Limits, bud *core.Budget, workers int) (*pathset.Set, error) {
+	n := g.NumNodes()
+	shards := make([]*shard, n)
+	runSharded(n, workers,
+		func() *evalScratch { return &evalScratch{visited: newVisitedSet(nfa)} },
+		func(sc *evalScratch, src int) bool {
+			sh := evalSource(g, nfa, sem, lim, graph.NodeID(src), bud, sc)
+			shards[src] = sh
+			return sh.err == nil
+		})
+	out, err := mergeShards(shards)
+	if err != nil {
+		return out, fmt.Errorf("automaton: %w", err)
+	}
+	return out, nil
+}
+
+// evalSource runs the product search seeded at one source node. Budget
+// accounting matches the sequential search exactly: every admitted result
+// path charges ChargePath (1 path + Len+1 work — including the length-zero
+// seed path when the automaton accepts the empty word), and every visited
+// mark that extends the frontier charges ChargeWork.
+func evalSource(g *graph.Graph, nfa *NFA, sem core.Semantics, lim core.Limits, src graph.NodeID, bud *core.Budget, sc *evalScratch) *shard {
+	// The zero Set defers its index allocation until the first Add, so
+	// sources admitting no paths cost no map allocation.
+	sh := &shard{set: new(pathset.Set)}
+	sc.visited.reset()
+	seed := path.FromNode(src)
+	sc.visited.mark(seed, 0)
+	frontier := append(sc.frontier[:0], searchItem{p: seed, state: 0})
+	next := sc.next[:0]
+	finish := func(err error) *shard {
+		sh.err = err
+		sh.levels = append(sh.levels, sh.set.Len())
+		sc.frontier, sc.next = frontier, next
+		return sh
+	}
+	if nfa.AcceptsEmpty() {
+		sh.set.Add(seed)
+		if !bud.ChargePath(0) {
+			return finish(core.ErrBudgetExceeded)
 		}
 	}
-	if result.Len() > maxPaths {
-		return result, core.ErrBudgetExceeded
-	}
-
+	sh.levels = append(sh.levels, sh.set.Len())
 	for len(frontier) > 0 {
 		next = next[:0]
 		for _, it := range frontier {
@@ -94,30 +213,72 @@ func Eval(g *graph.Graph, nfa *NFA, sem core.Semantics, lim core.Limits) (*paths
 					}
 					np := it.p.Extend(g, eid)
 					extend, admit := classify(sem, np, nfa.Accepting(q))
-					if admit && result.Add(np) {
-						work += np.Len() + 1
-						if result.Len() > maxPaths || work > maxWork {
+					if admit && sh.set.Add(np) {
+						if !bud.ChargePath(np.Len()) {
 							budgetErr = core.ErrBudgetExceeded
 							return
 						}
 					}
-					if extend && visited.mark(np, q) {
-						work += np.Len() + 1
-						if work > maxWork {
+					if extend && sc.visited.mark(np, q) {
+						if !bud.ChargeWork(np.Len()) {
 							budgetErr = core.ErrBudgetExceeded
 							return
 						}
-						next = append(next, item{p: np, state: q})
+						next = append(next, searchItem{p: np, state: q})
 					}
 				})
 				if budgetErr != nil {
-					return result, fmt.Errorf("automaton: %w", budgetErr)
+					return finish(budgetErr)
 				}
 			}
 		}
 		frontier, next = next, frontier
+		sh.levels = append(sh.levels, sh.set.Len())
 	}
-	return result, nil
+	sc.frontier, sc.next = frontier, next
+	return sh
+}
+
+// mergeShards concatenates the shard results in the sequential discovery
+// order: for each BFS depth in ascending order, each source's admissions
+// at that depth, sources ascending. This is exactly the insertion order of
+// the single-threaded global search (its frontier stays source-major
+// sorted at every depth), so downstream order-sensitive operators — group
+// construction, rank tie-breaking, ANY-style selector picks — see
+// identical inputs whatever the worker count. Shards skipped after a
+// budget failure are nil; the first error in source order is returned.
+func mergeShards(shards []*shard) (*pathset.Set, error) {
+	maxDepth := 0
+	for _, sh := range shards {
+		if sh != nil && len(sh.levels) > maxDepth {
+			maxDepth = len(sh.levels)
+		}
+	}
+	// Shards are disjoint (paths partition by first node) and internally
+	// deduped, so the merge concatenates per-depth slices and indexes each
+	// path once instead of re-running duplicate elimination.
+	var groups [][]path.Path
+	for d := 0; d < maxDepth; d++ {
+		for _, sh := range shards {
+			if sh == nil || d >= len(sh.levels) {
+				continue
+			}
+			lo := 0
+			if d > 0 {
+				lo = sh.levels[d-1]
+			}
+			if g := sh.set.Paths()[lo:sh.levels[d]]; len(g) > 0 {
+				groups = append(groups, g)
+			}
+		}
+	}
+	out := pathset.FromOrderedDisjoint(groups)
+	for _, sh := range shards {
+		if sh != nil && sh.err != nil {
+			return out, sh.err
+		}
+	}
+	return out, nil
 }
 
 // classify decides, for a freshly extended path, whether the search may
@@ -150,25 +311,42 @@ func classify(sem core.Semantics, p path.Path, accepting bool) (extend, admit bo
 // evalShortest finds, for every endpoint pair (s, t), all minimal-length
 // paths whose label word the automaton accepts. Per source it runs a BFS
 // over the product (node, state) space to compute distances, then
-// enumerates exactly the paths that stay shortest at every step.
-func evalShortest(g *graph.Graph, nfa *NFA, lim core.Limits) (*pathset.Set, error) {
-	maxPaths := lim.MaxPaths
-	if maxPaths <= 0 {
-		maxPaths = core.DefaultMaxPaths
-	}
-	result := pathset.New(g.NumNodes())
-	// One scratch area serves every source: the per-source maps and stacks
-	// are cleared, not reallocated, between the NumNodes searches.
-	scratch := &shortestScratch{
-		dist:   make(map[productState]int32, g.NumNodes()),
-		minAcc: make(map[graph.NodeID]int32, g.NumNodes()),
-	}
-	for s := 0; s < g.NumNodes(); s++ {
-		if err := shortestFrom(g, nfa, graph.NodeID(s), lim.MaxLen, maxPaths, result, scratch); err != nil {
-			return result, err
+// enumerates exactly the paths that stay shortest at every step. Sources
+// are already independent here, so sharding distributes whole sources and
+// the merge is a plain source-order concatenation — the sequential
+// insertion order.
+func evalShortest(g *graph.Graph, nfa *NFA, lim core.Limits, bud *core.Budget, workers int) (*pathset.Set, error) {
+	n := g.NumNodes()
+	sets := make([]*pathset.Set, n)
+	errs := make([]error, n)
+	runSharded(n, workers,
+		func() *shortestScratch {
+			return &shortestScratch{
+				dist:   make(map[productState]int32, n),
+				minAcc: make(map[graph.NodeID]int32, n),
+			}
+		},
+		func(sc *shortestScratch, src int) bool {
+			out := new(pathset.Set) // index allocated lazily on first Add
+			err := shortestFrom(g, nfa, graph.NodeID(src), lim.MaxLen, bud, out, sc)
+			sets[src], errs[src] = out, err
+			return err == nil
+		})
+	// Per-source shards are disjoint and deduped; concatenating them in
+	// source order is the sequential insertion order.
+	groups := make([][]path.Path, 0, len(sets))
+	for _, s := range sets {
+		if s != nil && s.Len() > 0 {
+			groups = append(groups, s.Paths())
 		}
 	}
-	return result, nil
+	out := pathset.FromOrderedDisjoint(groups)
+	for _, err := range errs {
+		if err != nil {
+			return out, err
+		}
+	}
+	return out, nil
 }
 
 type productState struct {
@@ -190,7 +368,7 @@ type shortestItem struct {
 	state StateID
 }
 
-func shortestFrom(g *graph.Graph, nfa *NFA, src graph.NodeID, maxLen, maxPaths int, result *pathset.Set, sc *shortestScratch) error {
+func shortestFrom(g *graph.Graph, nfa *NFA, src graph.NodeID, maxLen int, bud *core.Budget, result *pathset.Set, sc *shortestScratch) error {
 	// Phase 1: BFS distances over the product space.
 	clear(sc.dist)
 	dist := sc.dist
@@ -242,8 +420,7 @@ func shortestFrom(g *graph.Graph, nfa *NFA, src graph.NodeID, maxLen, maxPaths i
 		work = work[:len(work)-1]
 		if nfa.Accepting(it.state) {
 			if m, ok := minAcc[it.p.Last()]; ok && it.p.Len() == int(m) {
-				result.Add(it.p)
-				if result.Len() > maxPaths {
+				if result.Add(it.p) && !bud.ChargePath(it.p.Len()) {
 					sc.work = work
 					return fmt.Errorf("automaton: %w", core.ErrBudgetExceeded)
 				}

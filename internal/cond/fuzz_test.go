@@ -1,0 +1,35 @@
+package cond_test
+
+import (
+	"testing"
+
+	"pathalgebra/internal/cond"
+)
+
+// FuzzParseCond asserts the selection-condition parser never panics:
+// arbitrary input must yield either a condition or an error.
+func FuzzParseCond(f *testing.F) {
+	for _, seed := range []string{
+		`label(edge(1)) = "Knows" AND first.name = "Moe"`,
+		`len() <= 3 OR NOT (last.age > 30)`,
+		`node(2).score >= 1.5`,
+		`first.ok = true AND last.ok = false`,
+		`NOT NOT NOT len() = 0`,
+		`edge(999999999999999999999).x = 1`,
+		`first.name = "\"escaped\""`,
+		`len() < -1`,
+		`(((len() = 1)))`,
+		`label(first) != "A"`,
+		`first.p = `,
+		`"dangling`,
+		`= = =`,
+		`first..x = 1`,
+		`len() = 1.2.3`,
+		"\x00\x01\x02",
+	} {
+		f.Add(seed)
+	}
+	f.Fuzz(func(t *testing.T, input string) {
+		_, _ = cond.Parse(input)
+	})
+}

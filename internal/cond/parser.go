@@ -5,6 +5,7 @@ import (
 	"strconv"
 	"strings"
 	"unicode"
+	"unicode/utf8"
 
 	"pathalgebra/internal/graph"
 )
@@ -68,8 +69,12 @@ type condLexer struct {
 func newCondLexer(src string) *condLexer { return &condLexer{src: src} }
 
 func (l *condLexer) next() error {
-	for l.pos < len(l.src) && unicode.IsSpace(rune(l.src[l.pos])) {
-		l.pos++
+	for l.pos < len(l.src) {
+		r, size := utf8.DecodeRuneInString(l.src[l.pos:])
+		if !unicode.IsSpace(r) {
+			break
+		}
+		l.pos += size
 	}
 	if l.pos >= len(l.src) {
 		l.tok = token{kind: tokEOF}
@@ -116,14 +121,22 @@ func (l *condLexer) next() error {
 		}
 	case c == '-' || (c >= '0' && c <= '9'):
 		return l.lexNumber()
-	case isIdentStart(rune(c)):
+	default:
+		// Identifiers are scanned rune-wise, not byte-wise, so multi-byte
+		// letters survive intact instead of being truncated mid-rune.
+		r, size := utf8.DecodeRuneInString(l.src[l.pos:])
+		if !isIdentStart(r) {
+			return fmt.Errorf("cond: unexpected character %q at offset %d", r, l.pos)
+		}
 		start := l.pos
-		for l.pos < len(l.src) && isIdentPart(rune(l.src[l.pos])) {
-			l.pos++
+		for l.pos < len(l.src) {
+			r, size = utf8.DecodeRuneInString(l.src[l.pos:])
+			if !isIdentPart(r) {
+				break
+			}
+			l.pos += size
 		}
 		l.tok = token{kind: tokIdent, text: l.src[start:l.pos]}
-	default:
-		return fmt.Errorf("cond: unexpected character %q at offset %d", c, l.pos)
 	}
 	return nil
 }

@@ -1,0 +1,61 @@
+package core
+
+import "sync/atomic"
+
+// Budget is the shared, race-safe evaluation budget derived from Limits.
+// It replaces the ad-hoc per-evaluator path/work counters so that the
+// engine, the reference operators and the automaton search all account
+// identically, and so that concurrent evaluation shards charge one global
+// budget: MaxPaths and MaxWork hold across all workers of one evaluation,
+// not per shard.
+//
+// Accounting scheme (unchanged from the historical counters):
+//
+//   - every admitted result path of edge length n charges 1 path and
+//     n+1 work units (its node slots) — ChargePath;
+//   - every additionally materialized search state (e.g. a visited mark
+//     of the BFS product search) charges n+1 work units — ChargeWork.
+//
+// Shortest-semantics evaluation charges only admitted paths: its
+// per-source distance maps and enumeration stacks are bounded by the
+// product-space size, not by the result, and stay outside MaxWork.
+//
+// Both charges are atomic adds, so exceeding the budget is detected
+// promptly but totals near the boundary may overshoot by at most one
+// charge per worker; the budget is a safety net, not an exact quota.
+type Budget struct {
+	maxPaths int64
+	maxWork  int64
+	paths    atomic.Int64
+	work     atomic.Int64
+}
+
+// NewBudget returns a fresh budget enforcing lim, with the usual defaults
+// applied (DefaultMaxPaths / DefaultMaxWork for unset fields).
+func NewBudget(lim Limits) *Budget {
+	return &Budget{
+		maxPaths: int64(lim.maxPaths()),
+		maxWork:  int64(lim.maxWork()),
+	}
+}
+
+// ChargePath accounts one admitted result path of edge length n and
+// reports whether the budget still holds.
+func (b *Budget) ChargePath(n int) bool {
+	p := b.paths.Add(1)
+	w := b.work.Add(int64(n) + 1)
+	return p <= b.maxPaths && w <= b.maxWork
+}
+
+// ChargeWork accounts the materialization of one auxiliary search state of
+// edge length n (n+1 node slots) and reports whether the work budget still
+// holds.
+func (b *Budget) ChargeWork(n int) bool {
+	return b.work.Add(int64(n)+1) <= b.maxWork
+}
+
+// Paths returns the number of result paths charged so far.
+func (b *Budget) Paths() int64 { return b.paths.Load() }
+
+// Work returns the number of node slots charged so far.
+func (b *Budget) Work() int64 { return b.work.Load() }

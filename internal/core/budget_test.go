@@ -1,0 +1,64 @@
+package core
+
+import (
+	"sync"
+	"testing"
+)
+
+func TestBudgetChargePath(t *testing.T) {
+	b := NewBudget(Limits{MaxPaths: 3, MaxWork: 100})
+	for i := 0; i < 3; i++ {
+		if !b.ChargePath(1) {
+			t.Fatalf("charge %d failed within budget", i)
+		}
+	}
+	if b.ChargePath(1) {
+		t.Error("4th path charge succeeded, want MaxPaths=3 to hold")
+	}
+}
+
+func TestBudgetChargeWork(t *testing.T) {
+	b := NewBudget(Limits{MaxWork: 10})
+	if !b.ChargeWork(4) { // 5 slots
+		t.Fatal("first work charge failed")
+	}
+	if !b.ChargeWork(4) { // 10 slots total
+		t.Fatal("second work charge failed at exactly MaxWork")
+	}
+	if b.ChargeWork(0) { // 11 slots
+		t.Error("work charge beyond MaxWork succeeded")
+	}
+}
+
+func TestBudgetDefaults(t *testing.T) {
+	b := NewBudget(Limits{})
+	if b.maxPaths != DefaultMaxPaths || b.maxWork != DefaultMaxWork {
+		t.Errorf("defaults = %d/%d, want %d/%d", b.maxPaths, b.maxWork,
+			DefaultMaxPaths, DefaultMaxWork)
+	}
+}
+
+// TestBudgetConcurrent charges from many goroutines and checks the totals
+// are exact — the shared-budget contract of parallel evaluation.
+func TestBudgetConcurrent(t *testing.T) {
+	b := NewBudget(Limits{MaxPaths: 1 << 30, MaxWork: 1 << 40})
+	const workers, perWorker = 8, 1000
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < perWorker; i++ {
+				b.ChargePath(1) // 1 path, 2 work
+				b.ChargeWork(2) // 3 work
+			}
+		}()
+	}
+	wg.Wait()
+	if got, want := b.Paths(), int64(workers*perWorker); got != want {
+		t.Errorf("Paths() = %d, want %d", got, want)
+	}
+	if got, want := b.Work(), int64(workers*perWorker*5); got != want {
+		t.Errorf("Work() = %d, want %d", got, want)
+	}
+}

@@ -61,22 +61,6 @@ func (l Limits) withinLen(p path.Path) bool {
 	return l.MaxLen <= 0 || p.Len() <= l.MaxLen
 }
 
-// budget tracks both the path-count and the materialized-work budgets of
-// one recursion evaluation.
-type budget struct {
-	lim   Limits
-	paths int
-	work  int
-}
-
-// charge accounts for one emitted path of length n and reports whether
-// the budget still holds.
-func (b *budget) charge(n int) bool {
-	b.paths++
-	b.work += n + 1
-	return b.paths <= b.lim.maxPaths() && b.work <= b.lim.maxWork()
-}
-
 // EvalRecurse implements the recursive operator ϕSem(S) of Definition 4.1:
 // the closure of S under path join, restricted to paths admitted by the
 // semantics. The result always contains the admissible paths of S itself
@@ -93,9 +77,9 @@ func EvalRecurse(sem Semantics, base *pathset.Set, lim Limits) (*pathset.Set, er
 	}
 	admissible := base.Filter(sem.Admits).Filter(lim.withinLen)
 	result := admissible.Clone()
-	bud := budget{lim: lim}
+	bud := NewBudget(lim)
 	for _, p := range result.Paths() {
-		if !bud.charge(p.Len()) {
+		if !bud.ChargePath(p.Len()) {
 			return result, ErrBudgetExceeded
 		}
 	}
@@ -116,7 +100,7 @@ func EvalRecurse(sem Semantics, base *pathset.Set, lim Limits) (*pathset.Set, er
 				}
 				if result.Add(q) {
 					next = append(next, q)
-					if !bud.charge(q.Len()) {
+					if !bud.ChargePath(q.Len()) {
 						return result, ErrBudgetExceeded
 					}
 				}
@@ -189,7 +173,7 @@ func evalShortest(base *pathset.Set, lim Limits) (*pathset.Set, error) {
 	}
 
 	best := make(map[endpointPair]int)
-	bud := budget{lim: lim}
+	bud := NewBudget(lim)
 	for h.Len() > 0 {
 		p := heap.Pop(h).(path.Path)
 		pair := endpointPair{p.First(), p.Last()}
@@ -197,7 +181,7 @@ func evalShortest(base *pathset.Set, lim Limits) (*pathset.Set, error) {
 			continue // strictly longer than the minimum for this pair
 		}
 		best[pair] = p.Len()
-		if result.Add(p) && !bud.charge(p.Len()) {
+		if result.Add(p) && !bud.ChargePath(p.Len()) {
 			return result, ErrBudgetExceeded
 		}
 		for _, bi := range byFirst[p.Last()] {

@@ -9,6 +9,9 @@ package engine
 
 import (
 	"fmt"
+	"runtime"
+	"sync"
+	"sync/atomic"
 
 	"pathalgebra/internal/automaton"
 	"pathalgebra/internal/cond"
@@ -59,9 +62,30 @@ type Options struct {
 	// instead of materializing the base set first; used by ablation
 	// benchmarks.
 	DisableExpand bool
+	// Parallelism is the number of worker goroutines used by the
+	// parallelizable physical operators: the automaton product search
+	// (sharded by source node) and the hash-join build side. Results are
+	// byte-identical for every value — shards merge in the sequential
+	// order and budgets are shared globally. <= 0 selects
+	// runtime.GOMAXPROCS(0); 1 forces single-threaded evaluation.
+	Parallelism int
+}
+
+// parallelism resolves the configured worker count.
+func (o Options) parallelism() int {
+	if o.Parallelism <= 0 {
+		return runtime.GOMAXPROCS(0)
+	}
+	return o.Parallelism
 }
 
 // Stats accumulates execution counters across one engine's evaluations.
+// The engine updates the underlying counters with atomic adds — today all
+// writes happen on the evaluating goroutine (parallel operators report
+// through their return values, and the hash-join probe count is batched on
+// the caller), so the atomics are a guardrail for future operators that
+// do account from workers. Stats values returned by Engine.Stats are
+// plain snapshots.
 type Stats struct {
 	// PathsProduced counts paths emitted by all operators.
 	PathsProduced int64
@@ -85,9 +109,12 @@ type Stats struct {
 	FingerprintCollisions int64
 }
 
-// Engine evaluates plans against one graph. It is not safe for concurrent
-// use; create one engine per goroutine (graphs themselves are immutable
-// and shareable).
+// Engine evaluates plans against one graph. Evaluation methods are not
+// safe for concurrent use — create one engine per goroutine (graphs
+// themselves are immutable and shareable) — but the engine's own internal
+// parallelism (Options.Parallelism) is race-safe: evaluation budgets are
+// shared atomically across workers, worker results merge before stats are
+// counted, and the counters themselves are atomic as a guardrail.
 type Engine struct {
 	g     *graph.Graph
 	opts  Options
@@ -105,12 +132,24 @@ func New(g *graph.Graph, opts Options) *Engine {
 // Graph returns the engine's graph.
 func (e *Engine) Graph() *graph.Graph { return e.g }
 
-// Stats returns the counters accumulated so far.
+// Parallelism returns the resolved worker count used by the engine's
+// parallelizable operators.
+func (e *Engine) Parallelism() int { return e.opts.parallelism() }
+
+// Stats returns a snapshot of the counters accumulated so far.
 func (e *Engine) Stats() Stats {
-	st := e.stats
-	st.FingerprintCollisions = pathset.Collisions() - e.collisionBase
-	return st
+	return Stats{
+		PathsProduced:         atomic.LoadInt64(&e.stats.PathsProduced),
+		JoinProbes:            atomic.LoadInt64(&e.stats.JoinProbes),
+		IndexedScans:          atomic.LoadInt64(&e.stats.IndexedScans),
+		Recursions:            atomic.LoadInt64(&e.stats.Recursions),
+		ExpandedRecursions:    atomic.LoadInt64(&e.stats.ExpandedRecursions),
+		FingerprintCollisions: pathset.Collisions() - e.collisionBase,
+	}
 }
+
+// addStat atomically bumps one counter.
+func addStat(counter *int64, n int64) { atomic.AddInt64(counter, n) }
 
 // ResetStats zeroes the counters.
 func (e *Engine) ResetStats() {
@@ -123,11 +162,11 @@ func (e *Engine) EvalPaths(x core.PathExpr) (*pathset.Set, error) {
 	switch x := x.(type) {
 	case core.Nodes:
 		s := core.EvalNodes(e.g)
-		e.stats.PathsProduced += int64(s.Len())
+		addStat(&e.stats.PathsProduced, int64(s.Len()))
 		return s, nil
 	case core.Edges:
 		s := core.EvalEdges(e.g)
-		e.stats.PathsProduced += int64(s.Len())
+		addStat(&e.stats.PathsProduced, int64(s.Len()))
 		return s, nil
 	case core.Select:
 		return e.evalSelect(x)
@@ -151,17 +190,17 @@ func (e *Engine) EvalPaths(x core.PathExpr) (*pathset.Set, error) {
 			return nil, err
 		}
 		u := core.EvalUnion(l, r)
-		e.stats.PathsProduced += int64(u.Len())
+		addStat(&e.stats.PathsProduced, int64(u.Len()))
 		return u, nil
 	case core.Recurse:
-		e.stats.Recursions++
+		addStat(&e.stats.Recursions, 1)
 		if !e.opts.DisableExpand {
 			if out, ok, err := e.expandRecurse(x); ok {
 				if err != nil {
 					return nil, fmt.Errorf("engine: ϕ%s: %w", x.Sem, err)
 				}
-				e.stats.ExpandedRecursions++
-				e.stats.PathsProduced += int64(out.Len())
+				addStat(&e.stats.ExpandedRecursions, 1)
+				addStat(&e.stats.PathsProduced, int64(out.Len()))
 				return out, nil
 			}
 		}
@@ -173,7 +212,7 @@ func (e *Engine) EvalPaths(x core.PathExpr) (*pathset.Set, error) {
 		if err != nil {
 			return nil, fmt.Errorf("engine: ϕ%s: %w", x.Sem, err)
 		}
-		e.stats.PathsProduced += int64(out.Len())
+		addStat(&e.stats.PathsProduced, int64(out.Len()))
 		return out, nil
 	case core.Restrict:
 		in, err := e.EvalPaths(x.In)
@@ -181,7 +220,7 @@ func (e *Engine) EvalPaths(x core.PathExpr) (*pathset.Set, error) {
 			return nil, err
 		}
 		out := core.EvalRestrict(x.Sem, in)
-		e.stats.PathsProduced += int64(out.Len())
+		addStat(&e.stats.PathsProduced, int64(out.Len()))
 		return out, nil
 	case core.Project:
 		ss, err := e.EvalSpace(x.In)
@@ -189,7 +228,7 @@ func (e *Engine) EvalPaths(x core.PathExpr) (*pathset.Set, error) {
 			return nil, err
 		}
 		out := core.EvalProject(x.Parts, x.Groups, x.Paths, ss)
-		e.stats.PathsProduced += int64(out.Len())
+		addStat(&e.stats.PathsProduced, int64(out.Len()))
 		return out, nil
 	case nil:
 		return nil, fmt.Errorf("engine: nil path expression")
@@ -225,8 +264,8 @@ func (e *Engine) EvalSpace(x core.SpaceExpr) (*core.SolutionSpace, error) {
 func (e *Engine) evalSelect(s core.Select) (*pathset.Set, error) {
 	if !e.opts.DisableLabelIndex {
 		if out, ok := e.indexedSelect(s); ok {
-			e.stats.IndexedScans++
-			e.stats.PathsProduced += int64(out.Len())
+			addStat(&e.stats.IndexedScans, 1)
+			addStat(&e.stats.PathsProduced, int64(out.Len()))
 			return out, nil
 		}
 	}
@@ -235,7 +274,7 @@ func (e *Engine) evalSelect(s core.Select) (*pathset.Set, error) {
 		return nil, err
 	}
 	out := core.EvalSelect(e.g, s.Cond, in)
-	e.stats.PathsProduced += int64(out.Len())
+	addStat(&e.stats.PathsProduced, int64(out.Len()))
 	return out, nil
 }
 
@@ -287,7 +326,7 @@ func (e *Engine) expandRecurse(x core.Recurse) (*pathset.Set, bool, error) {
 		return nil, false, nil
 	}
 	nfa := automaton.Build(rpq.Plus{In: re})
-	out, err := automaton.Eval(e.g, nfa, x.Sem, e.opts.Limits)
+	out, err := automaton.EvalParallel(e.g, nfa, x.Sem, e.opts.Limits, e.opts.parallelism())
 	return out, true, err
 }
 
@@ -341,39 +380,92 @@ func (e *Engine) join(l, r *pathset.Set) *pathset.Set {
 	default:
 		out = e.hashJoin(l, r)
 	}
-	e.stats.PathsProduced += int64(out.Len())
+	addStat(&e.stats.PathsProduced, int64(out.Len()))
 	return out
 }
 
 func (e *Engine) nestedLoopJoin(l, r *pathset.Set) *pathset.Set {
 	out := pathset.New(l.Len())
+	probes := int64(0)
 	for _, p := range l.Paths() {
 		for _, q := range r.Paths() {
-			e.stats.JoinProbes++
+			probes++
 			if p.CanConcat(q) {
 				out.Add(p.Concat(q))
 			}
 		}
 	}
+	addStat(&e.stats.JoinProbes, probes)
 	return out
 }
 
 // hashJoin builds a positional index on First(q) over r and probes it with
 // Last(p) for every p in l. Buckets hold int32 positions into r's path
 // slice rather than path values, and the output set dedupes by fingerprint,
-// so the join materializes no per-pair identity strings at all.
+// so the join materializes no per-pair identity strings at all. For large
+// build sides the index is built by parallel workers over disjoint chunks
+// and merged in chunk order, which keeps every bucket's positions
+// ascending — the probe phase (and therefore the output order) is
+// identical to the sequential build.
 func (e *Engine) hashJoin(l, r *pathset.Set) *pathset.Set {
 	rp := r.Paths()
-	byFirst := make(map[graph.NodeID][]int32, r.Len())
-	for i, q := range rp {
-		byFirst[q.First()] = append(byFirst[q.First()], int32(i))
-	}
+	byFirst := e.buildJoinIndex(rp)
 	out := pathset.New(l.Len())
+	probes := int64(0)
 	for _, p := range l.Paths() {
 		for _, qi := range byFirst[p.Last()] {
-			e.stats.JoinProbes++
+			probes++
 			out.Add(p.Concat(rp[qi]))
 		}
 	}
+	addStat(&e.stats.JoinProbes, probes)
 	return out
+}
+
+// parallelBuildThreshold is the build-side size under which the hash-join
+// index is built sequentially: below it goroutine startup dominates the
+// map inserts being parallelized.
+const parallelBuildThreshold = 2048
+
+func (e *Engine) buildJoinIndex(rp []path.Path) map[graph.NodeID][]int32 {
+	workers := e.opts.parallelism()
+	if len(rp) < parallelBuildThreshold || workers <= 1 {
+		byFirst := make(map[graph.NodeID][]int32, len(rp))
+		for i, q := range rp {
+			byFirst[q.First()] = append(byFirst[q.First()], int32(i))
+		}
+		return byFirst
+	}
+	if workers > len(rp) {
+		workers = len(rp)
+	}
+	// Each worker indexes one contiguous chunk; chunks are merged in chunk
+	// order so per-node position lists stay ascending.
+	chunkMaps := make([]map[graph.NodeID][]int32, workers)
+	chunk := (len(rp) + workers - 1) / workers
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		lo := w * chunk
+		hi := min(lo+chunk, len(rp))
+		if lo >= hi {
+			break
+		}
+		wg.Add(1)
+		go func(w, lo, hi int) {
+			defer wg.Done()
+			m := make(map[graph.NodeID][]int32, hi-lo)
+			for i := lo; i < hi; i++ {
+				m[rp[i].First()] = append(m[rp[i].First()], int32(i))
+			}
+			chunkMaps[w] = m
+		}(w, lo, hi)
+	}
+	wg.Wait()
+	byFirst := chunkMaps[0]
+	for _, m := range chunkMaps[1:] {
+		for n, positions := range m {
+			byFirst[n] = append(byFirst[n], positions...)
+		}
+	}
+	return byFirst
 }

@@ -1,0 +1,91 @@
+package engine
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+
+	"pathalgebra/internal/core"
+	"pathalgebra/internal/ldbc"
+	"pathalgebra/internal/pathset"
+)
+
+// sameSequence reports whether two sets hold identical paths in identical
+// insertion order — stronger than Set.Equal, which ignores order. Order
+// matters here because downstream solution-space operators (group-by
+// construction order, projection tie-breaking) consume it.
+func sameSequence(a, b *pathset.Set) bool {
+	if a.Len() != b.Len() {
+		return false
+	}
+	for i, p := range a.Paths() {
+		if !p.Equal(b.At(i)) {
+			return false
+		}
+	}
+	return true
+}
+
+// TestDifferentialParallel cross-checks the engine at parallelism 1
+// against parallelism 2, 4 and 8 on random graphs and a battery of
+// queries spanning recursion semantics, selectors and joins: results must
+// be byte-identical and the order-insensitive stats must agree.
+func TestDifferentialParallel(t *testing.T) {
+	rng := rand.New(rand.NewSource(41))
+	queries := []string{
+		`MATCH TRAIL p = (?x)-[:Knows+]->(?y)`,
+		`MATCH ACYCLIC p = (?x)-[(:Knows|:Likes)+]->(?y)`,
+		`MATCH SIMPLE p = (?x)-[(:Likes/:Has_creator)+]->(?y)`,
+		`MATCH WALK p = (?x)-[:Knows*]->(?y)`,
+		`MATCH ANY SHORTEST TRAIL p = (?x)-[:Knows+]->(?y)`,
+		`MATCH ALL SHORTEST SIMPLE p = (?x)-[:Knows+]->(?y)`,
+		`MATCH SHORTEST 2 GROUP TRAIL p = (?x)-[:Knows+]->(?y)`,
+		`MATCH TRAIL p = (?x)-[:Knows/:Knows]->(?y)`,
+	}
+	for trial := 0; trial < 4; trial++ {
+		g := ldbc.MustGenerate(ldbc.Config{
+			Persons:        6 + rng.Intn(10),
+			Messages:       rng.Intn(8),
+			KnowsPerPerson: 1 + rng.Intn(3),
+			LikesPerPerson: 1 + rng.Intn(2),
+			CycleFraction:  0.4,
+			Seed:           rng.Int63(),
+		})
+		for _, q := range queries {
+			plan, err := compileQuery(q)
+			if err != nil {
+				t.Fatalf("%s: %v", q, err)
+			}
+			lim := core.Limits{MaxLen: 4}
+			name := fmt.Sprintf("trial%d/%s", trial, q)
+			want, err := New(g, Options{Limits: lim, Parallelism: 1}).EvalPaths(plan)
+			if err != nil {
+				t.Fatalf("%s sequential: %v", name, err)
+			}
+			wantStats := func() Stats {
+				e := New(g, Options{Limits: lim, Parallelism: 1})
+				if _, err := e.EvalPaths(plan); err != nil {
+					t.Fatal(err)
+				}
+				return e.Stats()
+			}()
+			for _, workers := range []int{2, 4, 8} {
+				e := New(g, Options{Limits: lim, Parallelism: workers})
+				got, err := e.EvalPaths(plan)
+				if err != nil {
+					t.Fatalf("%s workers=%d: %v", name, workers, err)
+				}
+				if !sameSequence(want, got) {
+					t.Errorf("%s workers=%d: output diverges (%d vs %d paths)",
+						name, workers, want.Len(), got.Len())
+				}
+				if st := e.Stats(); st.PathsProduced != wantStats.PathsProduced ||
+					st.Recursions != wantStats.Recursions ||
+					st.JoinProbes != wantStats.JoinProbes {
+					t.Errorf("%s workers=%d: stats diverge: %+v vs %+v",
+						name, workers, st, wantStats)
+				}
+			}
+		}
+	}
+}

@@ -1,0 +1,42 @@
+package gql_test
+
+import (
+	"testing"
+
+	"pathalgebra/internal/gql"
+)
+
+// FuzzParseGQL asserts the query parser never panics: arbitrary input
+// must yield either a query or an error. Parsed queries must additionally
+// compile without panicking (compilation may still return an error).
+func FuzzParseGQL(f *testing.F) {
+	for _, seed := range []string{
+		`MATCH ANY SHORTEST TRAIL p = (?x)-[:Knows+]->(?y)`,
+		`MATCH ALL PARTITIONS ALL GROUPS 1 PATHS TRAIL p = (?x)-[:Knows*]->(?y) GROUP BY TARGET ORDER BY PATH`,
+		`MATCH SIMPLE p = (?x:Person {name:"Moe"})-[(:Knows+)|(:Likes/:Has_creator)+]->(?y {name:"Apu"})`,
+		`MATCH SHORTEST 2 GROUP ACYCLIC p = (?x)-[:Knows+]->(?y) WHERE len() <= 5`,
+		`MATCH 3 PARTITIONS 2 GROUPS DESC ALL PATHS WALK p = (?x)-[-]->(?y)`,
+		`MATCH p = (?x)-[:Knows]->(?y) WHERE label(edge(1)) = "Knows" AND NOT first.a = 1`,
+		`MATCH`,
+		`MATCH WALK`,
+		`MATCH WALK p = (?x)-[`,
+		`MATCH WALK p = (?x)-[]->(?y)`,
+		`MATCH WALK p = (x-[:A]->(y)`,
+		`MATCH WALK p = ()-[:A]->()`,
+		`MATCH WALK p = (?x {a:})-[:A]->(?y)`,
+		`match any shortest trail q = (?a)-[:k+]->(?b)`,
+		`MATCH WALK p = (?x)-[:A]->(?y) GROUP BY`,
+		`MATCH WALK p = (?x)-[:A]->(?y) ORDER BY WHERE`,
+		"\x00[\"",
+		`MATCH - -> -`,
+	} {
+		f.Add(seed)
+	}
+	f.Fuzz(func(t *testing.T, input string) {
+		q, err := gql.Parse(input)
+		if err != nil {
+			return
+		}
+		_, _ = gql.Compile(q)
+	})
+}

@@ -9,6 +9,7 @@ import (
 	"fmt"
 	"strings"
 	"unicode"
+	"unicode/utf8"
 )
 
 type tokenKind uint8
@@ -63,8 +64,12 @@ func (l *lexer) errorf(format string, args ...any) error {
 }
 
 func (l *lexer) next() error {
-	for l.pos < len(l.src) && unicode.IsSpace(rune(l.src[l.pos])) {
-		l.pos++
+	for l.pos < len(l.src) {
+		r, size := utf8.DecodeRuneInString(l.src[l.pos:])
+		if !unicode.IsSpace(r) {
+			break
+		}
+		l.pos += size
 	}
 	start := l.pos
 	if l.pos >= len(l.src) {
@@ -142,13 +147,21 @@ func (l *lexer) next() error {
 		return l.lexString()
 	case c >= '0' && c <= '9':
 		return l.lexNumber()
-	case unicode.IsLetter(rune(c)) || c == '_':
-		for l.pos < len(l.src) && (unicode.IsLetter(rune(l.src[l.pos])) || unicode.IsDigit(rune(l.src[l.pos])) || l.src[l.pos] == '_') {
-			l.pos++
+	default:
+		// Identifiers are scanned rune-wise, not byte-wise, so multi-byte
+		// letters survive intact instead of being truncated mid-rune.
+		r, size := utf8.DecodeRuneInString(l.src[l.pos:])
+		if !(unicode.IsLetter(r) || r == '_') {
+			return l.errorf("unexpected character %q", r)
+		}
+		for l.pos < len(l.src) {
+			r, size = utf8.DecodeRuneInString(l.src[l.pos:])
+			if !(unicode.IsLetter(r) || unicode.IsDigit(r) || r == '_') {
+				break
+			}
+			l.pos += size
 		}
 		l.tok = token{kind: tokIdent, text: l.src[start:l.pos], pos: start}
-	default:
-		return l.errorf("unexpected character %q", c)
 	}
 	return nil
 }

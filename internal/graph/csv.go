@@ -14,9 +14,13 @@ import (
 // The node file needs a header whose first two columns are "key" and
 // "label"; remaining columns become properties. The edge file's first
 // four header columns are "key", "src", "dst" and "label". Property
-// columns are strings by default; a ":int", ":float" or ":bool" suffix on
-// the header name selects a typed parse (e.g. "age:int"). Empty cells
-// leave the property unset (ν is partial).
+// columns are strings by default; a ":int", ":float", ":bool" or
+// ":string" suffix on the header name selects a typed parse (e.g.
+// "age:int"). Any other ":suffix" — including an empty one — is not a
+// type annotation: the whole column name, colon and all, becomes a
+// string-valued property (so "created:stamp" is the string property
+// named "created:stamp"). Empty cells leave the property unset (ν is
+// partial).
 func ReadCSV(nodes, edges io.Reader) (*Graph, error) {
 	b := NewBuilder()
 	if err := readNodeCSV(b, nodes); err != nil {
@@ -51,16 +55,20 @@ func parseHeader(fields []string, fixed []string, what string) ([]propColumn, er
 			switch strings.ToLower(name[idx+1:]) {
 			case "int":
 				kind = KindInt
+				name = name[:idx]
 			case "float":
 				kind = KindFloat
+				name = name[:idx]
 			case "bool":
 				kind = KindBool
+				name = name[:idx]
 			case "string":
-				kind = KindString
+				name = name[:idx]
 			default:
-				return nil, fmt.Errorf("graph: %s CSV header %q has unknown type suffix", what, name)
+				// Not a known type annotation (including the empty
+				// suffix "name:"): keep the whole name, colon included,
+				// as a string property. See the ReadCSV contract.
 			}
-			name = name[:idx]
 		}
 		if name == "" {
 			return nil, fmt.Errorf("graph: %s CSV has an empty property column name", what)

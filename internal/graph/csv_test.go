@@ -62,7 +62,6 @@ func TestReadCSVErrors(t *testing.T) {
 	}{
 		{"bad node header", "id,label\na,L\n", okEdges, `want "key"`},
 		{"bad edge header", okNodes, "key,from,to,label\ne,a,b,X\n", `want "src"`},
-		{"unknown type suffix", "key,label,x:date\na,L,1\n", okEdges, "unknown type suffix"},
 		{"empty prop name", "key,label,:int\na,L,1\n", okEdges, "empty property column"},
 		{"bad int", "key,label,age:int\na,L,forty\n", okEdges, "column \"age\""},
 		{"bad float", "key,label,s:float\na,L,x\n", okEdges, "column \"s\""},
@@ -81,6 +80,33 @@ func TestReadCSVErrors(t *testing.T) {
 				t.Errorf("error %q does not mention %q", err, tc.mention)
 			}
 		})
+	}
+}
+
+// TestReadCSVUnknownSuffix pins the documented behavior for ":suffix"
+// header annotations that are not type names: the whole column name,
+// colon included, becomes a string property. Previously such headers
+// either errored or risked silently dropping the column.
+func TestReadCSVUnknownSuffix(t *testing.T) {
+	nodes := "key,label,created:stamp,note:\na,L,2020-01-01,hello\n"
+	edges := "key,src,dst,label\n"
+	g, err := ReadCSV(strings.NewReader(nodes), strings.NewReader(edges))
+	if err != nil {
+		t.Fatalf("ReadCSV: %v", err)
+	}
+	n, _ := g.NodeByKey("a")
+	if got := g.NodeProp(n.ID, "created:stamp"); got.Str() != "2020-01-01" {
+		t.Errorf(`prop "created:stamp" = %v, want string "2020-01-01"`, got)
+	}
+	if got := g.NodeProp(n.ID, "note:"); got.Str() != "hello" {
+		t.Errorf(`prop "note:" = %v, want string "hello"`, got)
+	}
+	// The truncated names must not exist: the suffix was not consumed.
+	if got := g.NodeProp(n.ID, "created"); !got.IsNull() {
+		t.Errorf(`prop "created" = %v, want null`, got)
+	}
+	if got := g.NodeProp(n.ID, "note"); !got.IsNull() {
+		t.Errorf(`prop "note" = %v, want null`, got)
 	}
 }
 

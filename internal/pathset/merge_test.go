@@ -1,0 +1,81 @@
+package pathset
+
+import (
+	"testing"
+
+	"pathalgebra/internal/path"
+)
+
+func TestReset(t *testing.T) {
+	ps, _ := samplePaths(t)
+	s := New(0)
+	for _, p := range ps {
+		s.Add(p)
+	}
+	s.Reset()
+	if s.Len() != 0 {
+		t.Fatalf("Len after Reset = %d, want 0", s.Len())
+	}
+	for _, p := range ps {
+		if s.Contains(p) {
+			t.Errorf("Reset set still contains %s", p)
+		}
+	}
+	// The set is fully reusable: re-adding reports new insertions and the
+	// index answers membership again.
+	for _, p := range ps {
+		if !s.Add(p) {
+			t.Errorf("Add of %s after Reset returned false", p)
+		}
+	}
+	if s.Len() != len(ps) {
+		t.Errorf("Len after refill = %d, want %d", s.Len(), len(ps))
+	}
+}
+
+func TestMerge(t *testing.T) {
+	ps, _ := samplePaths(t)
+	a := FromPaths(ps[0], ps[1])
+	b := FromPaths(ps[2])
+	c := FromPaths(ps[3], ps[4])
+	got := Merge(a, nil, b, c)
+	if got.Len() != len(ps) {
+		t.Fatalf("Len = %d, want %d", got.Len(), len(ps))
+	}
+	// Deterministic: shard order is insertion order.
+	for i, p := range ps {
+		if !got.At(i).Equal(p) {
+			t.Errorf("position %d = %s, want %s", i, got.At(i), p)
+		}
+	}
+	// Merge dedupes across shards like AddAll.
+	dup := Merge(a, a, b)
+	if dup.Len() != 3 {
+		t.Errorf("duplicate merge Len = %d, want 3", dup.Len())
+	}
+}
+
+// TestFromOrderedDisjoint: the no-probe merge is indistinguishable from
+// repeated Add calls in the same order.
+func TestFromOrderedDisjoint(t *testing.T) {
+	ps, _ := samplePaths(t)
+	got := FromOrderedDisjoint([][]path.Path{ps[:2], ps[2:3], nil, ps[3:]})
+	want := FromPaths(ps...)
+	if got.Len() != want.Len() {
+		t.Fatalf("Len = %d, want %d", got.Len(), want.Len())
+	}
+	for i, p := range want.Paths() {
+		if !got.At(i).Equal(p) {
+			t.Errorf("position %d = %s, want %s", i, got.At(i), p)
+		}
+	}
+	// The index is live: membership and post-merge Add behave normally.
+	for _, p := range ps {
+		if !got.Contains(p) {
+			t.Errorf("missing %s", p)
+		}
+		if got.Add(p) {
+			t.Errorf("Add of existing %s returned true", p)
+		}
+	}
+}

@@ -127,6 +127,57 @@ func (s *Set) AddAll(t *Set) {
 	}
 }
 
+// Reset empties the set while keeping its allocated storage (the paths
+// slice and the fingerprint index map), so hot loops — e.g. the per-source
+// visited sets of the sharded product search — reuse one set per worker
+// instead of reallocating per source.
+func (s *Set) Reset() {
+	s.paths = s.paths[:0]
+	clear(s.index)
+	s.overflow = nil
+}
+
+// Merge builds one set containing the paths of every shard in argument
+// order, pre-sized to the summed shard lengths and deduplicating across
+// shards. It is the general-purpose companion of FromOrderedDisjoint:
+// use Merge when shards may overlap; the sharded evaluators, whose
+// shards provably partition the result, use FromOrderedDisjoint instead.
+func Merge(shards ...*Set) *Set {
+	n := 0
+	for _, sh := range shards {
+		if sh != nil {
+			n += sh.Len()
+		}
+	}
+	out := New(n)
+	for _, sh := range shards {
+		if sh != nil {
+			out.AddAll(sh)
+		}
+	}
+	return out
+}
+
+// FromOrderedDisjoint builds a set by concatenating pre-deduplicated path
+// groups in argument order. The caller guarantees the groups are mutually
+// disjoint and internally duplicate-free — true of shard outputs of a
+// source-partitioned search, where every path belongs to the shard of its
+// first node. Each path is indexed exactly once (no membership probe), so
+// this is the cheap merge for the sharded evaluators; the resulting set
+// is indistinguishable from repeated Add calls in the same order.
+func FromOrderedDisjoint(groups [][]path.Path) *Set {
+	n := 0
+	for _, g := range groups {
+		n += len(g)
+	}
+	s := &Set{paths: make([]path.Path, 0, n)}
+	for _, g := range groups {
+		s.paths = append(s.paths, g...)
+	}
+	s.reindex()
+	return s
+}
+
 // Union returns a new set containing the paths of s followed by the new
 // paths of t (the algebra's ∪ operator, duplicate-eliminating).
 func Union(s, t *Set) *Set {

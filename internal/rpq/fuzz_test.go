@@ -1,0 +1,43 @@
+package rpq_test
+
+import (
+	"testing"
+
+	"pathalgebra/internal/rpq"
+)
+
+// FuzzParseRPQ asserts the regular-path-expression parser never panics:
+// arbitrary input must yield either an expression or an error. A parsed
+// expression must additionally survive re-parsing its own rendering
+// (String is the parser's concrete syntax).
+func FuzzParseRPQ(f *testing.F) {
+	for _, seed := range []string{
+		":Knows+",
+		"(:Knows+)|(:Likes/:Has_creator)*",
+		"Knows|(Knows/Knows)",
+		`"Has creator"/:Likes?`,
+		"-+",
+		"((((:A))))*",
+		":A/:B|:C+?*",
+		"(",
+		")",
+		"|",
+		"//",
+		`"unterminated`,
+		`""`,
+		":",
+		"染色体/:Ünïcôdé+",
+		"\x00\xff\xfe",
+	} {
+		f.Add(seed)
+	}
+	f.Fuzz(func(t *testing.T, input string) {
+		e, err := rpq.Parse(input)
+		if err != nil {
+			return
+		}
+		if _, err := rpq.Parse(e.String()); err != nil {
+			t.Errorf("rendering of parsed %q does not re-parse: %q: %v", input, e.String(), err)
+		}
+	})
+}

@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"strings"
 	"unicode"
+	"unicode/utf8"
 )
 
 // Parse parses a regular path expression in the paper's GQL-like syntax:
@@ -51,8 +52,12 @@ type parser struct {
 }
 
 func (p *parser) skipSpace() {
-	for p.pos < len(p.src) && unicode.IsSpace(rune(p.src[p.pos])) {
-		p.pos++
+	for p.pos < len(p.src) {
+		r, size := utf8.DecodeRuneInString(p.src[p.pos:])
+		if !unicode.IsSpace(r) {
+			return
+		}
+		p.pos += size
 	}
 }
 
@@ -61,6 +66,16 @@ func (p *parser) peek() byte {
 		return p.src[p.pos]
 	}
 	return 0
+}
+
+// peekRune decodes the rune at the cursor; size 0 means end of input.
+// Labels are scanned rune-wise, not byte-wise, so multi-byte letters
+// (e.g. ":Ünïcôdé") survive a parse/render round trip intact.
+func (p *parser) peekRune() (rune, int) {
+	if p.pos >= len(p.src) {
+		return 0, 0
+	}
+	return utf8.DecodeRuneInString(p.src[p.pos:])
 }
 
 func (p *parser) parseAlt() (Expr, error) {
@@ -126,7 +141,8 @@ func (p *parser) parsePostfix() (Expr, error) {
 
 func (p *parser) parseAtom() (Expr, error) {
 	p.skipSpace()
-	switch c := p.peek(); {
+	c, size := p.peekRune()
+	switch {
 	case c == '(':
 		p.pos++
 		e, err := p.parseAlt()
@@ -147,9 +163,9 @@ func (p *parser) parseAtom() (Expr, error) {
 		return p.parseLabel()
 	case c == '"':
 		return p.parseLabel()
-	case isLabelStart(rune(c)):
+	case isLabelStart(c):
 		return p.parseLabel()
-	case c == 0:
+	case size == 0:
 		return nil, fmt.Errorf("rpq: unexpected end of expression")
 	default:
 		return nil, fmt.Errorf("rpq: unexpected %q at offset %d", c, p.pos)
@@ -175,8 +191,12 @@ func (p *parser) parseLabel() (Expr, error) {
 		return Label{Name: sb.String()}, nil
 	}
 	start := p.pos
-	for p.pos < len(p.src) && isLabelPart(rune(p.src[p.pos])) {
-		p.pos++
+	for {
+		r, size := p.peekRune()
+		if size == 0 || !isLabelPart(r) {
+			break
+		}
+		p.pos += size
 	}
 	if p.pos == start {
 		return nil, fmt.Errorf("rpq: expected label at offset %d", p.pos)

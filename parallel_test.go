@@ -1,0 +1,94 @@
+package pathalgebra
+
+import (
+	"fmt"
+	"testing"
+
+	"pathalgebra/internal/core"
+	"pathalgebra/internal/engine"
+	"pathalgebra/internal/gql"
+	"pathalgebra/internal/rpq"
+)
+
+// benchmarkQueryPlans enumerates the query plans exercised by the
+// benchmark suites (figures, Table 1 selectors, Table 2/3 restrictors,
+// Table 7 pipelines), each with the graph and limits its benchmark uses.
+func benchmarkQueryPlans(b interface{ Fatal(...any) }) (plans []struct {
+	name string
+	g    *Graph
+	plan PathExpr
+	lim  Limits
+}) {
+	add := func(name string, g *Graph, plan PathExpr, lim Limits) {
+		plans = append(plans, struct {
+			name string
+			g    *Graph
+			plan PathExpr
+			lim  Limits
+		}{name, g, plan, lim})
+	}
+	fig1 := Figure1()
+	add("figure2", fig1, gql.MustCompile(
+		`MATCH SIMPLE p = (?x {name:"Moe"})-[(:Knows+)|(:Likes/:Has_creator)+]->(?y {name:"Apu"})`), Limits{})
+	add("figure3", fig1, gql.MustCompile(
+		`MATCH WALK p = (?x {name:"Moe"})-[:Knows|(:Knows/:Knows)]->(?y)`), Limits{})
+	add("figure4", fig1, gql.MustCompile(
+		`MATCH SIMPLE p = (?x {name:"Moe"})-[(:Knows+)|(:Likes/:Has_creator)*]->(?y {name:"Apu"})`), Limits{})
+	add("figure5", fig1, gql.MustCompile(
+		`MATCH ANY SHORTEST TRAIL p = (?x)-[:Knows+]->(?y)`), Limits{})
+
+	g := benchGraph()
+	for _, sel := range gql.AllSelectors(2) {
+		pattern := rpq.Compile(rpq.MustParse(":Knows+"), core.Trail)
+		plan, err := gql.CompileSelector(sel, pattern)
+		if err != nil {
+			b.Fatal(err)
+		}
+		add("selector/"+sel.String(), g, plan, Limits{MaxLen: 8})
+	}
+	for _, sem := range core.AllSemantics() {
+		add("restrictor/"+sem.String(), g,
+			rpq.Compile(rpq.MustParse(":Knows+"), sem), Limits{MaxLen: 6})
+	}
+	for name, qs := range map[string]string{
+		"ALL_TRAIL":          `MATCH ALL TRAIL p = (?x)-[:Knows+]->(?y)`,
+		"ANY_SHORTEST_TRAIL": `MATCH ANY SHORTEST TRAIL p = (?x)-[:Knows+]->(?y)`,
+		"ALL_SHORTEST_TRAIL": `MATCH ALL SHORTEST TRAIL p = (?x)-[:Knows+]->(?y)`,
+		"SHORTEST_2_GROUP":   `MATCH SHORTEST 2 GROUP TRAIL p = (?x)-[:Knows+]->(?y)`,
+	} {
+		add("table7/"+name, g, gql.MustCompile(qs), Limits{MaxLen: 6})
+	}
+	return plans
+}
+
+// TestParallelDeterminism runs every benchmark query at parallelism 1, 2
+// and 8 and asserts byte-identical reported output: same formatted answer
+// and same insertion order (which downstream solution-space operators
+// observe).
+func TestParallelDeterminism(t *testing.T) {
+	for _, tc := range benchmarkQueryPlans(t) {
+		t.Run(tc.name, func(t *testing.T) {
+			eval := func(workers int) (*PathSet, string) {
+				eng := engine.New(tc.g, engine.Options{Limits: tc.lim, Parallelism: workers})
+				res, err := eng.EvalPaths(tc.plan)
+				if err != nil {
+					t.Fatalf("workers=%d: %v", workers, err)
+				}
+				return res, fmt.Sprintf("%d paths\n%s", res.Len(), res.Format(tc.g))
+			}
+			baseSet, baseReport := eval(1)
+			for _, workers := range []int{2, 8} {
+				set, report := eval(workers)
+				if report != baseReport {
+					t.Errorf("workers=%d: report output differs from sequential", workers)
+				}
+				for i, p := range baseSet.Paths() {
+					if !p.Equal(set.At(i)) {
+						t.Errorf("workers=%d: insertion order diverges at path %d", workers, i)
+						break
+					}
+				}
+			}
+		})
+	}
+}

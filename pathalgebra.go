@@ -188,6 +188,11 @@ type RunOptions struct {
 	Limits Limits
 	// NoOptimize executes the plan exactly as compiled.
 	NoOptimize bool
+	// Parallelism is the number of evaluation worker goroutines; <= 0
+	// selects GOMAXPROCS. Results are byte-identical for every value —
+	// parallel shards merge in the sequential order and the MaxPaths/
+	// MaxWork budgets are shared globally across workers.
+	Parallelism int
 }
 
 // Run parses, compiles, optimizes and executes a query in one call.
@@ -203,7 +208,7 @@ func Run(g *Graph, query string, opts RunOptions) (*PathSet, error) {
 	if !opts.NoOptimize {
 		plan, _ = Optimize(plan)
 	}
-	eng := engine.New(g, engine.Options{Limits: opts.Limits})
+	eng := engine.New(g, engine.Options{Limits: opts.Limits, Parallelism: opts.Parallelism})
 	return eng.EvalPaths(plan)
 }
 
