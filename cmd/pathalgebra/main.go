@@ -224,9 +224,9 @@ func cmdRun(args []string) error {
 	}
 	if *qf.stats {
 		s := eng.Stats()
-		fmt.Printf("stats: paths=%d joinProbes=%d indexedScans=%d recursions=%d fpCollisions=%d parallel=%d\n",
+		fmt.Printf("stats: paths=%d joinProbes=%d indexedScans=%d recursions=%d fpCollisions=%d parallel=%d symbols=%d\n",
 			s.PathsProduced, s.JoinProbes, s.IndexedScans, s.Recursions, s.FingerprintCollisions,
-			eng.Parallelism())
+			eng.Parallelism(), g.NumSymbols())
 	}
 	return nil
 }

@@ -12,33 +12,14 @@ import (
 	"pathalgebra/internal/pathset"
 )
 
-// visitedSet is the product search's mark set of (path, NFA state) pairs:
-// one fingerprint-indexed pathset.Set per state, so the identity check —
-// fingerprint bucket plus exact-Equal fallback on collision — lives in a
-// single place and no key strings are materialized. Each search shard owns
-// its own visitedSet: paths record their start node, so (path, state)
-// pairs from different source nodes can never collide and per-source sets
-// partition the global mark set exactly.
-type visitedSet []*pathset.Set
-
-func newVisitedSet(nfa *NFA) visitedSet {
-	v := make(visitedSet, nfa.NumStates())
-	for s := range v {
-		v[s] = pathset.New(0)
-	}
-	return v
-}
-
-// mark records (p, s) and reports whether the pair was new.
-func (v visitedSet) mark(p path.Path, s StateID) bool { return v[s].Add(p) }
-
-// reset empties every per-state set, keeping allocated storage, so one
-// visitedSet serves every source a worker processes.
-func (v visitedSet) reset() {
-	for _, s := range v {
-		s.Reset()
-	}
-}
+// The product search is copy-free: search states hold path.Ref handles
+// into a per-worker prefix-sharing arena (see internal/path/arena.go), so
+// extending a path is an O(1) arena append, admissibility checks are
+// allocation-free parent-chain walks, and a path's node/edge slices are
+// materialized exactly once — when it is admitted into the result set.
+// Transition dispatch is symbol-interned: the NFA is compiled against the
+// graph's label symbol table (CompiledNFA) and the inner loop iterates
+// only the adjacency runs whose symbol the current state can read.
 
 // Eval evaluates the regular path query described by the automaton over
 // every pair of endpoints in g, returning the matching paths under the
@@ -57,7 +38,7 @@ func Eval(g *graph.Graph, nfa *NFA, sem core.Semantics, lim core.Limits) (*paths
 }
 
 // EvalParallel is Eval sharded across worker goroutines by source node:
-// every source runs its own product search with a private frontier,
+// every source runs its own product search with a private arena, frontier,
 // scratch and visited set, and the per-source result shards are merged
 // deterministically afterwards. Because every path belongs to exactly one
 // source (its first node), the shard searches partition the sequential
@@ -76,10 +57,11 @@ func Eval(g *graph.Graph, nfa *NFA, sem core.Semantics, lim core.Limits) (*paths
 func EvalParallel(g *graph.Graph, nfa *NFA, sem core.Semantics, lim core.Limits, workers int) (*pathset.Set, error) {
 	workers = normalizeWorkers(workers, g.NumNodes())
 	bud := core.NewBudget(lim)
+	c := nfa.Compile(g)
 	if sem == core.Shortest {
-		return evalShortest(g, nfa, lim, bud, workers)
+		return evalShortest(g, c, lim, bud, workers)
 	}
-	return evalSearch(g, nfa, sem, lim, bud, workers)
+	return evalSearch(g, c, sem, lim, bud, workers)
 }
 
 func normalizeWorkers(workers, sources int) int {
@@ -131,17 +113,68 @@ func runSharded[S any](n, workers int, newScratch func() S, run func(sc S, src i
 	wg.Wait()
 }
 
+// symbolScan is one (matching edges, target states) pair produced by
+// scanRuns for the search inner loop.
+type symbolScan struct {
+	edges   []graph.EdgeID
+	targets []StateID
+}
+
+// scanRuns fills dst (reused scratch) with the label-homogeneous adjacency
+// runs of n readable from state s, paired with their target states, in
+// ascending symbol order. It picks the cheaper driver per call: iterate
+// the node's runs when the state reads every symbol (any-label) or more
+// symbols than the node has runs, else iterate the state's symbol set with
+// a binary-search lookup per symbol. Both drivers enumerate the same
+// intersection in the same order, so the choice never affects results.
+func scanRuns(dst []symbolScan, g *graph.Graph, c *CompiledNFA, n graph.NodeID, s StateID) []symbolScan {
+	dst = dst[:0]
+	runs := g.OutRuns(n)
+	syms := c.StateSymbols(s)
+	if c.AllSymbols(s) || len(syms) >= len(runs) {
+		for _, run := range runs {
+			if targets := c.Trans(s, run.Sym); len(targets) > 0 {
+				dst = append(dst, symbolScan{edges: run.Edges, targets: targets})
+			}
+		}
+		return dst
+	}
+	for _, sym := range syms {
+		if edges := g.OutWithSymbol(n, sym); len(edges) > 0 {
+			dst = append(dst, symbolScan{edges: edges, targets: c.Trans(s, sym)})
+		}
+	}
+	return dst
+}
+
+// searchItem is one product-search state: an arena path handle plus the
+// NFA state reached by reading its label word.
 type searchItem struct {
-	p     path.Path
+	ref   path.Ref
 	state StateID
 }
 
-// evalScratch is one worker's reusable working storage: frontier slices
-// and the per-source visited set survive across the sources the worker
-// processes.
+// evalScratch is one worker's reusable working storage: the path arena,
+// frontier slices and the per-state visited RefSets survive across the
+// sources the worker processes (the arena resets between sources, which
+// keeps refs 32-bit and makes per-source cleanup a slice truncation).
+// Paths record their start node, so (path, state) pairs from different
+// source nodes can never collide and per-source visited sets partition
+// the global mark set exactly.
 type evalScratch struct {
+	arena          *path.Arena
 	frontier, next []searchItem
-	visited        visitedSet
+	runs           []symbolScan
+	visited        []*path.RefSet // per NFA state
+}
+
+func newEvalScratch(states int) *evalScratch {
+	a := path.NewArena(0)
+	sc := &evalScratch{arena: a, visited: make([]*path.RefSet, states)}
+	for s := range sc.visited {
+		sc.visited[s] = path.NewRefSet(a)
+	}
+	return sc
 }
 
 // shard is one source node's slice of the result: the admitted paths in
@@ -154,13 +187,13 @@ type shard struct {
 	err    error
 }
 
-func evalSearch(g *graph.Graph, nfa *NFA, sem core.Semantics, lim core.Limits, bud *core.Budget, workers int) (*pathset.Set, error) {
+func evalSearch(g *graph.Graph, c *CompiledNFA, sem core.Semantics, lim core.Limits, bud *core.Budget, workers int) (*pathset.Set, error) {
 	n := g.NumNodes()
 	shards := make([]*shard, n)
 	runSharded(n, workers,
-		func() *evalScratch { return &evalScratch{visited: newVisitedSet(nfa)} },
+		func() *evalScratch { return newEvalScratch(c.nfa.NumStates()) },
 		func(sc *evalScratch, src int) bool {
-			sh := evalSource(g, nfa, sem, lim, graph.NodeID(src), bud, sc)
+			sh := evalSource(g, c, sem, lim, graph.NodeID(src), bud, sc)
 			shards[src] = sh
 			return sh.err == nil
 		})
@@ -176,14 +209,19 @@ func evalSearch(g *graph.Graph, nfa *NFA, sem core.Semantics, lim core.Limits, b
 // path charges ChargePath (1 path + Len+1 work — including the length-zero
 // seed path when the automaton accepts the empty word), and every visited
 // mark that extends the frontier charges ChargeWork.
-func evalSource(g *graph.Graph, nfa *NFA, sem core.Semantics, lim core.Limits, src graph.NodeID, bud *core.Budget, sc *evalScratch) *shard {
+func evalSource(g *graph.Graph, c *CompiledNFA, sem core.Semantics, lim core.Limits, src graph.NodeID, bud *core.Budget, sc *evalScratch) *shard {
+	nfa := c.nfa
 	// The zero Set defers its index allocation until the first Add, so
 	// sources admitting no paths cost no map allocation.
 	sh := &shard{set: new(pathset.Set)}
-	sc.visited.reset()
-	seed := path.FromNode(src)
-	sc.visited.mark(seed, 0)
-	frontier := append(sc.frontier[:0], searchItem{p: seed, state: 0})
+	a := sc.arena
+	a.Reset()
+	for _, v := range sc.visited {
+		v.Reset()
+	}
+	seed := a.Leaf(src)
+	sc.visited[0].Add(seed)
+	frontier := append(sc.frontier[:0], searchItem{ref: seed, state: 0})
 	next := sc.next[:0]
 	finish := func(err error) *shard {
 		sh.err = err
@@ -192,7 +230,7 @@ func evalSource(g *graph.Graph, nfa *NFA, sem core.Semantics, lim core.Limits, s
 		return sh
 	}
 	if nfa.AcceptsEmpty() {
-		sh.set.Add(seed)
+		sh.set.AddArena(a, seed)
 		if !bud.ChargePath(0) {
 			return finish(core.ErrBudgetExceeded)
 		}
@@ -201,34 +239,41 @@ func evalSource(g *graph.Graph, nfa *NFA, sem core.Semantics, lim core.Limits, s
 	for len(frontier) > 0 {
 		next = next[:0]
 		for _, it := range frontier {
-			if lim.MaxLen > 0 && it.p.Len() >= lim.MaxLen {
+			if lim.MaxLen > 0 && a.PathLen(it.ref) >= lim.MaxLen {
 				continue
 			}
-			for _, eid := range g.Out(it.p.Last()) {
-				label := g.EdgeLabel(eid)
-				var budgetErr error
-				nfa.Visit(it.state, label, func(q StateID) {
-					if budgetErr != nil {
-						return
+			sc.runs = scanRuns(sc.runs, g, c, a.Last(it.ref), it.state)
+			for _, rs := range sc.runs {
+				targets := rs.targets
+				for _, eid := range rs.edges {
+					_, dst := g.Endpoints(eid)
+					extend, admitOK := classifyExtend(sem, a, it.ref, eid, dst)
+					if !extend && !admitOK {
+						continue
 					}
-					np := it.p.Extend(g, eid)
-					extend, admit := classify(sem, np, nfa.Accepting(q))
-					if admit && sh.set.Add(np) {
-						if !bud.ChargePath(np.Len()) {
-							budgetErr = core.ErrBudgetExceeded
-							return
+					// Speculative O(1) extension, shared by every target
+					// state; rolled back below if nothing retains it.
+					mark := a.Len()
+					np := a.Extend(it.ref, eid, dst)
+					npLen := a.PathLen(np)
+					kept := false
+					for _, q := range targets {
+						if admitOK && nfa.Accepting(q) && sh.set.AddArena(a, np) {
+							if !bud.ChargePath(npLen) {
+								return finish(core.ErrBudgetExceeded)
+							}
+						}
+						if extend && sc.visited[q].Add(np) {
+							if !bud.ChargeWork(npLen) {
+								return finish(core.ErrBudgetExceeded)
+							}
+							next = append(next, searchItem{ref: np, state: q})
+							kept = true
 						}
 					}
-					if extend && sc.visited.mark(np, q) {
-						if !bud.ChargeWork(np.Len()) {
-							budgetErr = core.ErrBudgetExceeded
-							return
-						}
-						next = append(next, searchItem{p: np, state: q})
+					if !kept {
+						a.TruncateTo(mark)
 					}
-				})
-				if budgetErr != nil {
-					return finish(budgetErr)
 				}
 			}
 		}
@@ -281,28 +326,31 @@ func mergeShards(shards []*shard) (*pathset.Set, error) {
 	return out, nil
 }
 
-// classify decides, for a freshly extended path, whether the search may
-// keep extending it and whether it is an answer (given an accepting
-// state). Pruning is sound because admissible prefixes characterize each
-// semantics: prefixes of trails are trails, prefixes of acyclic paths are
-// acyclic, and proper prefixes of simple paths are acyclic (the cycle may
-// only close at the very end).
-func classify(sem core.Semantics, p path.Path, accepting bool) (extend, admit bool) {
+// classifyExtend decides, for the admissible frontier path r about to be
+// extended by edge e to node dst, whether the extension may keep growing
+// (extend) and whether it is an answer at an accepting state (admitOK; the
+// caller still ANDs in acceptance). It is the incremental counterpart of
+// the per-path restrictor predicates: because every frontier path is
+// admissible-for-extension by induction — prefixes of trails are trails,
+// prefixes of acyclic paths are acyclic, and proper prefixes of simple
+// paths are acyclic (the cycle may only close at the very end) — one walk
+// up r's parent chain decides both answers with no allocation.
+func classifyExtend(sem core.Semantics, a *path.Arena, r path.Ref, e graph.EdgeID, dst graph.NodeID) (extend, admitOK bool) {
 	switch sem {
 	case core.Walk:
-		return true, accepting
+		return true, true
 	case core.Trail:
-		ok := p.IsTrail()
-		return ok, ok && accepting
+		ok := !a.ContainsEdge(r, e)
+		return ok, ok
 	case core.Acyclic:
-		ok := p.IsAcyclic()
-		return ok, ok && accepting
+		ok := !a.ContainsNode(r, dst)
+		return ok, ok
 	case core.Simple:
-		if p.IsAcyclic() {
-			return true, accepting
+		if !a.ContainsNode(r, dst) {
+			return true, true
 		}
-		// Not acyclic: admissible only if it just closed its cycle.
-		return false, accepting && p.IsSimple()
+		// dst repeats: admissible only as the closing node of a cycle.
+		return false, dst == a.First(r)
 	default:
 		return false, false
 	}
@@ -315,20 +363,21 @@ func classify(sem core.Semantics, p path.Path, accepting bool) (extend, admit bo
 // are already independent here, so sharding distributes whole sources and
 // the merge is a plain source-order concatenation — the sequential
 // insertion order.
-func evalShortest(g *graph.Graph, nfa *NFA, lim core.Limits, bud *core.Budget, workers int) (*pathset.Set, error) {
+func evalShortest(g *graph.Graph, c *CompiledNFA, lim core.Limits, bud *core.Budget, workers int) (*pathset.Set, error) {
 	n := g.NumNodes()
 	sets := make([]*pathset.Set, n)
 	errs := make([]error, n)
 	runSharded(n, workers,
 		func() *shortestScratch {
 			return &shortestScratch{
+				arena:  path.NewArena(0),
 				dist:   make(map[productState]int32, n),
 				minAcc: make(map[graph.NodeID]int32, n),
 			}
 		},
 		func(sc *shortestScratch, src int) bool {
 			out := new(pathset.Set) // index allocated lazily on first Add
-			err := shortestFrom(g, nfa, graph.NodeID(src), lim.MaxLen, bud, out, sc)
+			err := shortestFrom(g, c, graph.NodeID(src), lim.MaxLen, bud, out, sc)
 			sets[src], errs[src] = out, err
 			return err == nil
 		})
@@ -354,25 +403,40 @@ type productState struct {
 	state StateID
 }
 
+// errBudget is the pre-wrapped budget error of the shortest evaluator, so
+// the happy path never pays the fmt.Errorf allocation.
+var errBudget = fmt.Errorf("automaton: %w", core.ErrBudgetExceeded)
+
 // shortestScratch holds the per-source working storage of shortestFrom so
 // consecutive sources reuse it instead of reallocating.
 type shortestScratch struct {
+	arena          *path.Arena
 	dist           map[productState]int32
 	minAcc         map[graph.NodeID]int32
 	frontier, next []productState
 	work           []shortestItem
+	runs           []symbolScan
 }
 
 type shortestItem struct {
-	p     path.Path
+	ref   path.Ref
 	state StateID
 }
 
-func shortestFrom(g *graph.Graph, nfa *NFA, src graph.NodeID, maxLen int, bud *core.Budget, result *pathset.Set, sc *shortestScratch) error {
+// shortestFrom evaluates Shortest semantics for one source. Both phases
+// charge the shared work budget — every discovered product state in the
+// phase-1 BFS and every pushed enumeration state in phase 2 accounts its
+// node slots — so Limits.MaxWork bounds Shortest evaluation like every
+// other semantics; admitted result paths additionally charge ChargePath.
+func shortestFrom(g *graph.Graph, c *CompiledNFA, src graph.NodeID, maxLen int, bud *core.Budget, result *pathset.Set, sc *shortestScratch) error {
+	nfa := c.nfa
 	// Phase 1: BFS distances over the product space.
 	clear(sc.dist)
 	dist := sc.dist
 	dist[productState{node: src, state: 0}] = 0
+	if !bud.ChargeWork(0) {
+		return errBudget
+	}
 	frontier := append(sc.frontier[:0], productState{node: src, state: 0})
 	next := sc.next[:0]
 	depth := int32(0)
@@ -380,16 +444,22 @@ func shortestFrom(g *graph.Graph, nfa *NFA, src graph.NodeID, maxLen int, bud *c
 		depth++
 		next = next[:0]
 		for _, ps := range frontier {
-			for _, eid := range g.Out(ps.node) {
-				label := g.EdgeLabel(eid)
-				_, dst := g.Endpoints(eid)
-				nfa.Visit(ps.state, label, func(q StateID) {
-					nps := productState{node: dst, state: q}
-					if _, seen := dist[nps]; !seen {
-						dist[nps] = depth
-						next = append(next, nps)
+			sc.runs = scanRuns(sc.runs, g, c, ps.node, ps.state)
+			for _, rs := range sc.runs {
+				for _, eid := range rs.edges {
+					_, dst := g.Endpoints(eid)
+					for _, q := range rs.targets {
+						nps := productState{node: dst, state: q}
+						if _, seen := dist[nps]; !seen {
+							dist[nps] = depth
+							if !bud.ChargeWork(int(depth)) {
+								sc.frontier, sc.next = frontier, next
+								return errBudget
+							}
+							next = append(next, nps)
+						}
 					}
-				})
+				}
 			}
 		}
 		frontier, next = next, frontier
@@ -414,27 +484,47 @@ func shortestFrom(g *graph.Graph, nfa *NFA, src graph.NodeID, maxLen int, bud *c
 
 	// Phase 2: enumerate all paths that are shortest product walks at
 	// every prefix; admit those reaching their target at its minimum.
-	work := append(sc.work[:0], shortestItem{p: path.FromNode(src), state: 0})
+	// Paths live in the arena; each admitted path materializes once.
+	a := sc.arena
+	a.Reset()
+	if !bud.ChargeWork(0) {
+		return errBudget
+	}
+	work := append(sc.work[:0], shortestItem{ref: a.Leaf(src), state: 0})
 	for len(work) > 0 {
 		it := work[len(work)-1]
 		work = work[:len(work)-1]
+		itLen := a.PathLen(it.ref)
+		last := a.Last(it.ref)
 		if nfa.Accepting(it.state) {
-			if m, ok := minAcc[it.p.Last()]; ok && it.p.Len() == int(m) {
-				if result.Add(it.p) && !bud.ChargePath(it.p.Len()) {
+			if m, ok := minAcc[last]; ok && itLen == int(m) {
+				if result.AddArena(a, it.ref) && !bud.ChargePath(itLen) {
 					sc.work = work
-					return fmt.Errorf("automaton: %w", core.ErrBudgetExceeded)
+					return errBudget
 				}
 			}
 		}
-		for _, eid := range g.Out(it.p.Last()) {
-			label := g.EdgeLabel(eid)
-			_, dst := g.Endpoints(eid)
-			nfa.Visit(it.state, label, func(q StateID) {
-				nps := productState{node: dst, state: q}
-				if d, ok := dist[nps]; ok && int(d) == it.p.Len()+1 {
-					work = append(work, shortestItem{p: it.p.Extend(g, eid), state: q})
+		sc.runs = scanRuns(sc.runs, g, c, last, it.state)
+		for _, rs := range sc.runs {
+			for _, eid := range rs.edges {
+				_, dst := g.Endpoints(eid)
+				// One arena entry per edge, shared by all target states.
+				var np path.Ref
+				created := false
+				for _, q := range rs.targets {
+					if d, ok := dist[productState{node: dst, state: q}]; ok && int(d) == itLen+1 {
+						if !created {
+							np = a.Extend(it.ref, eid, dst)
+							created = true
+						}
+						if !bud.ChargeWork(itLen + 1) {
+							sc.work = work
+							return errBudget
+						}
+						work = append(work, shortestItem{ref: np, state: q})
+					}
 				}
-			})
+			}
 		}
 	}
 	sc.work = work

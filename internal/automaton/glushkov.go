@@ -43,22 +43,11 @@ func (n *NFA) Accepting(s StateID) bool { return n.accepting[s] }
 // whether length-zero paths match the expression.
 func (n *NFA) AcceptsEmpty() bool { return n.accepting[0] }
 
-// Step returns the states reachable from s by reading an edge labelled
-// label. The result slice is computed per call; callers on hot paths use
-// StepFunc.
-func (n *NFA) Step(s StateID, label string) []StateID {
-	var out []StateID
-	for _, q := range n.next[s] {
-		p := n.positions[q-1]
-		if p.any || p.label == label {
-			out = append(out, q)
-		}
-	}
-	return out
-}
-
 // Visit calls fn for every state reachable from s by reading label,
-// without allocating.
+// without allocating. It is the automaton's sole transition API and the
+// definitional reference for CompiledNFA (see symbols.go), which the
+// evaluator uses instead: Visit compares label strings, the compiled form
+// dispatches on interned graph symbols.
 func (n *NFA) Visit(s StateID, label string, fn func(StateID)) {
 	for _, q := range n.next[s] {
 		p := n.positions[q-1]

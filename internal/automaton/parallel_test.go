@@ -85,6 +85,30 @@ func TestEvalParallelSharedBudget(t *testing.T) {
 	}
 }
 
+// TestShortestWorkBudget is the regression test for the Shortest MaxWork
+// bypass: shortestFrom used to charge only ChargePath for admitted result
+// paths — neither the phase-1 product BFS nor the phase-2 enumeration
+// stack ever charged ChargeWork — so Limits.MaxWork did not bound
+// Shortest-semantics evaluation at all. Both phases now charge work on
+// product-state discovery and on enumeration pushes, so a small MaxWork
+// must trip ErrBudgetExceeded even when MaxPaths would never be reached.
+func TestShortestWorkBudget(t *testing.T) {
+	g := ldbc.MustGenerate(ldbc.Config{
+		Persons: 20, KnowsPerPerson: 3, CycleFraction: 0.5, Seed: 3,
+	})
+	nfa := automaton.Build(rpq.MustParse(":Knows+"))
+	for _, workers := range []int{1, 2, 4} {
+		_, err := automaton.EvalParallel(g, nfa, core.Shortest, core.Limits{MaxWork: 8}, workers)
+		if !errors.Is(err, core.ErrBudgetExceeded) {
+			t.Errorf("workers=%d: MaxWork=8 under Shortest: want ErrBudgetExceeded, got %v", workers, err)
+		}
+	}
+	// A generous budget evaluates cleanly.
+	if _, err := automaton.Eval(g, nfa, core.Shortest, core.Limits{}); err != nil {
+		t.Errorf("default budget under Shortest: unexpected error %v", err)
+	}
+}
+
 // TestEvalSeedWorkBudget is the regression test for the MaxWork bypass:
 // the length-zero seed paths admitted when the automaton accepts the
 // empty word must charge the work budget (1 node slot each) like every

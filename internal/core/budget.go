@@ -13,12 +13,11 @@ import "sync/atomic"
 //
 //   - every admitted result path of edge length n charges 1 path and
 //     n+1 work units (its node slots) — ChargePath;
-//   - every additionally materialized search state (e.g. a visited mark
-//     of the BFS product search) charges n+1 work units — ChargeWork.
-//
-// Shortest-semantics evaluation charges only admitted paths: its
-// per-source distance maps and enumeration stacks are bounded by the
-// product-space size, not by the result, and stay outside MaxWork.
+//   - every additionally materialized search state charges n+1 work units
+//     — ChargeWork. That covers the visited marks of the BFS product
+//     search, and under Shortest semantics the discovered product states
+//     of the phase-1 distance BFS and the pushes of the phase-2
+//     enumeration stack, so MaxWork bounds every semantics.
 //
 // Both charges are atomic adds, so exceeding the budget is detected
 // promptly but totals near the boundary may overshoot by at most one

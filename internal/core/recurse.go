@@ -71,6 +71,14 @@ func (l Limits) withinLen(p path.Path) bool {
 // path only closes its cycle at the very last node, so proper prefixes are
 // acyclic), hence frontier filtering loses no answers. Shortest uses a
 // uniform-cost search; see evalShortest. Walk enumerates under Limits.
+//
+// The closure frontier lives in a prefix-sharing path.Arena: a join step
+// appends only the joined base path's edges (sharing the whole left-hand
+// prefix), admissibility is checked incrementally edge-by-edge against the
+// parent chain instead of re-deriving a repetition map per candidate, and
+// rejected or duplicate candidates roll back via arena truncation, so they
+// cost no retained memory at all. Candidates materialize slices only on
+// admission into the result set.
 func EvalRecurse(sem Semantics, base *pathset.Set, lim Limits) (*pathset.Set, error) {
 	if sem == Shortest {
 		return evalShortest(base, lim)
@@ -87,28 +95,76 @@ func EvalRecurse(sem Semantics, base *pathset.Set, lim Limits) (*pathset.Set, er
 	basePaths := admissible.Paths()
 	byFirst := indexByFirst(basePaths)
 
-	frontier := append([]path.Path(nil), basePaths...)
+	arena := path.NewArena(2 * len(basePaths))
+	frontier := make([]path.Ref, 0, len(basePaths))
+	for _, p := range basePaths {
+		frontier = append(frontier, arena.FromPath(p))
+	}
 	// next reuses its storage across rounds via the swap below.
-	next := make([]path.Path, 0, len(frontier))
+	next := make([]path.Ref, 0, len(frontier))
 	for len(frontier) > 0 {
 		next = next[:0]
-		for _, p := range frontier {
-			for _, bi := range byFirst[p.Last()] {
-				q := p.Concat(basePaths[bi])
-				if !lim.withinLen(q) || !sem.Admits(q) {
+		for _, r := range frontier {
+			if sem == Simple && arena.PathLen(r) > 0 && arena.First(r) == arena.Last(r) {
+				// A closed simple cycle cannot extend to another simple
+				// path: its first node would repeat in the interior.
+				continue
+			}
+			for _, bi := range byFirst[arena.Last(r)] {
+				mark := arena.Len()
+				q, ok := appendJoin(arena, r, basePaths[bi], sem, lim)
+				if !ok {
+					arena.TruncateTo(mark)
 					continue
 				}
-				if result.Add(q) {
+				if result.AddArena(arena, q) {
 					next = append(next, q)
-					if !bud.ChargePath(q.Len()) {
+					if !bud.ChargePath(arena.PathLen(q)) {
 						return result, ErrBudgetExceeded
 					}
+				} else {
+					arena.TruncateTo(mark)
 				}
 			}
 		}
 		frontier, next = next, frontier
 	}
 	return result, nil
+}
+
+// appendJoin computes r ◦ b in the arena, one edge at a time, aborting as
+// soon as the growing path violates the semantics or the length bound.
+// The incremental checks are exact because r is admissible (frontier
+// invariant; closed Simple cycles are filtered by the caller): a trail
+// stays a trail iff the appended edge is fresh, an acyclic path stays
+// acyclic iff the appended node is fresh, and a simple path may repeat a
+// node only by closing the cycle at its very last position. On !ok the
+// caller truncates the arena back to its pre-call length.
+func appendJoin(a *path.Arena, r path.Ref, b path.Path, sem Semantics, lim Limits) (path.Ref, bool) {
+	if lim.MaxLen > 0 && a.PathLen(r)+b.Len() > lim.MaxLen {
+		return r, false
+	}
+	edges, nodes := b.Edges(), b.Nodes()
+	cur := r
+	for i, e := range edges {
+		dst := nodes[i+1]
+		switch sem {
+		case Trail:
+			if a.ContainsEdge(cur, e) {
+				return cur, false
+			}
+		case Acyclic:
+			if a.ContainsNode(cur, dst) {
+				return cur, false
+			}
+		case Simple:
+			if a.ContainsNode(cur, dst) && (i != len(edges)-1 || dst != a.First(cur)) {
+				return cur, false
+			}
+		}
+		cur = a.Extend(cur, e, dst)
+	}
+	return cur, true
 }
 
 // indexByFirst indexes the positive-length paths of ps by their first node,

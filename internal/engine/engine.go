@@ -102,11 +102,18 @@ type Stats struct {
 	ExpandedRecursions int64
 	// FingerprintCollisions counts activations of the exact-equality
 	// fallback in fingerprint-bucketed path sets during this engine's
-	// evaluations (measured as the process-wide pathset.Collisions delta,
-	// so concurrent engines see each other's collisions). Nonzero values
-	// are harmless — the fallback preserves exactness — but should be
-	// vanishingly rare.
+	// evaluations — both materialized sets (pathset.Collisions) and the
+	// product search's arena-resident visited sets (path.ArenaCollisions).
+	// It is measured as the process-wide counter delta, so concurrent
+	// engines see each other's collisions. Nonzero values are harmless —
+	// the fallback preserves exactness — but should be vanishingly rare.
 	FingerprintCollisions int64
+}
+
+// fingerprintCollisions sums the process-wide collision counters of the
+// two fingerprint-bucketed path-identity structures.
+func fingerprintCollisions() int64 {
+	return pathset.Collisions() + path.ArenaCollisions()
 }
 
 // Engine evaluates plans against one graph. Evaluation methods are not
@@ -119,14 +126,14 @@ type Engine struct {
 	g     *graph.Graph
 	opts  Options
 	stats Stats
-	// collisionBase is the pathset.Collisions reading at construction (or
-	// last ResetStats); Stats reports the delta since then.
+	// collisionBase is the fingerprintCollisions reading at construction
+	// (or last ResetStats); Stats reports the delta since then.
 	collisionBase int64
 }
 
 // New returns an engine over g with the given options.
 func New(g *graph.Graph, opts Options) *Engine {
-	return &Engine{g: g, opts: opts, collisionBase: pathset.Collisions()}
+	return &Engine{g: g, opts: opts, collisionBase: fingerprintCollisions()}
 }
 
 // Graph returns the engine's graph.
@@ -144,7 +151,7 @@ func (e *Engine) Stats() Stats {
 		IndexedScans:          atomic.LoadInt64(&e.stats.IndexedScans),
 		Recursions:            atomic.LoadInt64(&e.stats.Recursions),
 		ExpandedRecursions:    atomic.LoadInt64(&e.stats.ExpandedRecursions),
-		FingerprintCollisions: pathset.Collisions() - e.collisionBase,
+		FingerprintCollisions: fingerprintCollisions() - e.collisionBase,
 	}
 }
 
@@ -154,7 +161,7 @@ func addStat(counter *int64, n int64) { atomic.AddInt64(counter, n) }
 // ResetStats zeroes the counters.
 func (e *Engine) ResetStats() {
 	e.stats = Stats{}
-	e.collisionBase = pathset.Collisions()
+	e.collisionBase = fingerprintCollisions()
 }
 
 // EvalPaths evaluates a path-sorted expression to a set of paths.

@@ -20,6 +20,24 @@ type NodeID uint32
 // EdgeID identifies an edge within one Graph. IDs are dense: 0..NumEdges-1.
 type EdgeID uint32
 
+// SymbolID is the dense intern ID of an edge label within one Graph.
+// Symbols are assigned at Build in lexicographic label order, so they are
+// stable for a given edge-label set: 0..NumSymbols-1. The evaluator works
+// entirely in SymbolIDs — every per-edge label comparison on the hot path
+// is an integer compare against the interned symbol, never a string.
+type SymbolID int32
+
+// NoSymbol is returned by SymbolOf for labels that no edge carries.
+const NoSymbol SymbolID = -1
+
+// SymbolRun is one label-homogeneous run of a node's CSR adjacency range:
+// the edges with symbol Sym, ascending by edge ID. Edges aliases the CSR
+// data array; do not modify.
+type SymbolRun struct {
+	Sym   SymbolID
+	Edges []EdgeID
+}
+
 // Node is an entity of the graph. Label may be empty (λ is partial) and
 // Props may be nil (ν is partial).
 type Node struct {
@@ -48,9 +66,22 @@ type Graph struct {
 	nodeByKey map[string]NodeID
 	edgeByKey map[string]EdgeID
 
-	// Adjacency, built once: edge IDs ordered by ID for determinism.
-	out [][]EdgeID // outgoing edges per node
-	in  [][]EdgeID // incoming edges per node
+	// Edge-label symbol table, built once at Build: symbols holds the
+	// distinct edge labels in lexicographic order, symbolOf inverts it,
+	// and edgeSym maps every edge to its interned symbol.
+	symbols  []string
+	symbolOf map[string]SymbolID
+	edgeSym  []SymbolID
+
+	// Adjacency in CSR form, built once: per node the edges occupy one
+	// contiguous range of the data array, partitioned into label-
+	// homogeneous runs — (symbol, edge ID) ascending — so the evaluator
+	// can iterate exactly the edges matching an automaton transition
+	// symbol with zero string hashing or comparison.
+	outOff, inOff       []int32     // node n's range: data[off[n]:off[n+1]]
+	outData, inData     []EdgeID    // CSR data arrays
+	outRunOff, inRunOff []int32     // node n's runs: runs[runOff[n]:runOff[n+1]]
+	outRuns, inRuns     []SymbolRun // flat per-(node, symbol) run descriptors
 
 	nodesByLabel map[string][]NodeID
 	edgesByLabel map[string][]EdgeID
@@ -93,11 +124,71 @@ func (g *Graph) Nodes() []Node { return g.nodes }
 // Edges returns all edges in ID order. The slice is shared; do not modify.
 func (g *Graph) Edges() []Edge { return g.edges }
 
-// Out returns the IDs of edges leaving n, in ascending edge-ID order.
-func (g *Graph) Out(n NodeID) []EdgeID { return g.out[n] }
+// Out returns the IDs of edges leaving n in the CSR order: ascending by
+// (label symbol, edge ID). The slice aliases the CSR data; do not modify.
+func (g *Graph) Out(n NodeID) []EdgeID { return g.outData[g.outOff[n]:g.outOff[n+1]] }
 
-// In returns the IDs of edges entering n, in ascending edge-ID order.
-func (g *Graph) In(n NodeID) []EdgeID { return g.in[n] }
+// In returns the IDs of edges entering n in (label symbol, edge ID) order.
+func (g *Graph) In(n NodeID) []EdgeID { return g.inData[g.inOff[n]:g.inOff[n+1]] }
+
+// OutRuns returns n's outgoing adjacency partitioned into label-homogeneous
+// runs, symbols ascending. The slice is shared; do not modify.
+func (g *Graph) OutRuns(n NodeID) []SymbolRun {
+	return g.outRuns[g.outRunOff[n]:g.outRunOff[n+1]]
+}
+
+// InRuns returns n's incoming adjacency partitioned into label-homogeneous
+// runs, symbols ascending.
+func (g *Graph) InRuns(n NodeID) []SymbolRun {
+	return g.inRuns[g.inRunOff[n]:g.inRunOff[n+1]]
+}
+
+// OutWithSymbol returns the edges leaving n whose label has the given
+// symbol, ascending by edge ID — the product search's inner-loop lookup.
+// It binary-searches n's runs (symbols are ascending), so the cost is
+// O(log runs(n)) and no non-matching edge is ever touched.
+func (g *Graph) OutWithSymbol(n NodeID, sym SymbolID) []EdgeID {
+	return findRun(g.outRuns[g.outRunOff[n]:g.outRunOff[n+1]], sym)
+}
+
+// InWithSymbol is OutWithSymbol for incoming edges.
+func (g *Graph) InWithSymbol(n NodeID, sym SymbolID) []EdgeID {
+	return findRun(g.inRuns[g.inRunOff[n]:g.inRunOff[n+1]], sym)
+}
+
+func findRun(runs []SymbolRun, sym SymbolID) []EdgeID {
+	lo, hi := 0, len(runs)
+	for lo < hi {
+		mid := (lo + hi) / 2
+		if runs[mid].Sym < sym {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	if lo < len(runs) && runs[lo].Sym == sym {
+		return runs[lo].Edges
+	}
+	return nil
+}
+
+// NumSymbols returns the size of the edge-label symbol table.
+func (g *Graph) NumSymbols() int { return len(g.symbols) }
+
+// SymbolName returns the label string interned as sym.
+func (g *Graph) SymbolName(sym SymbolID) string { return g.symbols[sym] }
+
+// SymbolOf returns the symbol interned for label, or NoSymbol when no edge
+// carries it.
+func (g *Graph) SymbolOf(label string) SymbolID {
+	if sym, ok := g.symbolOf[label]; ok {
+		return sym
+	}
+	return NoSymbol
+}
+
+// EdgeSymbol returns the interned label symbol of edge e.
+func (g *Graph) EdgeSymbol(e EdgeID) SymbolID { return g.edgeSym[e] }
 
 // NodesWithLabel returns node IDs labelled l, ascending.
 func (g *Graph) NodesWithLabel(l string) []NodeID { return g.nodesByLabel[l] }
@@ -207,7 +298,8 @@ func (b *Builder) AddEdge(key, srcKey, dstKey, label string, props map[string]Va
 // Err returns the first accumulated construction error, if any.
 func (b *Builder) Err() error { return b.err }
 
-// Build finalizes the graph, computing adjacency and label indexes.
+// Build finalizes the graph, interning edge labels into the symbol table
+// and computing the CSR adjacency and label indexes.
 func (b *Builder) Build() (*Graph, error) {
 	if b.err != nil {
 		return nil, b.err
@@ -217,15 +309,11 @@ func (b *Builder) Build() (*Graph, error) {
 		edges:        b.edges,
 		nodeByKey:    b.nodeByKey,
 		edgeByKey:    b.edgeByKey,
-		out:          make([][]EdgeID, len(b.nodes)),
-		in:           make([][]EdgeID, len(b.nodes)),
 		nodesByLabel: make(map[string][]NodeID),
 		edgesByLabel: make(map[string][]EdgeID),
 	}
 	for i := range g.edges {
 		e := &g.edges[i]
-		g.out[e.Src] = append(g.out[e.Src], e.ID)
-		g.in[e.Dst] = append(g.in[e.Dst], e.ID)
 		if e.Label != "" {
 			g.edgesByLabel[e.Label] = append(g.edgesByLabel[e.Label], e.ID)
 		}
@@ -236,7 +324,93 @@ func (b *Builder) Build() (*Graph, error) {
 			g.nodesByLabel[n.Label] = append(g.nodesByLabel[n.Label], n.ID)
 		}
 	}
+	g.buildSymbols()
+	symOrder := g.edgesBySymbol()
+	g.outOff, g.outData, g.outRunOff, g.outRuns = g.buildCSR(symOrder, func(e *Edge) NodeID { return e.Src })
+	g.inOff, g.inData, g.inRunOff, g.inRuns = g.buildCSR(symOrder, func(e *Edge) NodeID { return e.Dst })
 	return g, nil
+}
+
+// buildSymbols interns the distinct edge labels (including "" for
+// unlabelled edges, since λ is partial) in lexicographic order.
+func (g *Graph) buildSymbols() {
+	seen := make(map[string]bool)
+	for i := range g.edges {
+		seen[g.edges[i].Label] = true
+	}
+	g.symbols = make([]string, 0, len(seen))
+	for l := range seen {
+		g.symbols = append(g.symbols, l)
+	}
+	sort.Strings(g.symbols)
+	g.symbolOf = make(map[string]SymbolID, len(g.symbols))
+	for i, l := range g.symbols {
+		g.symbolOf[l] = SymbolID(i)
+	}
+	g.edgeSym = make([]SymbolID, len(g.edges))
+	for i := range g.edges {
+		g.edgeSym[i] = g.symbolOf[g.edges[i].Label]
+	}
+}
+
+// edgesBySymbol returns every edge ID ordered by (label symbol, ID) — the
+// symbol-major traversal both CSR builds consume. Counting sort, O(E+S).
+func (g *Graph) edgesBySymbol() []EdgeID {
+	counts := make([]int32, len(g.symbols)+1)
+	for _, s := range g.edgeSym {
+		counts[s+1]++
+	}
+	for i := 0; i < len(g.symbols); i++ {
+		counts[i+1] += counts[i]
+	}
+	out := make([]EdgeID, len(g.edges))
+	for i := range g.edges { // ascending ID keeps the ID-minor order stable
+		s := g.edgeSym[i]
+		out[counts[s]] = EdgeID(i)
+		counts[s]++
+	}
+	return out
+}
+
+// buildCSR flattens one adjacency direction into offset+data arrays with
+// each node's range partitioned into label-homogeneous runs: edges sort by
+// (endpoint node, label symbol, edge ID). Traversing the edges in
+// symbol-major order (symOrder) while appending at per-node cursors yields
+// each node's range already in (symbol, ID) order, so the whole build is
+// O(V+E+S) time and O(V) extra memory regardless of label cardinality.
+func (g *Graph) buildCSR(symOrder []EdgeID, endpoint func(*Edge) NodeID) (off []int32, data []EdgeID, runOff []int32, runs []SymbolRun) {
+	n := len(g.nodes)
+	off = make([]int32, n+1)
+	for i := range g.edges {
+		off[endpoint(&g.edges[i])+1]++
+	}
+	for i := 0; i < n; i++ {
+		off[i+1] += off[i]
+	}
+	data = make([]EdgeID, len(g.edges))
+	cursor := make([]int32, n)
+	for _, e := range symOrder {
+		v := endpoint(&g.edges[e])
+		data[off[v]+cursor[v]] = e
+		cursor[v]++
+	}
+	// Scan each node's range into runs.
+	runOff = make([]int32, n+1)
+	for v := 0; v < n; v++ {
+		runOff[v] = int32(len(runs))
+		lo := off[v]
+		for lo < off[v+1] {
+			sym := g.edgeSym[data[lo]]
+			hi := lo + 1
+			for hi < off[v+1] && g.edgeSym[data[hi]] == sym {
+				hi++
+			}
+			runs = append(runs, SymbolRun{Sym: sym, Edges: data[lo:hi:hi]})
+			lo = hi
+		}
+	}
+	runOff[n] = int32(len(runs))
+	return off, data, runOff, runs
 }
 
 // MustBuild is Build for tests and fixtures; it panics on error.

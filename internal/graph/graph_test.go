@@ -82,6 +82,100 @@ func TestAdjacency(t *testing.T) {
 	}
 }
 
+// TestSymbolTable checks the interned edge-label symbol table: dense,
+// lexicographically ordered, with "" interned for unlabelled edges.
+func TestSymbolTable(t *testing.T) {
+	b := NewBuilder()
+	b.AddNode("n1", "", nil)
+	b.AddNode("n2", "", nil)
+	b.AddEdge("e1", "n1", "n2", "Knows", nil)
+	b.AddEdge("e2", "n1", "n2", "", nil) // unlabelled: λ partial
+	b.AddEdge("e3", "n2", "n1", "Likes", nil)
+	b.AddEdge("e4", "n1", "n2", "Knows", nil)
+	g := b.MustBuild()
+	if got := g.NumSymbols(); got != 3 {
+		t.Fatalf("NumSymbols = %d, want 3 (\"\", Knows, Likes)", got)
+	}
+	for i, want := range []string{"", "Knows", "Likes"} {
+		if got := g.SymbolName(SymbolID(i)); got != want {
+			t.Errorf("SymbolName(%d) = %q, want %q", i, got, want)
+		}
+		if got := g.SymbolOf(want); got != SymbolID(i) {
+			t.Errorf("SymbolOf(%q) = %d, want %d", want, got, i)
+		}
+	}
+	if got := g.SymbolOf("Nope"); got != NoSymbol {
+		t.Errorf("SymbolOf(Nope) = %d, want NoSymbol", got)
+	}
+	for _, tc := range []struct {
+		key  string
+		want string
+	}{{"e1", "Knows"}, {"e2", ""}, {"e3", "Likes"}, {"e4", "Knows"}} {
+		e, _ := g.EdgeByKey(tc.key)
+		if got := g.SymbolName(g.EdgeSymbol(e.ID)); got != tc.want {
+			t.Errorf("EdgeSymbol(%s) = %q, want %q", tc.key, got, tc.want)
+		}
+	}
+}
+
+// TestCSRAdjacency checks the CSR layout invariants: each node's range
+// holds exactly its edges, in (symbol, edge ID) order, partitioned into
+// label-homogeneous runs, and OutWithSymbol/InWithSymbol answer exactly
+// the matching edges.
+func TestCSRAdjacency(t *testing.T) {
+	b := NewBuilder()
+	for _, k := range []string{"a", "b", "c"} {
+		b.AddNode(k, "", nil)
+	}
+	// Interleave labels so ID order differs from (symbol, ID) order.
+	b.AddEdge("e0", "a", "b", "Z", nil)
+	b.AddEdge("e1", "a", "c", "A", nil)
+	b.AddEdge("e2", "a", "b", "Z", nil)
+	b.AddEdge("e3", "a", "b", "A", nil)
+	b.AddEdge("e4", "b", "c", "Z", nil)
+	g := b.MustBuild()
+	a, _ := g.NodeByKey("a")
+
+	keys := func(ids []EdgeID) []string {
+		out := make([]string, len(ids))
+		for i, id := range ids {
+			out[i] = g.Edge(id).Key
+		}
+		return out
+	}
+	if got, want := strings.Join(keys(g.Out(a.ID)), ","), "e1,e3,e0,e2"; got != want {
+		t.Errorf("Out(a) = %s, want %s (symbol-major, ID-minor)", got, want)
+	}
+	runs := g.OutRuns(a.ID)
+	if len(runs) != 2 {
+		t.Fatalf("OutRuns(a) has %d runs, want 2", len(runs))
+	}
+	if g.SymbolName(runs[0].Sym) != "A" || g.SymbolName(runs[1].Sym) != "Z" {
+		t.Errorf("run symbols = %q,%q, want A,Z",
+			g.SymbolName(runs[0].Sym), g.SymbolName(runs[1].Sym))
+	}
+	if got, want := strings.Join(keys(g.OutWithSymbol(a.ID, g.SymbolOf("Z"))), ","), "e0,e2"; got != want {
+		t.Errorf("OutWithSymbol(a, Z) = %s, want %s", got, want)
+	}
+	if got := g.OutWithSymbol(a.ID, NoSymbol); got != nil {
+		t.Errorf("OutWithSymbol(a, NoSymbol) = %v, want nil", got)
+	}
+	bNode, _ := g.NodeByKey("b")
+	if got, want := strings.Join(keys(g.In(bNode.ID)), ","), "e3,e0,e2"; got != want {
+		t.Errorf("In(b) = %s, want %s", got, want)
+	}
+	if got, want := strings.Join(keys(g.InWithSymbol(bNode.ID, g.SymbolOf("A"))), ","), "e3"; got != want {
+		t.Errorf("InWithSymbol(b, A) = %s, want %s", got, want)
+	}
+	c, _ := g.NodeByKey("c")
+	if got := len(g.Out(c.ID)); got != 0 {
+		t.Errorf("Out(c) has %d edges, want 0", got)
+	}
+	if got := len(g.OutRuns(c.ID)); got != 0 {
+		t.Errorf("OutRuns(c) has %d runs, want 0", got)
+	}
+}
+
 func TestLabelIndexes(t *testing.T) {
 	g := buildSample(t)
 	if got := len(g.NodesWithLabel("Person")); got != 2 {

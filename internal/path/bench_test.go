@@ -29,20 +29,77 @@ func BenchmarkClassification(b *testing.B) {
 	g := ldbc.Figure1()
 	p := MustFromKeys(g, "n1", "e1", "n2", "e2", "n3", "e3", "n2", "e4", "n4")
 	b.Run("IsTrail", func(b *testing.B) {
+		b.ReportAllocs()
 		for i := 0; i < b.N; i++ {
 			p.IsTrail()
 		}
 	})
 	b.Run("IsAcyclic", func(b *testing.B) {
+		b.ReportAllocs()
 		for i := 0; i < b.N; i++ {
 			p.IsAcyclic()
 		}
 	})
 	b.Run("IsSimple", func(b *testing.B) {
+		b.ReportAllocs()
 		for i := 0; i < b.N; i++ {
 			p.IsSimple()
 		}
 	})
+}
+
+// BenchmarkArenaExtend measures the O(1) arena extension against the
+// copying Path.Extend above: one append, no slice copies.
+func BenchmarkArenaExtend(b *testing.B) {
+	g := ldbc.Figure1()
+	a := NewArena(0)
+	r := a.FromPath(MustFromKeys(g, "n1", "e1", "n2"))
+	e4, _ := g.EdgeByKey("e4")
+	_, dst := g.Endpoints(e4.ID)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		mark := a.Len()
+		a.Extend(r, e4.ID, dst)
+		a.TruncateTo(mark)
+	}
+}
+
+// BenchmarkArenaContains measures the incremental restrictor walk that
+// replaces the map-building Is* predicates on the search hot path.
+func BenchmarkArenaContains(b *testing.B) {
+	g := ldbc.Figure1()
+	a := NewArena(0)
+	r := a.FromPath(MustFromKeys(g, "n1", "e1", "n2", "e2", "n3", "e3", "n2", "e4", "n4"))
+	e1, _ := g.EdgeByKey("e1")
+	b.Run("ContainsEdge", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			a.ContainsEdge(r, e1.ID)
+		}
+	})
+	n1, _ := g.NodeByKey("n1")
+	b.Run("ContainsNode", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			a.ContainsNode(r, n1.ID)
+		}
+	})
+}
+
+// BenchmarkArenaMaterialize measures slab-backed materialization — the
+// only point where admitted paths allocate.
+func BenchmarkArenaMaterialize(b *testing.B) {
+	g := ldbc.Figure1()
+	a := NewArena(0)
+	r := a.FromPath(MustFromKeys(g, "n1", "e1", "n2", "e2", "n3", "e3", "n2", "e4", "n4"))
+	var slab Slab
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		_ = a.PathSlab(r, &slab)
+		if i%1024 == 0 {
+			slab = Slab{} // keep the slab from growing unboundedly
+		}
+	}
 }
 
 func BenchmarkExtend(b *testing.B) {

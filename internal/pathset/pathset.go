@@ -44,6 +44,11 @@ type Set struct {
 	// overflow holds the positions of further paths sharing a fingerprint
 	// already in index. It stays nil until the first collision.
 	overflow map[uint64][]int32
+	// slab backs the storage of paths materialized out of an arena by
+	// AddArena, so admitting k paths costs O(k·L/block) allocations
+	// instead of two slices per path. Paths in the set alias it; it is
+	// never reused after Reset.
+	slab path.Slab
 }
 
 // New returns an empty set with capacity for n paths.
@@ -95,6 +100,39 @@ func (s *Set) Add(p path.Path) bool {
 	return true
 }
 
+// AddArena inserts the arena-resident path at r unless an equal path is
+// present, reporting whether it was newly inserted. The path is
+// materialized (nodes/edges slices allocated) only when genuinely new —
+// membership probes walk the arena's parent chain against the candidate
+// bucket — so the evaluation hot loops pay slice allocations exactly once
+// per admitted result path and never for duplicates.
+func (s *Set) AddArena(a *path.Arena, r path.Ref) bool {
+	if s.index == nil {
+		s.index = make(map[uint64]int32)
+	}
+	fp := a.Fingerprint(r)
+	pos := int32(len(s.paths))
+	if i, taken := s.index[fp]; taken {
+		if a.EqualPath(r, s.paths[i]) {
+			return false
+		}
+		for _, j := range s.overflow[fp] {
+			if a.EqualPath(r, s.paths[j]) {
+				return false
+			}
+		}
+		collisionCount.Add(1)
+		if s.overflow == nil {
+			s.overflow = make(map[uint64][]int32)
+		}
+		s.overflow[fp] = append(s.overflow[fp], pos)
+	} else {
+		s.index[fp] = pos
+	}
+	s.paths = append(s.paths, a.PathSlab(r, &s.slab))
+	return true
+}
+
 // Contains reports whether an equal path is in the set.
 func (s *Set) Contains(p path.Path) bool {
 	fp := p.Fingerprint()
@@ -135,6 +173,9 @@ func (s *Set) Reset() {
 	s.paths = s.paths[:0]
 	clear(s.index)
 	s.overflow = nil
+	// The slab is dropped, not truncated: previously returned paths may
+	// still alias its blocks.
+	s.slab = path.Slab{}
 }
 
 // Merge builds one set containing the paths of every shard in argument

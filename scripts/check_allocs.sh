@@ -1,0 +1,28 @@
+#!/usr/bin/env sh
+# check_allocs.sh — allocation-regression gate for the evaluation hot path.
+#
+# Runs the restrictor benchmark suite with -benchmem and fails if
+# allocs/op on BenchmarkRestrictors/Walk exceeds the committed threshold.
+# The threshold is allocation *count*, which is stable across hosts and
+# CPU speeds (unlike ns/op), so this is safe to enforce in CI: the
+# copy-free path core (prefix-sharing arena + slab materialization) keeps
+# Walk at ~1.6k allocs/op; the pre-arena representation sat at ~11.6k.
+# A breach means per-candidate copying or per-classify map building crept
+# back into the product search.
+set -eu
+
+THRESHOLD=${ALLOCS_THRESHOLD:-4000}
+
+out=$(go test -run xxx -bench 'BenchmarkRestrictors$/Walk' -benchtime 1x -benchmem . 2>&1)
+printf '%s\n' "$out"
+
+allocs=$(printf '%s\n' "$out" | awk '/^BenchmarkRestrictors\/Walk/ { for (i = 1; i < NF; i++) if ($(i+1) == "allocs/op") print $i }')
+if [ -z "$allocs" ]; then
+    echo "check_allocs: could not find BenchmarkRestrictors/Walk allocs/op in benchmark output" >&2
+    exit 1
+fi
+if [ "$allocs" -gt "$THRESHOLD" ]; then
+    echo "check_allocs: BenchmarkRestrictors/Walk allocates $allocs allocs/op > threshold $THRESHOLD" >&2
+    exit 1
+fi
+echo "check_allocs: BenchmarkRestrictors/Walk allocates $allocs allocs/op (threshold $THRESHOLD)"
