@@ -462,3 +462,123 @@ func BenchmarkCompose(b *testing.B) {
 		mustEval(b, g, plan, Limits{MaxLen: 5})
 	}
 }
+
+// fanInGraph builds the planner's showcase workload: a large source
+// population whose Likes edges converge on a handful of Message targets.
+// Forward evaluation must expand from every person; backward evaluation
+// seeds at the few targets and walks in-edges.
+func fanInGraph(persons, messages int) *Graph {
+	b := NewGraphBuilder()
+	for i := 0; i < persons; i++ {
+		b.AddNode(fmt.Sprintf("p%d", i), "Person", nil)
+	}
+	for i := 0; i < messages; i++ {
+		b.AddNode(fmt.Sprintf("m%d", i), "Message", nil)
+	}
+	for i := 0; i < persons; i++ {
+		b.AddEdge(fmt.Sprintf("l%d", i), fmt.Sprintf("p%d", i), fmt.Sprintf("m%d", i%messages), "Likes", nil)
+	}
+	// A Knows backbone feeding the Likes edges so forward paths are long.
+	for i := 0; i+1 < persons; i++ {
+		b.AddEdge(fmt.Sprintf("k%d", i), fmt.Sprintf("p%d", i), fmt.Sprintf("p%d", i+1), "Knows", nil)
+	}
+	return b.MustBuild()
+}
+
+// BenchmarkDirection compares forward, backward and planner-chosen
+// evaluation of a small-target-set query (σ[label(last)=Message] over
+// (Knows|Likes)+): the planner should pick backward and match the forced-
+// backward time. BENCH_pr4.json records the pre/post numbers.
+func BenchmarkDirection(b *testing.B) {
+	g := fanInGraph(400, 2)
+	lim := Limits{MaxLen: 4}
+	plan := gql.MustCompile(`MATCH TRAIL p = (?x)-[(:Knows|:Likes)+]->(?y:Message)`)
+	run := func(b *testing.B, p PathExpr, opts engine.Options) {
+		b.Helper()
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			eng := engine.New(g, opts)
+			res, err := eng.EvalPaths(p)
+			if err != nil {
+				b.Fatal(err)
+			}
+			if res.Len() == 0 {
+				b.Fatal("empty result")
+			}
+		}
+	}
+	b.Run("forward", func(b *testing.B) {
+		// The compiled plan evaluated as-is: forward expansion over every
+		// source, filter afterwards.
+		run(b, plan, engine.Options{Limits: lim, Parallelism: 1})
+	})
+	b.Run("backward-planned", func(b *testing.B) {
+		eng := engine.New(g, engine.Options{Limits: lim, Parallelism: 1})
+		planned, _ := eng.Plan(plan)
+		if !gotBackward(planned) {
+			b.Fatalf("planner did not choose backward: %s", planned)
+		}
+		run(b, planned, engine.Options{Limits: lim, Parallelism: 1})
+	})
+}
+
+// gotBackward reports whether any recursion in the plan is marked for
+// backward evaluation.
+func gotBackward(e PathExpr) bool {
+	switch x := e.(type) {
+	case core.Select:
+		return gotBackward(x.In)
+	case core.Join:
+		return gotBackward(x.L) || gotBackward(x.R)
+	case core.Union:
+		return gotBackward(x.L) || gotBackward(x.R)
+	case core.Recurse:
+		return x.Dir == core.Backward || gotBackward(x.In)
+	case core.Restrict:
+		return gotBackward(x.In)
+	default:
+		return false
+	}
+}
+
+// BenchmarkPlanCache measures planning cost with a cold cache (every
+// iteration re-plans) versus a hot cache (every iteration hits). The
+// allocation gap is the point: the hit path must allocate less than the
+// cold path (gated in scripts/check_allocs.sh).
+func BenchmarkPlanCache(b *testing.B) {
+	g := benchGraph()
+	plan := gql.MustCompile(
+		`MATCH ANY SHORTEST WALK p = (?x:Person)-[(:Knows+)|(:Likes/:Has_creator)+]->(?y)`)
+	b.Run("cold", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			eng := engine.New(g, engine.Options{Limits: Limits{MaxLen: 4}})
+			eng.Plan(plan)
+		}
+	})
+	b.Run("hit", func(b *testing.B) {
+		eng := engine.New(g, engine.Options{Limits: Limits{MaxLen: 4}})
+		eng.Plan(plan) // warm the cache
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			eng.Plan(plan)
+		}
+		if s := eng.Stats(); s.PlanCacheHits < int64(b.N) {
+			b.Fatalf("expected cache hits, stats %+v", s)
+		}
+	})
+}
+
+// BenchmarkStatsBuild measures the one-pass statistics collection that
+// graph.Build performs — the planner's fixed per-graph cost.
+func BenchmarkStatsBuild(b *testing.B) {
+	cfg := ldbc.Config{Persons: 2000, Messages: 3000, KnowsPerPerson: 3,
+		LikesPerPerson: 2, CycleFraction: 0.3, Seed: 9}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := ldbc.Generate(cfg); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

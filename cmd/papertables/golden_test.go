@@ -1,0 +1,41 @@
+package main
+
+import (
+	"bytes"
+	"flag"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"pathalgebra/internal/report"
+)
+
+var update = flag.Bool("update", false, "rewrite the golden file from current output")
+
+// TestPapertablesGolden pins the complete papertables output — every
+// table and figure the command regenerates from the implementation.
+// Engine or planner changes that alter any user-visible row fail here.
+// Regenerate intentionally with
+//
+//	go test ./cmd/papertables -update
+func TestPapertablesGolden(t *testing.T) {
+	var buf bytes.Buffer
+	if err := report.Print(&buf, "all"); err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join("testdata", "papertables.golden")
+	if *update {
+		if err := os.WriteFile(path, buf.Bytes(), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		return
+	}
+	want, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(buf.Bytes(), want) {
+		t.Errorf("papertables output differs from %s (run with -update to regenerate intentionally)\n--- got ---\n%s",
+			path, buf.String())
+	}
+}

@@ -1,0 +1,61 @@
+package main
+
+import (
+	"flag"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+var update = flag.Bool("update", false, "rewrite golden files from current output")
+
+// Golden tests for the user-visible -explain output: planner changes
+// that alter the chosen plan, the fired rules, the cardinality estimates
+// or the result listing fail loudly here. Regenerate intentionally with
+//
+//	go test ./cmd/pathalgebra -run TestExplainGolden -update
+func TestExplainGolden(t *testing.T) {
+	cases := []struct {
+		golden string
+		args   []string
+	}{
+		{
+			// A selector pipeline on the Figure 1 graph: forward
+			// evaluation, no rewrites beyond the Table 7 expansion.
+			golden: "explain_any_shortest.golden",
+			args: []string{"-query",
+				`MATCH ANY SHORTEST TRAIL p = (?x:Person)-[:Knows+]->(?y)`, "-explain"},
+		},
+		{
+			// A fan-in pattern with a selective target: the planner
+			// chooses backward evaluation (ϕTrail← in the operator table,
+			// choose-backward in the fired rules).
+			golden: "explain_backward.golden",
+			args: []string{"-query",
+				`MATCH TRAIL p = (?x)-[:Likes+]->(?y:Message)`, "-maxlen", "4", "-explain"},
+		},
+	}
+	for _, tc := range cases {
+		t.Run(tc.golden, func(t *testing.T) {
+			out, err := capture(t, func() error { return cmdRun(tc.args) })
+			if err != nil {
+				t.Fatal(err)
+			}
+			path := filepath.Join("testdata", tc.golden)
+			if *update {
+				if err := os.WriteFile(path, []byte(out), 0o644); err != nil {
+					t.Fatal(err)
+				}
+				return
+			}
+			want, err := os.ReadFile(path)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if out != string(want) {
+				t.Errorf("output differs from %s.\n--- got ---\n%s\n--- want ---\n%s",
+					path, out, want)
+			}
+		})
+	}
+}

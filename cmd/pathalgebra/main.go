@@ -67,37 +67,45 @@ flags (per command):
   -parallel evaluation worker goroutines (0 = GOMAXPROCS; results are
             identical for every worker count)
   -no-opt   skip the optimizer (run only)
+  -no-planner use the heuristic optimizer without graph statistics
+            (run only; the cost-based planner is the default)
+  -explain  print the chosen plan with estimated vs actual operator
+            cardinalities and plan-cache state (run only)
   -stats    print execution statistics (run only)`)
 }
 
 type queryFlags struct {
-	fs       *flag.FlagSet
-	query    *string
-	graph    *string
-	nodesCSV *string
-	edgesCSV *string
-	figure1  *bool
-	maxLen   *int
-	maxPaths *int
-	parallel *int
-	noOpt    *bool
-	stats    *bool
+	fs        *flag.FlagSet
+	query     *string
+	graph     *string
+	nodesCSV  *string
+	edgesCSV  *string
+	figure1   *bool
+	maxLen    *int
+	maxPaths  *int
+	parallel  *int
+	noOpt     *bool
+	noPlanner *bool
+	explain   *bool
+	stats     *bool
 }
 
 func newQueryFlags(name string) *queryFlags {
 	fs := flag.NewFlagSet(name, flag.ExitOnError)
 	return &queryFlags{
-		fs:       fs,
-		query:    fs.String("query", "", "path query"),
-		graph:    fs.String("graph", "", "JSON graph file"),
-		nodesCSV: fs.String("nodes", "", "node CSV file (with -edges)"),
-		edgesCSV: fs.String("edges", "", "edge CSV file (with -nodes)"),
-		figure1:  fs.Bool("figure1", false, "use the paper's Figure 1 graph"),
-		maxLen:   fs.Int("maxlen", 0, "bound recursive path length"),
-		maxPaths: fs.Int("maxpaths", 0, "bound result size"),
-		parallel: fs.Int("parallel", 0, "evaluation worker goroutines (0 = GOMAXPROCS)"),
-		noOpt:    fs.Bool("no-opt", false, "skip the optimizer"),
-		stats:    fs.Bool("stats", false, "print execution statistics"),
+		fs:        fs,
+		query:     fs.String("query", "", "path query"),
+		graph:     fs.String("graph", "", "JSON graph file"),
+		nodesCSV:  fs.String("nodes", "", "node CSV file (with -edges)"),
+		edgesCSV:  fs.String("edges", "", "edge CSV file (with -nodes)"),
+		figure1:   fs.Bool("figure1", false, "use the paper's Figure 1 graph"),
+		maxLen:    fs.Int("maxlen", 0, "bound recursive path length"),
+		maxPaths:  fs.Int("maxpaths", 0, "bound result size"),
+		parallel:  fs.Int("parallel", 0, "evaluation worker goroutines (0 = GOMAXPROCS)"),
+		noOpt:     fs.Bool("no-opt", false, "skip the optimizer"),
+		noPlanner: fs.Bool("no-planner", false, "use the heuristic optimizer without graph statistics"),
+		explain:   fs.Bool("explain", false, "print the chosen plan with estimated vs actual cardinalities"),
+		stats:     fs.Bool("stats", false, "print execution statistics"),
 	}
 }
 
@@ -207,14 +215,30 @@ func cmdRun(args []string) error {
 	if err != nil {
 		return err
 	}
-	if !*qf.noOpt {
-		plan, _ = pathalgebra.Optimize(plan)
+	if *qf.noOpt && *qf.explain {
+		return fmt.Errorf("-explain cannot be combined with -no-opt (there is no planned plan to explain)")
 	}
 	eng := pathalgebra.NewEngine(g, pathalgebra.EngineOptions{
-		Limits:      pathalgebra.Limits{MaxLen: *qf.maxLen, MaxPaths: *qf.maxPaths},
-		Parallelism: *qf.parallel,
+		Limits:         pathalgebra.Limits{MaxLen: *qf.maxLen, MaxPaths: *qf.maxPaths},
+		Parallelism:    *qf.parallel,
+		DisablePlanner: *qf.noPlanner,
 	})
-	res, err := eng.EvalPaths(plan)
+	var res *pathalgebra.PathSet
+	switch {
+	case *qf.noOpt:
+		res, err = eng.EvalPaths(plan)
+	case *qf.explain:
+		var ex *pathalgebra.Explain
+		ex, err = eng.Explain(plan)
+		if err == nil {
+			fmt.Println("plan:")
+			fmt.Print(pathalgebra.PrintPlan(ex.Plan))
+			fmt.Print(ex.Format())
+			res = ex.Result
+		}
+	default:
+		res, err = eng.Run(plan)
+	}
 	if err != nil {
 		return err
 	}
@@ -224,8 +248,9 @@ func cmdRun(args []string) error {
 	}
 	if *qf.stats {
 		s := eng.Stats()
-		fmt.Printf("stats: paths=%d joinProbes=%d indexedScans=%d recursions=%d fpCollisions=%d parallel=%d symbols=%d\n",
-			s.PathsProduced, s.JoinProbes, s.IndexedScans, s.Recursions, s.FingerprintCollisions,
+		fmt.Printf("stats: paths=%d joinProbes=%d indexedScans=%d recursions=%d seeded=%d backward=%d planCacheHits=%d fpCollisions=%d parallel=%d symbols=%d\n",
+			s.PathsProduced, s.JoinProbes, s.IndexedScans, s.Recursions, s.SeededRecursions,
+			s.BackwardRecursions, s.PlanCacheHits, s.FingerprintCollisions,
 			eng.Parallelism(), g.NumSymbols())
 	}
 	return nil

@@ -55,13 +55,53 @@ func Eval(g *graph.Graph, nfa *NFA, sem core.Semantics, lim core.Limits) (*paths
 // workers <= 0 selects runtime.GOMAXPROCS(0); the count is capped by the
 // number of source nodes.
 func EvalParallel(g *graph.Graph, nfa *NFA, sem core.Semantics, lim core.Limits, workers int) (*pathset.Set, error) {
-	workers = normalizeWorkers(workers, g.NumNodes())
+	return EvalWithOptions(g, nfa, sem, lim, EvalOptions{Workers: workers})
+}
+
+// EvalOptions parameterizes EvalWithOptions beyond the classic all-pairs
+// forward search.
+type EvalOptions struct {
+	// Workers is the worker goroutine count; <= 0 selects GOMAXPROCS.
+	Workers int
+	// Dir selects the search direction. Backward seeds per-seed searches
+	// at path TARGETS and walks the graph's in-adjacency; the nfa passed
+	// to EvalWithOptions must then be built from the REVERSED expression
+	// (rpq.Reverse), and results materialize reversed — i.e. as ordinary
+	// forward paths. The answer set is identical to a forward evaluation;
+	// only discovery order (and therefore result-set order) differs.
+	Dir core.Direction
+	// Seeds restricts the search to paths whose seed endpoint (first node
+	// forward, last node backward) is in the list; nil means every node.
+	// Seeds must be ascending and duplicate-free — the per-seed shards
+	// merge in list order, so an ascending list reproduces exactly the
+	// relative order of the corresponding unseeded evaluation.
+	Seeds []graph.NodeID
+}
+
+// seedAt resolves the i-th seed: the identity when no seed list is given.
+func seedAt(seeds []graph.NodeID, i int) graph.NodeID {
+	if seeds == nil {
+		return graph.NodeID(i)
+	}
+	return seeds[i]
+}
+
+// EvalWithOptions is the general product search: per-seed sharded like
+// EvalParallel, optionally restricted to a seed set and optionally running
+// backward over reversed edges (see EvalOptions).
+func EvalWithOptions(g *graph.Graph, nfa *NFA, sem core.Semantics, lim core.Limits, o EvalOptions) (*pathset.Set, error) {
+	count := g.NumNodes()
+	if o.Seeds != nil {
+		count = len(o.Seeds)
+	}
+	workers := normalizeWorkers(o.Workers, count)
 	bud := core.NewBudget(lim)
 	c := nfa.Compile(g)
+	back := o.Dir == core.Backward
 	if sem == core.Shortest {
-		return evalShortest(g, c, lim, bud, workers)
+		return evalShortest(g, c, lim, bud, workers, o.Seeds, count, back)
 	}
-	return evalSearch(g, c, sem, lim, bud, workers)
+	return evalSearch(g, c, sem, lim, bud, workers, o.Seeds, count, back)
 }
 
 func normalizeWorkers(workers, sources int) int {
@@ -122,14 +162,20 @@ type symbolScan struct {
 
 // scanRuns fills dst (reused scratch) with the label-homogeneous adjacency
 // runs of n readable from state s, paired with their target states, in
-// ascending symbol order. It picks the cheaper driver per call: iterate
-// the node's runs when the state reads every symbol (any-label) or more
-// symbols than the node has runs, else iterate the state's symbol set with
-// a binary-search lookup per symbol. Both drivers enumerate the same
+// ascending symbol order; back selects the in-adjacency instead of the
+// out-adjacency. It picks the cheaper driver per call: iterate the node's
+// runs when the state reads every symbol (any-label) or more symbols than
+// the node has runs, else iterate the state's symbol set with a
+// binary-search lookup per symbol. Both drivers enumerate the same
 // intersection in the same order, so the choice never affects results.
-func scanRuns(dst []symbolScan, g *graph.Graph, c *CompiledNFA, n graph.NodeID, s StateID) []symbolScan {
+func scanRuns(dst []symbolScan, g *graph.Graph, c *CompiledNFA, n graph.NodeID, s StateID, back bool) []symbolScan {
 	dst = dst[:0]
-	runs := g.OutRuns(n)
+	var runs []graph.SymbolRun
+	if back {
+		runs = g.InRuns(n)
+	} else {
+		runs = g.OutRuns(n)
+	}
 	syms := c.StateSymbols(s)
 	if c.AllSymbols(s) || len(syms) >= len(runs) {
 		for _, run := range runs {
@@ -140,11 +186,38 @@ func scanRuns(dst []symbolScan, g *graph.Graph, c *CompiledNFA, n graph.NodeID, 
 		return dst
 	}
 	for _, sym := range syms {
-		if edges := g.OutWithSymbol(n, sym); len(edges) > 0 {
+		var edges []graph.EdgeID
+		if back {
+			edges = g.InWithSymbol(n, sym)
+		} else {
+			edges = g.OutWithSymbol(n, sym)
+		}
+		if len(edges) > 0 {
 			dst = append(dst, symbolScan{edges: edges, targets: c.Trans(s, sym)})
 		}
 	}
 	return dst
+}
+
+// stepNode returns the node a product-search step lands on after reading
+// edge eid: the edge's head forward, its tail backward.
+func stepNode(g *graph.Graph, eid graph.EdgeID, back bool) graph.NodeID {
+	src, dst := g.Endpoints(eid)
+	if back {
+		return src
+	}
+	return dst
+}
+
+// addResult admits the arena path at r into the result set with the
+// materialization matching the search direction — backward chains hold
+// paths last-node-first, so they materialize reversed, with canonical
+// forward fingerprints.
+func addResult(s *pathset.Set, a *path.Arena, r path.Ref, back bool) bool {
+	if back {
+		return s.AddArenaReversed(a, r)
+	}
+	return s.AddArena(a, r)
 }
 
 // searchItem is one product-search state: an arena path handle plus the
@@ -187,14 +260,13 @@ type shard struct {
 	err    error
 }
 
-func evalSearch(g *graph.Graph, c *CompiledNFA, sem core.Semantics, lim core.Limits, bud *core.Budget, workers int) (*pathset.Set, error) {
-	n := g.NumNodes()
-	shards := make([]*shard, n)
-	runSharded(n, workers,
+func evalSearch(g *graph.Graph, c *CompiledNFA, sem core.Semantics, lim core.Limits, bud *core.Budget, workers int, seeds []graph.NodeID, count int, back bool) (*pathset.Set, error) {
+	shards := make([]*shard, count)
+	runSharded(count, workers,
 		func() *evalScratch { return newEvalScratch(c.nfa.NumStates()) },
-		func(sc *evalScratch, src int) bool {
-			sh := evalSource(g, c, sem, lim, graph.NodeID(src), bud, sc)
-			shards[src] = sh
+		func(sc *evalScratch, i int) bool {
+			sh := evalSource(g, c, sem, lim, seedAt(seeds, i), bud, sc, back)
+			shards[i] = sh
 			return sh.err == nil
 		})
 	out, err := mergeShards(shards)
@@ -209,7 +281,7 @@ func evalSearch(g *graph.Graph, c *CompiledNFA, sem core.Semantics, lim core.Lim
 // path charges ChargePath (1 path + Len+1 work — including the length-zero
 // seed path when the automaton accepts the empty word), and every visited
 // mark that extends the frontier charges ChargeWork.
-func evalSource(g *graph.Graph, c *CompiledNFA, sem core.Semantics, lim core.Limits, src graph.NodeID, bud *core.Budget, sc *evalScratch) *shard {
+func evalSource(g *graph.Graph, c *CompiledNFA, sem core.Semantics, lim core.Limits, src graph.NodeID, bud *core.Budget, sc *evalScratch, back bool) *shard {
 	nfa := c.nfa
 	// The zero Set defers its index allocation until the first Add, so
 	// sources admitting no paths cost no map allocation.
@@ -242,11 +314,11 @@ func evalSource(g *graph.Graph, c *CompiledNFA, sem core.Semantics, lim core.Lim
 			if lim.MaxLen > 0 && a.PathLen(it.ref) >= lim.MaxLen {
 				continue
 			}
-			sc.runs = scanRuns(sc.runs, g, c, a.Last(it.ref), it.state)
+			sc.runs = scanRuns(sc.runs, g, c, a.Last(it.ref), it.state, back)
 			for _, rs := range sc.runs {
 				targets := rs.targets
 				for _, eid := range rs.edges {
-					_, dst := g.Endpoints(eid)
+					dst := stepNode(g, eid, back)
 					extend, admitOK := classifyExtend(sem, a, it.ref, eid, dst)
 					if !extend && !admitOK {
 						continue
@@ -258,7 +330,7 @@ func evalSource(g *graph.Graph, c *CompiledNFA, sem core.Semantics, lim core.Lim
 					npLen := a.PathLen(np)
 					kept := false
 					for _, q := range targets {
-						if admitOK && nfa.Accepting(q) && sh.set.AddArena(a, np) {
+						if admitOK && nfa.Accepting(q) && addResult(sh.set, a, np, back) {
 							if !bud.ChargePath(npLen) {
 								return finish(core.ErrBudgetExceeded)
 							}
@@ -335,6 +407,12 @@ func mergeShards(shards []*shard) (*pathset.Set, error) {
 // prefixes of acyclic paths are acyclic, and proper prefixes of simple
 // paths are acyclic (the cycle may only close at the very end) — one walk
 // up r's parent chain decides both answers with no allocation.
+//
+// The same classification serves the backward search unchanged: all five
+// semantics are reversal-symmetric (a reversed trail is a trail, a
+// reversed acyclic path acyclic, and Simple's closing-node exception maps
+// first↔last, which is exactly the dst == First(r) test on the reversed
+// chain).
 func classifyExtend(sem core.Semantics, a *path.Arena, r path.Ref, e graph.EdgeID, dst graph.NodeID) (extend, admitOK bool) {
 	switch sem {
 	case core.Walk:
@@ -363,11 +441,11 @@ func classifyExtend(sem core.Semantics, a *path.Arena, r path.Ref, e graph.EdgeI
 // are already independent here, so sharding distributes whole sources and
 // the merge is a plain source-order concatenation — the sequential
 // insertion order.
-func evalShortest(g *graph.Graph, c *CompiledNFA, lim core.Limits, bud *core.Budget, workers int) (*pathset.Set, error) {
+func evalShortest(g *graph.Graph, c *CompiledNFA, lim core.Limits, bud *core.Budget, workers int, seeds []graph.NodeID, count int, back bool) (*pathset.Set, error) {
 	n := g.NumNodes()
-	sets := make([]*pathset.Set, n)
-	errs := make([]error, n)
-	runSharded(n, workers,
+	sets := make([]*pathset.Set, count)
+	errs := make([]error, count)
+	runSharded(count, workers,
 		func() *shortestScratch {
 			return &shortestScratch{
 				arena:  path.NewArena(0),
@@ -375,10 +453,10 @@ func evalShortest(g *graph.Graph, c *CompiledNFA, lim core.Limits, bud *core.Bud
 				minAcc: make(map[graph.NodeID]int32, n),
 			}
 		},
-		func(sc *shortestScratch, src int) bool {
+		func(sc *shortestScratch, i int) bool {
 			out := new(pathset.Set) // index allocated lazily on first Add
-			err := shortestFrom(g, c, graph.NodeID(src), lim.MaxLen, bud, out, sc)
-			sets[src], errs[src] = out, err
+			err := shortestFrom(g, c, seedAt(seeds, i), lim.MaxLen, bud, out, sc, back)
+			sets[i], errs[i] = out, err
 			return err == nil
 		})
 	// Per-source shards are disjoint and deduped; concatenating them in
@@ -428,7 +506,7 @@ type shortestItem struct {
 // phase-1 BFS and every pushed enumeration state in phase 2 accounts its
 // node slots — so Limits.MaxWork bounds Shortest evaluation like every
 // other semantics; admitted result paths additionally charge ChargePath.
-func shortestFrom(g *graph.Graph, c *CompiledNFA, src graph.NodeID, maxLen int, bud *core.Budget, result *pathset.Set, sc *shortestScratch) error {
+func shortestFrom(g *graph.Graph, c *CompiledNFA, src graph.NodeID, maxLen int, bud *core.Budget, result *pathset.Set, sc *shortestScratch, back bool) error {
 	nfa := c.nfa
 	// Phase 1: BFS distances over the product space.
 	clear(sc.dist)
@@ -444,10 +522,10 @@ func shortestFrom(g *graph.Graph, c *CompiledNFA, src graph.NodeID, maxLen int, 
 		depth++
 		next = next[:0]
 		for _, ps := range frontier {
-			sc.runs = scanRuns(sc.runs, g, c, ps.node, ps.state)
+			sc.runs = scanRuns(sc.runs, g, c, ps.node, ps.state, back)
 			for _, rs := range sc.runs {
 				for _, eid := range rs.edges {
-					_, dst := g.Endpoints(eid)
+					dst := stepNode(g, eid, back)
 					for _, q := range rs.targets {
 						nps := productState{node: dst, state: q}
 						if _, seen := dist[nps]; !seen {
@@ -498,16 +576,16 @@ func shortestFrom(g *graph.Graph, c *CompiledNFA, src graph.NodeID, maxLen int, 
 		last := a.Last(it.ref)
 		if nfa.Accepting(it.state) {
 			if m, ok := minAcc[last]; ok && itLen == int(m) {
-				if result.AddArena(a, it.ref) && !bud.ChargePath(itLen) {
+				if addResult(result, a, it.ref, back) && !bud.ChargePath(itLen) {
 					sc.work = work
 					return errBudget
 				}
 			}
 		}
-		sc.runs = scanRuns(sc.runs, g, c, last, it.state)
+		sc.runs = scanRuns(sc.runs, g, c, last, it.state, back)
 		for _, rs := range sc.runs {
 			for _, eid := range rs.edges {
-				_, dst := g.Endpoints(eid)
+				dst := stepNode(g, eid, back)
 				// One arena entry per edge, shared by all target states.
 				var np path.Ref
 				created := false

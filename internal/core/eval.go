@@ -1,0 +1,94 @@
+package core
+
+import (
+	"fmt"
+
+	"pathalgebra/internal/graph"
+	"pathalgebra/internal/pathset"
+)
+
+// EvalExpr is the reference tree evaluator: a direct recursive descent
+// over a logical plan using only this package's definitional operator
+// implementations — nested-loop joins, materialized recursion bases, no
+// indexes, no automaton, no parallelism. It is deliberately the slowest
+// correct evaluator in the repository and serves as the oracle of the
+// randomized differential harness: the optimized engine (with and without
+// the cost-based planner) must produce exactly this path set.
+func EvalExpr(g *graph.Graph, x PathExpr, lim Limits) (*pathset.Set, error) {
+	switch x := x.(type) {
+	case Nodes:
+		return EvalNodes(g), nil
+	case Edges:
+		return EvalEdges(g), nil
+	case Select:
+		in, err := EvalExpr(g, x.In, lim)
+		if err != nil {
+			return nil, err
+		}
+		return EvalSelect(g, x.Cond, in), nil
+	case Join:
+		l, err := EvalExpr(g, x.L, lim)
+		if err != nil {
+			return nil, err
+		}
+		r, err := EvalExpr(g, x.R, lim)
+		if err != nil {
+			return nil, err
+		}
+		return EvalJoin(l, r), nil
+	case Union:
+		l, err := EvalExpr(g, x.L, lim)
+		if err != nil {
+			return nil, err
+		}
+		r, err := EvalExpr(g, x.R, lim)
+		if err != nil {
+			return nil, err
+		}
+		return EvalUnion(l, r), nil
+	case Recurse:
+		base, err := EvalExpr(g, x.In, lim)
+		if err != nil {
+			return nil, err
+		}
+		return EvalRecurse(x.Sem, base, lim)
+	case Restrict:
+		in, err := EvalExpr(g, x.In, lim)
+		if err != nil {
+			return nil, err
+		}
+		return EvalRestrict(x.Sem, in), nil
+	case Project:
+		ss, err := EvalSpaceExpr(g, x.In, lim)
+		if err != nil {
+			return nil, err
+		}
+		return EvalProject(x.Parts, x.Groups, x.Paths, ss), nil
+	case nil:
+		return nil, fmt.Errorf("core: nil path expression")
+	default:
+		return nil, fmt.Errorf("core: unsupported path expression %T", x)
+	}
+}
+
+// EvalSpaceExpr is the space-sorted companion of EvalExpr.
+func EvalSpaceExpr(g *graph.Graph, x SpaceExpr, lim Limits) (*SolutionSpace, error) {
+	switch x := x.(type) {
+	case GroupBy:
+		in, err := EvalExpr(g, x.In, lim)
+		if err != nil {
+			return nil, err
+		}
+		return EvalGroupBy(x.Key, in), nil
+	case OrderBy:
+		in, err := EvalSpaceExpr(g, x.In, lim)
+		if err != nil {
+			return nil, err
+		}
+		return EvalOrderBy(x.Key, in), nil
+	case nil:
+		return nil, fmt.Errorf("core: nil space expression")
+	default:
+		return nil, fmt.Errorf("core: unsupported space expression %T", x)
+	}
+}

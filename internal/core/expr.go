@@ -72,16 +72,45 @@ func (u Union) String() string {
 	return fmt.Sprintf("(%s ∪ %s)", u.L, u.R)
 }
 
+// Direction selects the product-search direction for pattern-shaped
+// recursions: Forward seeds the search at path sources and walks out-
+// edges; Backward seeds at path targets and walks in-edges over the
+// reversed pattern, producing the same path set. The cost-based planner
+// (internal/opt) sets Backward when the target side is estimated cheaper;
+// it is an execution hint with no semantic content.
+type Direction uint8
+
+const (
+	// Forward is the default source-seeded search direction.
+	Forward Direction = iota
+	// Backward seeds the search from path targets over reversed edges.
+	Backward
+)
+
+// String renders the direction; Forward is the silent default.
+func (d Direction) String() string {
+	if d == Backward {
+		return "backward"
+	}
+	return "forward"
+}
+
 // Recurse is the recursive operator ϕSem(In): the closure of In under path
 // join, filtered by the chosen path semantics (§4, Definition 4.1).
 type Recurse struct {
 	Sem Semantics
 	In  PathExpr
+	// Dir is the planner's evaluation-direction hint; it never changes
+	// the result set (the reference evaluator ignores it).
+	Dir Direction
 }
 
 func (Recurse) isPathExpr() {}
 
 func (r Recurse) String() string {
+	if r.Dir == Backward {
+		return fmt.Sprintf("ϕ%s←(%s)", r.Sem, r.In)
+	}
 	return fmt.Sprintf("ϕ%s(%s)", r.Sem, r.In)
 }
 
@@ -113,6 +142,20 @@ func (GroupBy) isSpaceExpr() {}
 
 func (g GroupBy) String() string {
 	return fmt.Sprintf("γ%s(%s)", g.Key, g.In)
+}
+
+// BottomGroupBy walks a space expression through its OrderBy wrappers to
+// the GroupBy at the bottom; ok is false for other shapes. Shared by the
+// planner's projection estimate and the engine's explain output.
+func BottomGroupBy(e SpaceExpr) (GroupBy, bool) {
+	switch x := e.(type) {
+	case GroupBy:
+		return x, true
+	case OrderBy:
+		return BottomGroupBy(x.In)
+	default:
+		return GroupBy{}, false
+	}
 }
 
 // OrderBy is τθ(In): re-ranks the partitions, groups and/or paths of a

@@ -2,9 +2,13 @@
 // trees) against a property graph. It is the optimized counterpart of the
 // reference operator implementations in internal/core: joins use endpoint
 // hashing instead of nested loops, label-equality selections over the
-// Edges/Nodes atoms use the graph's label indexes, and every evaluation
-// runs under an explicit recursion budget. Tests cross-check the engine
-// against the reference implementations.
+// Edges/Nodes atoms use the graph's label indexes, selections over
+// pattern recursions seed a directed product search, and every
+// evaluation runs under an explicit recursion budget. Engine.Run plans
+// through the cost-based planner (internal/opt) and an LRU plan cache;
+// Engine.Explain reports the chosen plan with estimated vs. actual
+// per-operator cardinalities. The randomized differential harness
+// cross-checks every route against the reference implementations.
 package engine
 
 import (
@@ -17,6 +21,7 @@ import (
 	"pathalgebra/internal/cond"
 	"pathalgebra/internal/core"
 	"pathalgebra/internal/graph"
+	"pathalgebra/internal/opt"
 	"pathalgebra/internal/path"
 	"pathalgebra/internal/pathset"
 	"pathalgebra/internal/rpq"
@@ -69,6 +74,25 @@ type Options struct {
 	// order and budgets are shared globally. <= 0 selects
 	// runtime.GOMAXPROCS(0); 1 forces single-threaded evaluation.
 	Parallelism int
+	// DisablePlanner makes Plan/Run fall back to the statistics-free
+	// heuristic optimizer (opt.Optimize): no cost-based join
+	// re-association, no backward evaluation, no estimate gating. Used as
+	// the baseline of the differential harness and ablation benchmarks.
+	// The plan cache stays on either way.
+	DisablePlanner bool
+	// PlanCacheSize bounds the engine's LRU plan cache (number of
+	// plans); <= 0 selects defaultPlanCacheSize.
+	PlanCacheSize int
+}
+
+// defaultPlanCacheSize is the plan-cache capacity when unset.
+const defaultPlanCacheSize = 64
+
+func (o Options) planCacheSize() int {
+	if o.PlanCacheSize <= 0 {
+		return defaultPlanCacheSize
+	}
+	return o.PlanCacheSize
 }
 
 // parallelism resolves the configured worker count.
@@ -100,6 +124,17 @@ type Stats struct {
 	// expansion fast path rather than generic closure over a
 	// materialized base set.
 	ExpandedRecursions int64
+	// SeededRecursions counts product searches seeded from an endpoint
+	// condition's node set instead of every node (σ over a pattern
+	// recursion).
+	SeededRecursions int64
+	// BackwardRecursions counts product searches the planner ran
+	// backward (reversed automaton over the in-adjacency).
+	BackwardRecursions int64
+	// PlanCacheHits / PlanCacheMisses count Plan calls answered from /
+	// added to the LRU plan cache.
+	PlanCacheHits   int64
+	PlanCacheMisses int64
 	// FingerprintCollisions counts activations of the exact-equality
 	// fallback in fingerprint-bucketed path sets during this engine's
 	// evaluations — both materialized sets (pathset.Collisions) and the
@@ -129,11 +164,55 @@ type Engine struct {
 	// collisionBase is the fingerprintCollisions reading at construction
 	// (or last ResetStats); Stats reports the delta since then.
 	collisionBase int64
+	// cm is the cost model over the graph's build-time statistics; it
+	// drives Plan (unless DisablePlanner) and the -explain estimates.
+	cm *opt.CostModel
+	// plans is the LRU plan cache consulted by Plan.
+	plans *planCache
 }
 
 // New returns an engine over g with the given options.
 func New(g *graph.Graph, opts Options) *Engine {
-	return &Engine{g: g, opts: opts, collisionBase: fingerprintCollisions()}
+	return &Engine{
+		g:             g,
+		opts:          opts,
+		collisionBase: fingerprintCollisions(),
+		cm:            &opt.CostModel{Stats: g.Stats(), Limits: opts.Limits},
+		plans:         newPlanCache(opts.planCacheSize()),
+	}
+}
+
+// CostModel returns the engine's cost model (the graph's build-time
+// statistics plus the engine's limits).
+func (e *Engine) CostModel() *opt.CostModel { return e.cm }
+
+// Plan turns a logical plan into the physical plan the engine will
+// evaluate, consulting the LRU plan cache first. Cache misses run the
+// cost-based planner (opt.Plan) — or the statistics-free opt.Optimize
+// when DisablePlanner is set — and memoize the result under the
+// normalized fingerprint of the input plan's canonical rendering.
+func (e *Engine) Plan(x core.PathExpr) (core.PathExpr, []string) {
+	key := x.String()
+	fp := planFingerprint(key)
+	if plan, applied, ok := e.plans.get(fp, key); ok {
+		addStat(&e.stats.PlanCacheHits, 1)
+		return plan, applied
+	}
+	addStat(&e.stats.PlanCacheMisses, 1)
+	var res opt.Result
+	if e.opts.DisablePlanner {
+		res = opt.Optimize(x)
+	} else {
+		res = opt.Plan(x, e.cm)
+	}
+	e.plans.put(fp, key, res.Plan, res.Applied)
+	return res.Plan, res.Applied
+}
+
+// Run plans x (through the cache) and evaluates the chosen plan.
+func (e *Engine) Run(x core.PathExpr) (*pathset.Set, error) {
+	plan, _ := e.Plan(x)
+	return e.EvalPaths(plan)
 }
 
 // Graph returns the engine's graph.
@@ -151,6 +230,10 @@ func (e *Engine) Stats() Stats {
 		IndexedScans:          atomic.LoadInt64(&e.stats.IndexedScans),
 		Recursions:            atomic.LoadInt64(&e.stats.Recursions),
 		ExpandedRecursions:    atomic.LoadInt64(&e.stats.ExpandedRecursions),
+		SeededRecursions:      atomic.LoadInt64(&e.stats.SeededRecursions),
+		BackwardRecursions:    atomic.LoadInt64(&e.stats.BackwardRecursions),
+		PlanCacheHits:         atomic.LoadInt64(&e.stats.PlanCacheHits),
+		PlanCacheMisses:       atomic.LoadInt64(&e.stats.PlanCacheMisses),
 		FingerprintCollisions: fingerprintCollisions() - e.collisionBase,
 	}
 }
@@ -267,11 +350,21 @@ func (e *Engine) EvalSpace(x core.SpaceExpr) (*core.SolutionSpace, error) {
 }
 
 // evalSelect evaluates σ, answering label-equality selections over the
-// Edges/Nodes atoms straight from the graph's label indexes when allowed.
+// Edges/Nodes atoms straight from the graph's label indexes when allowed,
+// and σ over pattern recursions by a seeded product search.
 func (e *Engine) evalSelect(s core.Select) (*pathset.Set, error) {
 	if !e.opts.DisableLabelIndex {
 		if out, ok := e.indexedSelect(s); ok {
 			addStat(&e.stats.IndexedScans, 1)
+			addStat(&e.stats.PathsProduced, int64(out.Len()))
+			return out, nil
+		}
+	}
+	if !e.opts.DisableExpand {
+		if out, ok, err := e.seededRecurse(s); ok {
+			if err != nil {
+				return nil, err
+			}
 			addStat(&e.stats.PathsProduced, int64(out.Len()))
 			return out, nil
 		}
@@ -283,6 +376,91 @@ func (e *Engine) evalSelect(s core.Select) (*pathset.Set, error) {
 	out := core.EvalSelect(e.g, s.Cond, in)
 	addStat(&e.stats.PathsProduced, int64(out.Len()))
 	return out, nil
+}
+
+// seededRecurse answers σc(ϕSem(pattern)) by a product search seeded only
+// at the nodes that can satisfy c's seed-side endpoint conjuncts: the
+// first-node conjuncts of a forward search, the last-node conjuncts of a
+// backward one. A first-only (last-only) conjunct's value is a function
+// of the path's first (last) node alone, so seeding is exactly
+// "evaluate everything, then filter" — including its result order, since
+// per-seed shards merge in ascending seed order, the relative order the
+// unseeded evaluation would have produced — at a fraction of the search
+// work. Remaining conjuncts filter the admitted paths afterwards.
+func (e *Engine) seededRecurse(s core.Select) (*pathset.Set, bool, error) {
+	rec, ok := s.In.(core.Recurse)
+	if !ok {
+		return nil, false, nil
+	}
+	re, ok := labelPattern(rec.In)
+	if !ok {
+		return nil, false, nil
+	}
+	first, last, rest := opt.SplitByEndpoint(s.Cond)
+	back := rec.Dir == core.Backward
+	var seedConds, filterConds []cond.Cond
+	if back {
+		seedConds = last
+		filterConds = append(append([]cond.Cond{}, first...), rest...)
+		re = rpq.Reverse(re)
+	} else {
+		if len(first) == 0 {
+			// Nothing to seed with: the plain expansion path plus a
+			// post-filter does the same work.
+			return nil, false, nil
+		}
+		seedConds = first
+		filterConds = append(append([]cond.Cond{}, last...), rest...)
+	}
+	addStat(&e.stats.Recursions, 1)
+	addStat(&e.stats.ExpandedRecursions, 1)
+	if back {
+		addStat(&e.stats.BackwardRecursions, 1)
+	}
+	seeds := e.seedNodes(seedConds)
+	if len(seedConds) > 0 {
+		addStat(&e.stats.SeededRecursions, 1)
+		if seeds == nil {
+			seeds = []graph.NodeID{} // non-nil: zero seeds, not all nodes
+		}
+	}
+	nfa := automaton.Build(rpq.Plus{In: re})
+	out, err := automaton.EvalWithOptions(e.g, nfa, rec.Sem, e.opts.Limits, automaton.EvalOptions{
+		Workers: e.opts.parallelism(),
+		Dir:     rec.Dir,
+		Seeds:   seeds,
+	})
+	if err != nil {
+		return nil, true, fmt.Errorf("engine: σϕ%s: %w", rec.Sem, err)
+	}
+	if len(filterConds) > 0 {
+		out = core.EvalSelect(e.g, cond.Conj(filterConds...), out)
+	}
+	return out, true, nil
+}
+
+// seedNodes lists, ascending, the nodes whose length-zero path satisfies
+// the conjunction — the seed set of a directed product search. A single
+// label-equality condition answers from the label index; anything else
+// scans the node set once.
+func (e *Engine) seedNodes(conds []cond.Cond) []graph.NodeID {
+	if len(conds) == 0 {
+		return nil
+	}
+	if len(conds) == 1 {
+		if lc, ok := conds[0].(cond.LabelCmp); ok && lc.Op == cond.EQ {
+			return e.g.NodesWithLabel(lc.Value)
+		}
+	}
+	c := cond.Conj(conds...)
+	var seeds []graph.NodeID
+	for n := 0; n < e.g.NumNodes(); n++ {
+		id := graph.NodeID(n)
+		if c.Eval(e.g, path.FromNode(id)) {
+			seeds = append(seeds, id)
+		}
+	}
+	return seeds
 }
 
 // indexedSelect recognizes σ[label(edge(1)) = L](Edges(G)) and
@@ -332,8 +510,15 @@ func (e *Engine) expandRecurse(x core.Recurse) (*pathset.Set, bool, error) {
 	if !ok {
 		return nil, false, nil
 	}
+	if x.Dir == core.Backward {
+		re = rpq.Reverse(re)
+		addStat(&e.stats.BackwardRecursions, 1)
+	}
 	nfa := automaton.Build(rpq.Plus{In: re})
-	out, err := automaton.EvalParallel(e.g, nfa, x.Sem, e.opts.Limits, e.opts.parallelism())
+	out, err := automaton.EvalWithOptions(e.g, nfa, x.Sem, e.opts.Limits, automaton.EvalOptions{
+		Workers: e.opts.parallelism(),
+		Dir:     x.Dir,
+	})
 	return out, true, err
 }
 

@@ -1,0 +1,134 @@
+package engine
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+
+	"pathalgebra/internal/core"
+	"pathalgebra/internal/pathset"
+	"pathalgebra/internal/testutil"
+)
+
+// Metamorphic properties of the algebra, checked over random graphs and
+// random inputs: relations that must hold between the results of RELATED
+// queries, independent of any oracle.
+
+// TestSemanticsContainment: on the same base, the recursion results nest
+// by restrictiveness. Note the true containment order: every acyclic path
+// is simple (the simple exception only ADDS first==last cycles), every
+// simple path is a trail (re-using an edge forces an interior node
+// repeat), and every path is a walk. Shortest results are walks of
+// minimal length, so they are contained in the bounded walk set as long
+// as the bound covers them.
+func TestSemanticsContainment(t *testing.T) {
+	rng := rand.New(rand.NewSource(31))
+	lim := core.Limits{MaxLen: 4}
+	for trial := 0; trial < 25; trial++ {
+		g := testutil.RandomGraph(rng)
+		base := testutil.RandomPlan(rng, 1)
+		eval := func(sem core.Semantics) *pathset.Set {
+			e := New(g, Options{Limits: lim})
+			out, err := e.Run(core.Recurse{Sem: sem, In: base})
+			if err != nil {
+				t.Fatalf("trial %d ϕ%s(%s): %v", trial, sem, base, err)
+			}
+			return out
+		}
+		walk := eval(core.Walk)
+		trail := eval(core.Trail)
+		simple := eval(core.Simple)
+		acyclic := eval(core.Acyclic)
+		shortest := eval(core.Shortest)
+		chain := []struct {
+			name     string
+			sub, sup *pathset.Set
+		}{
+			{"Acyclic ⊆ Simple", acyclic, simple},
+			{"Simple ⊆ Trail", simple, trail},
+			{"Trail ⊆ Walk", trail, walk},
+			{"Shortest ⊆ Walk", shortest, walk},
+		}
+		for _, c := range chain {
+			if miss := subsetMiss(c.sub, c.sup); miss != "" {
+				t.Errorf("trial %d base %s: %s violated: %s", trial, base, c.name, miss)
+			}
+		}
+	}
+}
+
+func subsetMiss(sub, sup *pathset.Set) string {
+	for _, p := range sub.Paths() {
+		if !sup.Contains(p) {
+			return fmt.Sprintf("path %v missing from superset", p)
+		}
+	}
+	return ""
+}
+
+// TestUnionLaws: ∪ is commutative and idempotent as a set operation.
+func TestUnionLaws(t *testing.T) {
+	rng := rand.New(rand.NewSource(47))
+	lim := core.Limits{MaxLen: 3}
+	for trial := 0; trial < 40; trial++ {
+		g := testutil.RandomGraph(rng)
+		a := testutil.RandomPlan(rng, 2)
+		b := testutil.RandomPlan(rng, 2)
+		if !testutil.IsTruncationFree(a) || !testutil.IsTruncationFree(b) {
+			continue // truncating operands are order-dependent values
+		}
+		eval := func(x core.PathExpr) *pathset.Set {
+			e := New(g, Options{Limits: lim})
+			out, err := e.Run(x)
+			if err != nil {
+				t.Fatalf("trial %d %s: %v", trial, x, err)
+			}
+			return out
+		}
+		ab := eval(core.Union{L: a, R: b})
+		ba := eval(core.Union{L: b, R: a})
+		if !ab.Equal(ba) {
+			t.Errorf("trial %d: A∪B (%d) != B∪A (%d) for A=%s B=%s",
+				trial, ab.Len(), ba.Len(), a, b)
+		}
+		aa := eval(core.Union{L: a, R: a})
+		onlyA := eval(a)
+		if !aa.Equal(onlyA) {
+			t.Errorf("trial %d: A∪A (%d) != A (%d) for A=%s", trial, aa.Len(), onlyA.Len(), a)
+		}
+	}
+}
+
+// TestSelectDistributes: σ commutes with ∪ unconditionally, and a
+// first-only (last-only) condition commutes into the left (right) join
+// operand — the semantic ground truth behind the pushdown rewrite and
+// the seeded product search.
+func TestSelectDistributes(t *testing.T) {
+	rng := rand.New(rand.NewSource(53))
+	lim := core.Limits{MaxLen: 3}
+	for trial := 0; trial < 40; trial++ {
+		g := testutil.RandomGraph(rng)
+		a := testutil.RandomPlan(rng, 1)
+		b := testutil.RandomPlan(rng, 1)
+		if !testutil.IsTruncationFree(a) || !testutil.IsTruncationFree(b) {
+			continue
+		}
+		c := testutil.RandomCond(rng, 2)
+		eval := func(x core.PathExpr) *pathset.Set {
+			e := New(g, Options{Limits: lim})
+			out, err := e.Run(x)
+			if err != nil {
+				t.Fatalf("trial %d %s: %v", trial, x, err)
+			}
+			return out
+		}
+		lhs := eval(core.Select{Cond: c, In: core.Union{L: a, R: b}})
+		rhs := eval(core.Union{
+			L: core.Select{Cond: c, In: a},
+			R: core.Select{Cond: c, In: b},
+		})
+		if !lhs.Equal(rhs) {
+			t.Errorf("trial %d: σ[%s](A∪B) %d paths != σA∪σB %d paths", trial, c, lhs.Len(), rhs.Len())
+		}
+	}
+}

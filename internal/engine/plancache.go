@@ -1,0 +1,78 @@
+package engine
+
+import (
+	"container/list"
+	"hash/fnv"
+
+	"pathalgebra/internal/core"
+)
+
+// planCache is a fixed-capacity LRU of planned queries. Keys are the
+// normalized fingerprint of the INPUT plan — the FNV-64a hash of its
+// canonical String rendering, which the parser and compiler already
+// normalize (whitespace, label quoting and operator sugar all disappear
+// in the expression tree) — so syntactically different spellings of the
+// same logical plan share one cache slot. The stored value is the fully
+// planned physical tree, which is immutable and safely shared across
+// evaluations. Hits verify the full key text: a fingerprint collision
+// (≈2^-64 per pair) degrades to a miss, never to a wrong plan.
+//
+// The cache is engine-private and, like the engine's evaluation methods,
+// not safe for concurrent use.
+type planCache struct {
+	capacity int
+	entries  map[uint64]*list.Element
+	lru      *list.List // front = most recently used
+}
+
+type planEntry struct {
+	fp      uint64
+	key     string
+	plan    core.PathExpr
+	applied []string
+}
+
+func newPlanCache(capacity int) *planCache {
+	return &planCache{
+		capacity: capacity,
+		entries:  make(map[uint64]*list.Element, capacity),
+		lru:      list.New(),
+	}
+}
+
+// planFingerprint hashes the normalized plan text.
+func planFingerprint(key string) uint64 {
+	h := fnv.New64a()
+	h.Write([]byte(key))
+	return h.Sum64()
+}
+
+func (c *planCache) get(fp uint64, key string) (core.PathExpr, []string, bool) {
+	el, ok := c.entries[fp]
+	if !ok {
+		return nil, nil, false
+	}
+	ent := el.Value.(*planEntry)
+	if ent.key != key {
+		return nil, nil, false
+	}
+	c.lru.MoveToFront(el)
+	return ent.plan, ent.applied, true
+}
+
+func (c *planCache) put(fp uint64, key string, plan core.PathExpr, applied []string) {
+	if el, ok := c.entries[fp]; ok {
+		el.Value = &planEntry{fp: fp, key: key, plan: plan, applied: applied}
+		c.lru.MoveToFront(el)
+		return
+	}
+	for c.lru.Len() >= c.capacity {
+		oldest := c.lru.Back()
+		c.lru.Remove(oldest)
+		delete(c.entries, oldest.Value.(*planEntry).fp)
+	}
+	c.entries[fp] = c.lru.PushFront(&planEntry{fp: fp, key: key, plan: plan, applied: applied})
+}
+
+// Len returns the number of cached plans.
+func (c *planCache) Len() int { return c.lru.Len() }

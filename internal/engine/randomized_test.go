@@ -1,0 +1,139 @@
+package engine
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+
+	"pathalgebra/internal/core"
+	"pathalgebra/internal/graph"
+	"pathalgebra/internal/pathset"
+	"pathalgebra/internal/testutil"
+)
+
+// The randomized differential harness: ~500 seeded random plans spanning
+// all five semantics, all restrictors and every operator (σ, ⋈, ∪, ϕ, ρ,
+// γ, τ, π) over seeded LDBC-shaped graphs, each evaluated by
+//
+//   - the optimized engine with the cost-based planner ON,
+//   - the same engine with the planner disabled (heuristic rules only),
+//   - the reference evaluator in internal/core (core.EvalExpr),
+//
+// at parallelism 1 and 8. All evaluation routes must return identical
+// path sets. Plans whose projections truncate are compared engine-vs-
+// engine only: there the result depends on rank tie-breaking order, the
+// engine pins that order (identically for planner on/off — that is the
+// planner's core guarantee), but the reference closure discovers paths in
+// a different order and may legitimately pick different representatives.
+const (
+	randomizedTrials = 500
+	shortTrials      = 60
+)
+
+func TestRandomizedDifferential(t *testing.T) {
+	trials := randomizedTrials
+	if testing.Short() {
+		trials = shortTrials
+	}
+	rng := rand.New(rand.NewSource(20260729))
+	lim := core.Limits{MaxLen: 3}
+
+	// A pool of seeded graphs reused across plans keeps generation cheap
+	// while still varying size and cycle structure.
+	graphs := make([]*graph.Graph, 8)
+	for i := range graphs {
+		graphs[i] = testutil.RandomGraph(rng)
+	}
+
+	semSeen := make(map[core.Semantics]int)
+	truncating, setDetermined := 0, 0
+	for trial := 0; trial < trials; trial++ {
+		g := graphs[trial%len(graphs)]
+		plan := testutil.RandomPlan(rng, 3)
+		name := fmt.Sprintf("trial%d/%s", trial, plan)
+		countSemantics(plan, semSeen)
+
+		compareReference := testutil.IsTruncationFree(plan)
+		if compareReference {
+			setDetermined++
+		} else {
+			truncating++
+		}
+		var want *pathset.Set
+		if compareReference {
+			ref, err := core.EvalExpr(g, plan, lim)
+			if err != nil {
+				t.Fatalf("%s: reference: %v", name, err)
+			}
+			want = ref
+		}
+
+		var baseline *pathset.Set
+		for _, par := range []int{1, 8} {
+			on := New(g, Options{Limits: lim, Parallelism: par})
+			a, err := on.Run(plan)
+			if err != nil {
+				t.Fatalf("%s: planner-on par=%d: %v", name, par, err)
+			}
+			off := New(g, Options{Limits: lim, Parallelism: par, DisablePlanner: true})
+			b, err := off.Run(plan)
+			if err != nil {
+				t.Fatalf("%s: planner-off par=%d: %v", name, par, err)
+			}
+			if !a.Equal(b) {
+				t.Fatalf("%s: par=%d planner-on (%d paths) != planner-off (%d paths)",
+					name, par, a.Len(), b.Len())
+			}
+			if want != nil && !a.Equal(want) {
+				t.Fatalf("%s: par=%d engine (%d paths) != reference (%d paths)",
+					name, par, a.Len(), want.Len())
+			}
+			if baseline == nil {
+				baseline = a
+			} else if !a.Equal(baseline) {
+				t.Fatalf("%s: par=%d differs from par=1", name, par)
+			}
+		}
+	}
+	for _, sem := range core.AllSemantics() {
+		if semSeen[sem] == 0 {
+			t.Errorf("generator never produced semantics %s in %d trials", sem, trials)
+		}
+	}
+	if truncating == 0 || setDetermined == 0 {
+		t.Errorf("generator coverage hole: %d truncating, %d truncation-free plans",
+			truncating, setDetermined)
+	}
+	t.Logf("%d trials: %d truncation-free (3-way vs reference), %d truncating (engine-vs-engine); semantics %v",
+		trials, setDetermined, truncating, semSeen)
+}
+
+func countSemantics(e core.PathExpr, seen map[core.Semantics]int) {
+	switch x := e.(type) {
+	case core.Select:
+		countSemantics(x.In, seen)
+	case core.Join:
+		countSemantics(x.L, seen)
+		countSemantics(x.R, seen)
+	case core.Union:
+		countSemantics(x.L, seen)
+		countSemantics(x.R, seen)
+	case core.Recurse:
+		seen[x.Sem]++
+		countSemantics(x.In, seen)
+	case core.Restrict:
+		seen[x.Sem]++
+		countSemantics(x.In, seen)
+	case core.Project:
+		countSpaceSemantics(x.In, seen)
+	}
+}
+
+func countSpaceSemantics(e core.SpaceExpr, seen map[core.Semantics]int) {
+	switch x := e.(type) {
+	case core.GroupBy:
+		countSemantics(x.In, seen)
+	case core.OrderBy:
+		countSpaceSemantics(x.In, seen)
+	}
+}

@@ -1,0 +1,25 @@
+package opt_test
+
+import (
+	"testing"
+	"time"
+
+	"pathalgebra/internal/cond"
+	"pathalgebra/internal/core"
+	"pathalgebra/internal/ldbc"
+	"pathalgebra/internal/opt"
+)
+
+func TestDeepChainCardFast(t *testing.T) {
+	g := ldbc.Figure1()
+	cm := &opt.CostModel{Stats: g.Stats()}
+	var plan core.PathExpr = core.Select{Cond: cond.Label(cond.EdgeAt(1), "Knows"), In: core.Edges{}}
+	for i := 0; i < 40; i++ {
+		plan = core.Join{L: plan, R: core.Select{Cond: cond.Label(cond.EdgeAt(1), "Knows"), In: core.Edges{}}}
+	}
+	start := time.Now()
+	cm.Card(plan)
+	if d := time.Since(start); d > time.Second {
+		t.Fatalf("Card on 40-deep join chain took %v", d)
+	}
+}

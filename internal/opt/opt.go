@@ -1,9 +1,40 @@
-// Package opt implements the logical plan rewrites of §7.3 of the paper:
-// predicate pushdown (Figure 6), the Walk→Shortest recursion rewrite that
-// turns non-terminating plans into terminating ones, elimination of no-op
-// order-by operators, and selection merging. The optimizer rewrites path
-// algebra expression trees (internal/core) to equivalent trees; every
-// rule records its name so tests and the CLI can show what fired.
+// Package opt implements the planner: the logical plan rewrites of §7.3
+// of the paper plus a statistics-driven cost-based layer.
+//
+// The heuristic rule set (Optimize) needs no statistics:
+//
+//   - merge-selections: σc1(σc2(x)) → σ(c2 ∧ c1)(x);
+//   - pushdown-selection: the Figure 6 rewrite moving selections through
+//     unions and (for single-endpoint conjuncts) joins;
+//   - drop-redundant-restrict: ρWalk(x) = x, ρSem(ϕSem(x)) = ϕSem(x),
+//     ρSem(ρSem(x)) = ρSem(x);
+//   - walk-to-shortest: the §7.3 recursion rewrite turning diverging
+//     ϕWalk pipelines under shortest-consuming projections into
+//     terminating ϕShortest plans;
+//   - drop-noop-orderby: τ components that cannot affect projection
+//     disappear (the §6 τPG-over-γ∅ example).
+//
+// The cost-based layer (Plan) consults the graph statistics collected at
+// build time (internal/stats, exposed as graph.Stats()) through a
+// CostModel that estimates the cardinality of every algebra operator —
+// σ selectivity from label counts, ⋈ via the distinct-endpoint-count
+// estimate, ϕ via per-symbol fan-out raised to a bounded depth horizon.
+// Three statistics-driven decisions use the estimates:
+//
+//   - reassociate-joins: multi-join chains re-parenthesize by the
+//     matrix-chain DP over estimated intermediate cardinalities;
+//   - choose-backward: pattern recursions evaluate backward (reversed
+//     automaton over in-edges, seeded at path targets) when the target
+//     side is estimated cheaper — PathFinder's direction choice;
+//   - the walk-to-shortest gate: set-determined pipelines with a MaxLen
+//     bound keep a cheap Walk recursion instead of paying the two-phase
+//     Shortest evaluation.
+//
+// Every cost-based decision is restricted to order-insensitive contexts
+// (no truncating projection above), so a wrong estimate can change speed
+// but never results — the invariant the randomized differential harness
+// in internal/engine enforces. Every rule records its name so tests and
+// the CLI -explain flag can show what fired.
 package opt
 
 import (
@@ -23,12 +54,20 @@ type Result struct {
 // nothing.
 const maxRounds = 10
 
-// Optimize rewrites the plan to a cheaper equivalent.
+// Optimize rewrites the plan to a cheaper equivalent using the heuristic
+// rule set alone. The cost-based entry point Plan additionally consults
+// graph statistics; Optimize remains the statistics-free baseline (and
+// the planner-off engine path).
 func Optimize(plan core.PathExpr) Result {
+	return applyRules(plan, rules)
+}
+
+// applyRules drives a rule list to fixpoint (bounded by maxRounds).
+func applyRules(plan core.PathExpr, rs []rule) Result {
 	res := Result{Plan: plan}
 	for round := 0; round < maxRounds; round++ {
 		changed := false
-		for _, r := range rules {
+		for _, r := range rs {
 			p, fired := rewritePath(res.Plan, r.fn)
 			if fired {
 				res.Plan = p
@@ -163,7 +202,7 @@ func pushdownSelection(e core.PathExpr) (core.PathExpr, bool) {
 			R: core.Select{Cond: sel.Cond, In: in.R},
 		}, true
 	case core.Join:
-		first, last, rest := splitByEndpoint(sel.Cond)
+		first, last, rest := SplitByEndpoint(sel.Cond)
 		if len(first) == 0 && len(last) == 0 {
 			return e, false
 		}
@@ -185,11 +224,15 @@ func pushdownSelection(e core.PathExpr) (core.PathExpr, bool) {
 	}
 }
 
-// splitByEndpoint partitions the conjuncts of c into those that only
+// SplitByEndpoint partitions the conjuncts of c into those that only
 // constrain the first node, those that only constrain the last node, and
 // the rest. Non-conjunctive structure (OR, NOT) stays in rest unless it
-// wholly targets one endpoint.
-func splitByEndpoint(c cond.Cond) (first, last, rest []cond.Cond) {
+// wholly targets one endpoint. Besides the pushdown rewrite, the engine
+// uses the split to seed directed product searches: a first-only (last-
+// only) conjunct's value on a path is determined by the path's first
+// (last) node alone, so it can restrict the seed set of a forward
+// (backward) search instead of filtering afterwards.
+func SplitByEndpoint(c cond.Cond) (first, last, rest []cond.Cond) {
 	for _, conj := range conjuncts(c) {
 		switch endpointOf(conj) {
 		case endpointFirst:
@@ -305,6 +348,20 @@ func dropRedundantRestrict(e core.PathExpr) (core.PathExpr, bool) {
 //   - π(1, 1, _)(τG(γL(X)))        (paper's §7.3 example: globally
 //     shortest paths)
 func walkToShortest(e core.PathExpr) (core.PathExpr, bool) {
+	return walkToShortestGated(e, nil)
+}
+
+// walkToShortestGated is walkToShortest with an optional estimate gate:
+// when keepWalk is non-nil and the pipeline's result is fully determined
+// as a SET (no path-level truncation, so walk-order ties cannot leak into
+// the answer), keepWalk may veto the rewrite — the cost-based planner
+// does so when the walk closure is estimated cheap enough that the
+// two-phase shortest machinery would cost more than it saves. Pipelines
+// that pick single representative paths (ANY SHORTEST) always rewrite:
+// there the Shortest evaluator also guarantees termination of otherwise
+// diverging plans, and the gate must never trade that away on plans whose
+// representative choice could shift.
+func walkToShortestGated(e core.PathExpr, keepWalk func(core.GroupBy) bool) (core.PathExpr, bool) {
 	proj, ok := e.(core.Project)
 	if !ok {
 		return e, false
@@ -322,20 +379,32 @@ func walkToShortest(e core.PathExpr) (core.PathExpr, bool) {
 	if proj.Parts.Desc || proj.Groups.Desc || proj.Paths.Desc {
 		return e, false
 	}
-	matches := false
+	matches, setDetermined := false, false
 	switch {
 	case ord.Key == core.OrderPath && grp.Key == core.GroupST &&
 		!proj.Paths.All && proj.Paths.N == 1:
 		matches = true
+		// π(_,_,1): one representative per pair — order-sensitive.
 	case ord.Key == core.OrderGroup && grp.Key == core.GroupSTL &&
 		!proj.Groups.All && proj.Groups.N == 1:
 		matches = true
+		// ALL SHORTEST keeps every minimal path per pair: the result is a
+		// set-determined function of the input when no other level
+		// truncates (length ranks within a partition are distinct, so
+		// the group pick is unique).
+		setDetermined = proj.Parts.All && proj.Paths.All
 	case ord.Key == core.OrderGroup && grp.Key == core.GroupLength &&
 		!proj.Parts.All && proj.Parts.N == 1 &&
 		!proj.Groups.All && proj.Groups.N == 1:
 		matches = true
+		// γL builds a single partition; picking its unique minimal-length
+		// group is set-determined as long as the paths level keeps all.
+		setDetermined = proj.Paths.All
 	}
 	if !matches {
+		return e, false
+	}
+	if keepWalk != nil && setDetermined && keepWalk(grp) {
 		return e, false
 	}
 	in, changed := replaceWalkRecursions(grp.In)

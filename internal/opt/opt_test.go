@@ -1,4 +1,4 @@
-package opt
+package opt_test
 
 import (
 	"strings"
@@ -10,9 +10,10 @@ import (
 	"pathalgebra/internal/gql"
 	"pathalgebra/internal/graph"
 	"pathalgebra/internal/ldbc"
+	"pathalgebra/internal/opt"
 )
 
-func applied(res Result, rule string) bool {
+func applied(res opt.Result, rule string) bool {
 	for _, r := range res.Applied {
 		if r == rule {
 			return true
@@ -32,7 +33,7 @@ func TestFigure6Pushdown(t *testing.T) {
 		Cond: cond.Prop(cond.First(), "name", graph.StringValue("Moe")),
 		In:   core.Join{L: knowsSel(), R: knowsSel()},
 	}
-	res := Optimize(before)
+	res := opt.Optimize(before)
 	if !applied(res, "pushdown-selection") {
 		t.Fatalf("pushdown did not fire; applied = %v", res.Applied)
 	}
@@ -59,7 +60,7 @@ func TestPushdownLastGoesRight(t *testing.T) {
 		Cond: cond.Prop(cond.Last(), "name", graph.StringValue("Apu")),
 		In:   core.Join{L: knowsSel(), R: knowsSel()},
 	}
-	res := Optimize(before)
+	res := opt.Optimize(before)
 	j, ok := res.Plan.(core.Join)
 	if !ok {
 		t.Fatalf("top = %T, want Join", res.Plan)
@@ -84,7 +85,7 @@ func TestPushdownSplitsConjunction(t *testing.T) {
 		),
 		In: core.Join{L: knowsSel(), R: knowsSel()},
 	}
-	res := Optimize(before)
+	res := opt.Optimize(before)
 	top, ok := res.Plan.(core.Select)
 	if !ok {
 		t.Fatalf("top = %T, want residual Select", res.Plan)
@@ -107,7 +108,7 @@ func TestPushdownThroughUnion(t *testing.T) {
 		Cond: cond.Len(1),
 		In:   core.Union{L: knowsSel(), R: core.Nodes{}},
 	}
-	res := Optimize(before)
+	res := opt.Optimize(before)
 	u, ok := res.Plan.(core.Union)
 	if !ok {
 		t.Fatalf("top = %T, want Union", res.Plan)
@@ -124,7 +125,7 @@ func TestNoPushdownThroughRecursion(t *testing.T) {
 		Cond: cond.Prop(cond.First(), "name", graph.StringValue("Moe")),
 		In:   core.Recurse{Sem: core.Trail, In: knowsSel()},
 	}
-	res := Optimize(before)
+	res := opt.Optimize(before)
 	sel, ok := res.Plan.(core.Select)
 	if !ok {
 		t.Fatalf("selection moved; top = %T", res.Plan)
@@ -147,7 +148,7 @@ func TestPushdownPreservesResults(t *testing.T) {
 	}
 	for _, qs := range queries {
 		plan := gql.MustCompile(qs)
-		res := Optimize(plan)
+		res := opt.Optimize(plan)
 		e1 := engine.New(g, engine.Options{})
 		want, err := e1.EvalPaths(plan)
 		if err != nil {
@@ -169,7 +170,7 @@ func TestPushdownPreservesResults(t *testing.T) {
 // ANY SHORTEST WALK plan into a terminating ϕShortest plan.
 func TestWalkToShortestAnyShortest(t *testing.T) {
 	plan := gql.MustCompile(`MATCH ANY SHORTEST WALK p = (?x)-[:Knows+]->(?y)`)
-	res := Optimize(plan)
+	res := opt.Optimize(plan)
 	if !applied(res, "walk-to-shortest") {
 		t.Fatalf("walk-to-shortest did not fire; applied = %v, plan = %s", res.Applied, res.Plan)
 	}
@@ -199,7 +200,7 @@ func TestWalkToShortestAnyShortest(t *testing.T) {
 // TestWalkToShortestAllShortest covers the τG/γSTL pattern.
 func TestWalkToShortestAllShortest(t *testing.T) {
 	plan := gql.MustCompile(`MATCH ALL SHORTEST WALK p = (?x)-[:Knows+]->(?y)`)
-	res := Optimize(plan)
+	res := opt.Optimize(plan)
 	if !applied(res, "walk-to-shortest") {
 		t.Fatalf("walk-to-shortest did not fire on ALL SHORTEST; plan = %s", res.Plan)
 	}
@@ -224,7 +225,7 @@ func TestWalkToShortestGlobal(t *testing.T) {
 			In: core.GroupBy{Key: core.GroupLength,
 				In: core.Recurse{Sem: core.Walk, In: knowsSel()}}},
 	}
-	res := Optimize(plan)
+	res := opt.Optimize(plan)
 	if !applied(res, "walk-to-shortest") {
 		t.Fatalf("walk-to-shortest did not fire; plan = %s", res.Plan)
 	}
@@ -251,7 +252,7 @@ func TestWalkToShortestRespectsLengthFilter(t *testing.T) {
 					Cond: cond.LenCmp{Op: cond.GE, K: 2},
 					In:   core.Recurse{Sem: core.Walk, In: knowsSel()}}}},
 	}
-	res := Optimize(plan)
+	res := opt.Optimize(plan)
 	if strings.Contains(res.Plan.String(), "ϕShortest") {
 		t.Errorf("rewrite crossed a length filter: %s", res.Plan)
 	}
@@ -261,7 +262,7 @@ func TestWalkToShortestRespectsLengthFilter(t *testing.T) {
 // (the 2nd-shortest path would be lost).
 func TestWalkToShortestNotForShortestK(t *testing.T) {
 	plan := gql.MustCompile(`MATCH SHORTEST 2 WALK p = (?x)-[:Knows+]->(?y)`)
-	res := Optimize(plan)
+	res := opt.Optimize(plan)
 	if strings.Contains(res.Plan.String(), "ϕShortest") {
 		t.Errorf("SHORTEST 2 must not rewrite to ϕShortest: %s", res.Plan)
 	}
@@ -276,7 +277,7 @@ func TestDropNoopOrderBy(t *testing.T) {
 			In: core.GroupBy{Key: core.GroupNone,
 				In: core.Recurse{Sem: core.Trail, In: knowsSel()}}},
 	}
-	res := Optimize(plan)
+	res := opt.Optimize(plan)
 	if !applied(res, "drop-noop-orderby") {
 		t.Fatalf("drop-noop-orderby did not fire; plan = %s", res.Plan)
 	}
@@ -297,7 +298,7 @@ func TestDropOrderByPartialBits(t *testing.T) {
 			In: core.GroupBy{Key: core.GroupST,
 				In: core.Recurse{Sem: core.Trail, In: knowsSel()}}},
 	}
-	res := Optimize(plan)
+	res := opt.Optimize(plan)
 	proj := res.Plan.(core.Project)
 	ord, ok := proj.In.(core.OrderBy)
 	if !ok {
@@ -318,7 +319,7 @@ func TestMergeSelections(t *testing.T) {
 			In:   core.Recurse{Sem: core.Trail, In: knowsSel()},
 		},
 	}
-	res := Optimize(plan)
+	res := opt.Optimize(plan)
 	if !applied(res, "merge-selections") {
 		t.Fatalf("merge did not fire; applied = %v", res.Applied)
 	}
@@ -339,8 +340,8 @@ func TestOptimizeIdempotent(t *testing.T) {
 		`MATCH SIMPLE p = (x {name:"Moe"})-[:Knows/:Knows]->(y {name:"Apu"})`,
 	}
 	for _, qs := range queries {
-		first := Optimize(gql.MustCompile(qs))
-		second := Optimize(first.Plan)
+		first := opt.Optimize(gql.MustCompile(qs))
+		second := opt.Optimize(first.Plan)
 		if len(second.Applied) != 0 {
 			t.Errorf("%s: second pass applied %v", qs, second.Applied)
 		}
@@ -359,7 +360,7 @@ func TestOptimizeReducesIntermediates(t *testing.T) {
 	if _, err := e1.EvalPaths(plan); err != nil {
 		t.Fatal(err)
 	}
-	res := Optimize(plan)
+	res := opt.Optimize(plan)
 	e2 := engine.New(g, engine.Options{})
 	if _, err := e2.EvalPaths(res.Plan); err != nil {
 		t.Fatal(err)

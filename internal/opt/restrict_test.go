@@ -1,4 +1,4 @@
-package opt
+package opt_test
 
 import (
 	"strings"
@@ -7,11 +7,12 @@ import (
 	"pathalgebra/internal/core"
 	"pathalgebra/internal/engine"
 	"pathalgebra/internal/ldbc"
+	"pathalgebra/internal/opt"
 )
 
 func TestDropRedundantRestrictWalk(t *testing.T) {
 	plan := core.Restrict{Sem: core.Walk, In: knowsSel()}
-	res := Optimize(plan)
+	res := opt.Optimize(plan)
 	if !applied(res, "drop-redundant-restrict") {
 		t.Fatalf("rule did not fire; applied = %v", res.Applied)
 	}
@@ -23,7 +24,7 @@ func TestDropRedundantRestrictWalk(t *testing.T) {
 func TestDropRedundantRestrictOverSameRecursion(t *testing.T) {
 	for _, sem := range []core.Semantics{core.Trail, core.Acyclic, core.Simple, core.Shortest} {
 		plan := core.Restrict{Sem: sem, In: core.Recurse{Sem: sem, In: knowsSel()}}
-		res := Optimize(plan)
+		res := opt.Optimize(plan)
 		if _, still := res.Plan.(core.Restrict); still {
 			t.Errorf("ρ%s(ϕ%s) not simplified: %s", sem, sem, res.Plan)
 		}
@@ -33,7 +34,7 @@ func TestDropRedundantRestrictOverSameRecursion(t *testing.T) {
 func TestKeepRestrictOverDifferentRecursion(t *testing.T) {
 	// ρTrail(ϕWalk(X)) genuinely filters; it must stay.
 	plan := core.Restrict{Sem: core.Trail, In: core.Recurse{Sem: core.Walk, In: knowsSel()}}
-	res := Optimize(plan)
+	res := opt.Optimize(plan)
 	if _, ok := res.Plan.(core.Restrict); !ok {
 		t.Errorf("ρTrail over ϕWalk wrongly removed: %s", res.Plan)
 	}
@@ -42,7 +43,7 @@ func TestKeepRestrictOverDifferentRecursion(t *testing.T) {
 func TestDropIdempotentRestrict(t *testing.T) {
 	plan := core.Restrict{Sem: core.Simple,
 		In: core.Restrict{Sem: core.Simple, In: knowsSel()}}
-	res := Optimize(plan)
+	res := opt.Optimize(plan)
 	if strings.Count(res.Plan.String(), "ρSimple") != 1 {
 		t.Errorf("stacked ρSimple not collapsed: %s", res.Plan)
 	}
@@ -63,7 +64,7 @@ func TestRestrictSimplificationPreservesResults(t *testing.T) {
 		if err != nil {
 			t.Fatal(err)
 		}
-		res := Optimize(plan)
+		res := opt.Optimize(plan)
 		got, err := engine.New(g, engine.Options{}).EvalPaths(res.Plan)
 		if err != nil {
 			t.Fatal(err)

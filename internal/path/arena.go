@@ -271,6 +271,65 @@ func (a *Arena) PathSlab(r Ref, s *Slab) Path {
 	return Path{nodes: nodes, edges: edges, fp: ent.fp}
 }
 
+// Reversed materialization: the backward product search builds paths from
+// their last node toward their first, so the arena chain of a backward ref
+// — walked head to leaf — already yields the forward node/edge sequence.
+// These methods materialize that forward path with its canonical forward
+// fingerprint, so backward-evaluated results are indistinguishable from
+// forward-evaluated ones to every downstream consumer (set membership,
+// joins, unions, Equal).
+
+// ReversedFingerprint returns the canonical fingerprint of the REVERSE of
+// the path at r — the fingerprint Arena.ReversedPathSlab would assign —
+// by one walk down the chain, without materializing.
+func (a *Arena) ReversedFingerprint(r Ref) uint64 {
+	ent := &a.entries[r]
+	fp := fpStart(uint64(ent.last))
+	for ent.len > 0 {
+		fp = fpAppend(fp, uint64(ent.edge))
+		ent = &a.entries[ent.parent]
+	}
+	return fp
+}
+
+// ReversedEqualPath reports whether the REVERSE of the path at r equals
+// the materialized path p. The chain walk from r visits the reversed
+// sequence front to back, so the comparison is a forward scan of p.
+func (a *Arena) ReversedEqualPath(r Ref, p Path) bool {
+	ent := &a.entries[r]
+	if int(ent.len) != p.Len() {
+		return false
+	}
+	for i := 0; ent.len > 0; i++ {
+		if ent.last != p.nodes[i] || ent.edge != p.edges[i] {
+			return false
+		}
+		ent = &a.entries[ent.parent]
+	}
+	return ent.last == p.nodes[p.Len()]
+}
+
+// ReversedPathSlab materializes the REVERSE of the path at r with storage
+// carved from the slab and the canonical forward fingerprint fp (from
+// ReversedFingerprint, which callers will already have computed for the
+// duplicate probe).
+func (a *Arena) ReversedPathSlab(r Ref, s *Slab, fp uint64) Path {
+	ent := &a.entries[r]
+	n := int(ent.len)
+	nodes := s.carveNodes(n + 1)
+	var edges []graph.EdgeID
+	if n > 0 {
+		edges = s.carveEdges(n)
+	}
+	for i := 0; ent.len > 0; i++ {
+		nodes[i] = ent.last
+		edges[i] = ent.edge
+		ent = &a.entries[ent.parent]
+	}
+	nodes[n] = ent.last
+	return Path{nodes: nodes, edges: edges, fp: fp}
+}
+
 // arenaCollisionCount tallies, process-wide, how many RefSet inserts hit a
 // non-empty fingerprint bucket and needed the exact-equality fallback —
 // the arena-side twin of pathset.Collisions.

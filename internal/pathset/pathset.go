@@ -133,6 +133,39 @@ func (s *Set) AddArena(a *path.Arena, r path.Ref) bool {
 	return true
 }
 
+// AddArenaReversed inserts the REVERSE of the arena-resident path at r
+// unless an equal path is present, reporting whether it was newly
+// inserted. It is AddArena for the backward product search, whose arena
+// chains hold paths last-node-first: membership probes and the admitted
+// path both use the canonical forward fingerprint, so sets filled this
+// way are indistinguishable from forward-filled ones.
+func (s *Set) AddArenaReversed(a *path.Arena, r path.Ref) bool {
+	if s.index == nil {
+		s.index = make(map[uint64]int32)
+	}
+	fp := a.ReversedFingerprint(r)
+	pos := int32(len(s.paths))
+	if i, taken := s.index[fp]; taken {
+		if a.ReversedEqualPath(r, s.paths[i]) {
+			return false
+		}
+		for _, j := range s.overflow[fp] {
+			if a.ReversedEqualPath(r, s.paths[j]) {
+				return false
+			}
+		}
+		collisionCount.Add(1)
+		if s.overflow == nil {
+			s.overflow = make(map[uint64][]int32)
+		}
+		s.overflow[fp] = append(s.overflow[fp], pos)
+	} else {
+		s.index[fp] = pos
+	}
+	s.paths = append(s.paths, a.ReversedPathSlab(r, &s.slab, fp))
+	return true
+}
+
 // Contains reports whether an equal path is in the set.
 func (s *Set) Contains(p path.Path) bool {
 	fp := p.Fingerprint()

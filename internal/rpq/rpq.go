@@ -131,6 +131,29 @@ func Compile(e Expr, sem core.Semantics) core.PathExpr {
 	}
 }
 
+// Reverse returns the expression matching exactly the reversed words of
+// e: concatenations flip operand order, everything else maps through. A
+// path p matches e iff reverse(p) matches Reverse(e), which is what the
+// backward product search evaluates over the graph's in-adjacency.
+func Reverse(e Expr) Expr {
+	switch e := e.(type) {
+	case Label, AnyLabel, nil:
+		return e
+	case Concat:
+		return Concat{L: Reverse(e.R), R: Reverse(e.L)}
+	case Alt:
+		return Alt{L: Reverse(e.L), R: Reverse(e.R)}
+	case Star:
+		return Star{In: Reverse(e.In)}
+	case Plus:
+		return Plus{In: Reverse(e.In)}
+	case Opt:
+		return Opt{In: Reverse(e.In)}
+	default:
+		panic(fmt.Sprintf("rpq: unknown expression type %T", e))
+	}
+}
+
 // HasRecursion reports whether the expression contains * or +, i.e.
 // whether its compiled plan contains a recursive operator.
 func HasRecursion(e Expr) bool {

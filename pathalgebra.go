@@ -33,6 +33,7 @@ import (
 	"pathalgebra/internal/path"
 	"pathalgebra/internal/pathset"
 	"pathalgebra/internal/rpq"
+	"pathalgebra/internal/stats"
 )
 
 // Re-exported data model types.
@@ -141,11 +142,21 @@ func PrintPlan(plan PathExpr) string { return gql.PrintPlan(plan) }
 // EngineOptions configures plan execution.
 type EngineOptions = engine.Options
 
-// Engine executes logical plans against a graph.
+// Engine executes logical plans against a graph. Engine.Run plans through
+// the cost-based planner and LRU plan cache; Engine.EvalPaths executes a
+// plan exactly as given; Engine.Explain reports the chosen plan with
+// estimated vs. actual per-operator cardinalities.
 type Engine = engine.Engine
+
+// Explain is the result of Engine.Explain.
+type Explain = engine.Explain
 
 // NewEngine returns an engine over g.
 func NewEngine(g *Graph, opts EngineOptions) *Engine { return engine.New(g, opts) }
+
+// GraphStats returns the statistics bundle computed for g at build time —
+// the input of the cost-based planner.
+func GraphStats(g *Graph) *stats.Stats { return g.Stats() }
 
 // ComposeQueries implements the paper's §2.3 composition of path queries
 //
@@ -188,6 +199,9 @@ type RunOptions struct {
 	Limits Limits
 	// NoOptimize executes the plan exactly as compiled.
 	NoOptimize bool
+	// DisablePlanner falls back to the statistics-free heuristic
+	// optimizer instead of the cost-based planner.
+	DisablePlanner bool
 	// Parallelism is the number of evaluation worker goroutines; <= 0
 	// selects GOMAXPROCS. Results are byte-identical for every value —
 	// parallel shards merge in the sequential order and the MaxPaths/
@@ -195,7 +209,9 @@ type RunOptions struct {
 	Parallelism int
 }
 
-// Run parses, compiles, optimizes and executes a query in one call.
+// Run parses, compiles, plans and executes a query in one call. Planning
+// goes through the cost-based planner (statistics-driven join order,
+// evaluation direction and rewrite gating) unless DisablePlanner is set.
 func Run(g *Graph, query string, opts RunOptions) (*PathSet, error) {
 	q, err := ParseQuery(query)
 	if err != nil {
@@ -205,11 +221,15 @@ func Run(g *Graph, query string, opts RunOptions) (*PathSet, error) {
 	if err != nil {
 		return nil, err
 	}
-	if !opts.NoOptimize {
-		plan, _ = Optimize(plan)
+	eng := engine.New(g, engine.Options{
+		Limits:         opts.Limits,
+		Parallelism:    opts.Parallelism,
+		DisablePlanner: opts.DisablePlanner,
+	})
+	if opts.NoOptimize {
+		return eng.EvalPaths(plan)
 	}
-	eng := engine.New(g, engine.Options{Limits: opts.Limits, Parallelism: opts.Parallelism})
-	return eng.EvalPaths(plan)
+	return eng.Run(plan)
 }
 
 // MustRun is Run panicking on error, for examples and tests.

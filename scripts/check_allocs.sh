@@ -12,6 +12,7 @@
 set -eu
 
 THRESHOLD=${ALLOCS_THRESHOLD:-4000}
+PLANCACHE_THRESHOLD=${PLANCACHE_ALLOCS_THRESHOLD:-64}
 
 out=$(go test -run xxx -bench 'BenchmarkRestrictors$/Walk' -benchtime 1x -benchmem . 2>&1)
 printf '%s\n' "$out"
@@ -26,3 +27,25 @@ if [ "$allocs" -gt "$THRESHOLD" ]; then
     exit 1
 fi
 echo "check_allocs: BenchmarkRestrictors/Walk allocates $allocs allocs/op (threshold $THRESHOLD)"
+
+# Planner gate: the plan-cache hit path must stay cheap (a key hash plus
+# an LRU bump — no re-optimization) and strictly cheaper than planning
+# from cold. -benchtime 20x amortizes the one-off warmup fixture.
+out=$(go test -run xxx -bench 'BenchmarkPlanCache' -benchtime 20x -benchmem . 2>&1)
+printf '%s\n' "$out"
+
+cold=$(printf '%s\n' "$out" | awk '/^BenchmarkPlanCache\/cold/ { for (i = 1; i < NF; i++) if ($(i+1) == "allocs/op") print $i }')
+hit=$(printf '%s\n' "$out" | awk '/^BenchmarkPlanCache\/hit/ { for (i = 1; i < NF; i++) if ($(i+1) == "allocs/op") print $i }')
+if [ -z "$cold" ] || [ -z "$hit" ]; then
+    echo "check_allocs: could not find BenchmarkPlanCache allocs/op in benchmark output" >&2
+    exit 1
+fi
+if [ "$hit" -gt "$PLANCACHE_THRESHOLD" ]; then
+    echo "check_allocs: plan-cache hit path allocates $hit allocs/op > threshold $PLANCACHE_THRESHOLD" >&2
+    exit 1
+fi
+if [ "$hit" -ge "$cold" ]; then
+    echo "check_allocs: plan-cache hit path ($hit allocs/op) is not cheaper than cold planning ($cold allocs/op)" >&2
+    exit 1
+fi
+echo "check_allocs: plan-cache hit path allocates $hit allocs/op vs $cold cold (threshold $PLANCACHE_THRESHOLD)"
