@@ -20,8 +20,17 @@ package pathalgebra
 // implementation rather than reproduce published timings.
 
 import (
+	"bufio"
+	"bytes"
+	"context"
+	"encoding/json"
 	"fmt"
+	"net/http/httptest"
+	"sort"
+	"sync"
+	"sync/atomic"
 	"testing"
+	"time"
 
 	"pathalgebra/internal/automaton"
 	"pathalgebra/internal/core"
@@ -30,6 +39,7 @@ import (
 	"pathalgebra/internal/ldbc"
 	"pathalgebra/internal/opt"
 	"pathalgebra/internal/rpq"
+	"pathalgebra/internal/server"
 )
 
 // benchGraph is a moderately cyclic SNB-like graph sized so that the full
@@ -581,4 +591,152 @@ func BenchmarkStatsBuild(b *testing.B) {
 			b.Fatal(err)
 		}
 	}
+}
+
+// BenchmarkStreamDelivery measures the chunked-delivery overhead of
+// RunStream against the equivalent batch Run: the streaming path must
+// stay within a small constant number of extra allocations per chunk
+// (gated in scripts/check_allocs.sh), since chunks are zero-copy views
+// into the evaluated set.
+func BenchmarkStreamDelivery(b *testing.B) {
+	g := benchGraph()
+	plan := gql.MustCompile(`MATCH WALK p = (?x)-[:Knows+]->(?y)`)
+	lim := Limits{MaxLen: 4}
+	b.Run("batch", func(b *testing.B) {
+		eng := engine.New(g, engine.Options{Limits: lim})
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			if _, err := eng.Run(plan); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("stream", func(b *testing.B) {
+		eng := engine.New(g, engine.Options{Limits: lim})
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			s := eng.RunStream(context.Background(), plan, engine.StreamOptions{ChunkSize: 256})
+			for {
+				chunk, err := s.Next()
+				if err != nil {
+					b.Fatal(err)
+				}
+				if chunk == nil {
+					break
+				}
+			}
+		}
+	})
+}
+
+// BenchmarkServerThroughput drives the HTTP query service with
+// concurrent clients, each running a cursor through a full result set,
+// and reports queries/sec and p99 end-to-end latency — the PR 5
+// service-layer headline numbers (recorded in BENCH_pr5.json). The
+// nocache variant evaluates every query; the cached variant measures the
+// result-LRU serving path.
+func BenchmarkServerThroughput(b *testing.B) {
+	g := benchGraph()
+	queries := []string{
+		`MATCH TRAIL p = (?x)-[:Knows+]->(?y)`,
+		`MATCH ACYCLIC p = (?x)-[(:Knows|:Likes)+]->(?y)`,
+		`MATCH ANY SHORTEST WALK p = (?x)-[(:Likes/:Has_creator)+]->(?y)`,
+	}
+	const clients = 8
+	run := func(b *testing.B, noCache bool) {
+		svc, err := server.New(server.Config{
+			Graph:       g,
+			Engine:      engine.Options{Limits: Limits{MaxLen: 4}},
+			MaxInFlight: clients, // admission sized to the client pool
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+		ts := httptest.NewServer(svc)
+		defer ts.Close()
+		defer svc.Close()
+		client := ts.Client()
+		oneQuery := func(q string) error {
+			body, _ := json.Marshal(map[string]any{"query": q, "no_cache": noCache})
+			resp, err := client.Post(ts.URL+"/query", "application/json", bytes.NewReader(body))
+			if err != nil {
+				return err
+			}
+			var qr struct {
+				ID string `json:"id"`
+			}
+			err = json.NewDecoder(resp.Body).Decode(&qr)
+			resp.Body.Close()
+			if err != nil {
+				return err
+			}
+			if resp.StatusCode != 201 || qr.ID == "" {
+				return fmt.Errorf("POST /query status %d id %q", resp.StatusCode, qr.ID)
+			}
+			for {
+				page, err := client.Get(fmt.Sprintf("%s/query/%s/next", ts.URL, qr.ID))
+				if err != nil {
+					return err
+				}
+				if page.StatusCode != 200 {
+					page.Body.Close()
+					return fmt.Errorf("page status %d", page.StatusCode)
+				}
+				// The trailer is the last line; scan for its done flag.
+				done := false
+				sc := bufio.NewScanner(page.Body)
+				sc.Buffer(make([]byte, 1<<20), 1<<20)
+				for sc.Scan() {
+					line := sc.Bytes()
+					if bytes.Contains(line, []byte(`"done":true`)) {
+						done = true
+					}
+				}
+				page.Body.Close()
+				if done {
+					return nil
+				}
+			}
+		}
+		if !noCache { // warm the result LRU
+			for _, q := range queries {
+				if err := oneQuery(q); err != nil {
+					b.Fatal(err)
+				}
+			}
+		}
+		var next atomic.Int64
+		lats := make([]time.Duration, b.N)
+		b.ReportAllocs()
+		b.ResetTimer()
+		start := time.Now()
+		var wg sync.WaitGroup
+		for c := 0; c < clients; c++ {
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				for {
+					i := next.Add(1) - 1
+					if i >= int64(b.N) {
+						return
+					}
+					t0 := time.Now()
+					if err := oneQuery(queries[i%int64(len(queries))]); err != nil {
+						b.Error(err)
+						return
+					}
+					lats[i] = time.Since(t0)
+				}
+			}()
+		}
+		wg.Wait()
+		elapsed := time.Since(start)
+		b.StopTimer()
+		sort.Slice(lats, func(i, j int) bool { return lats[i] < lats[j] })
+		b.ReportMetric(float64(b.N)/elapsed.Seconds(), "queries/sec")
+		p99 := lats[min(len(lats)-1, len(lats)*99/100)]
+		b.ReportMetric(float64(p99)/1e6, "p99-ms")
+	}
+	b.Run("nocache", func(b *testing.B) { run(b, true) })
+	b.Run("cached", func(b *testing.B) { run(b, false) })
 }

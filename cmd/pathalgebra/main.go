@@ -13,9 +13,13 @@
 package main
 
 import (
+	"context"
+	"errors"
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
+	"time"
 
 	"pathalgebra"
 )
@@ -64,8 +68,12 @@ flags (per command):
   -figure1  force the Figure 1 graph
   -maxlen   bound recursive path length (0 = unbounded)
   -maxpaths bound result size (0 = default safety net)
+  -maxwork  bound materialized node slots (0 = default safety net)
   -parallel evaluation worker goroutines (0 = GOMAXPROCS; results are
             identical for every worker count)
+  -timeout  abort evaluation after this duration, e.g. 500ms or 10s
+            (run only; 0 = no deadline). Ctrl-C likewise aborts the
+            running query and prints partial stats.
   -no-opt   skip the optimizer (run only)
   -no-planner use the heuristic optimizer without graph statistics
             (run only; the cost-based planner is the default)
@@ -83,7 +91,9 @@ type queryFlags struct {
 	figure1   *bool
 	maxLen    *int
 	maxPaths  *int
+	maxWork   *int
 	parallel  *int
+	timeout   *time.Duration
 	noOpt     *bool
 	noPlanner *bool
 	explain   *bool
@@ -101,7 +111,9 @@ func newQueryFlags(name string) *queryFlags {
 		figure1:   fs.Bool("figure1", false, "use the paper's Figure 1 graph"),
 		maxLen:    fs.Int("maxlen", 0, "bound recursive path length"),
 		maxPaths:  fs.Int("maxpaths", 0, "bound result size"),
+		maxWork:   fs.Int("maxwork", 0, "bound materialized node slots"),
 		parallel:  fs.Int("parallel", 0, "evaluation worker goroutines (0 = GOMAXPROCS)"),
+		timeout:   fs.Duration("timeout", 0, "abort evaluation after this duration (0 = none)"),
 		noOpt:     fs.Bool("no-opt", false, "skip the optimizer"),
 		noPlanner: fs.Bool("no-planner", false, "use the heuristic optimizer without graph statistics"),
 		explain:   fs.Bool("explain", false, "print the chosen plan with estimated vs actual cardinalities"),
@@ -219,17 +231,28 @@ func cmdRun(args []string) error {
 		return fmt.Errorf("-explain cannot be combined with -no-opt (there is no planned plan to explain)")
 	}
 	eng := pathalgebra.NewEngine(g, pathalgebra.EngineOptions{
-		Limits:         pathalgebra.Limits{MaxLen: *qf.maxLen, MaxPaths: *qf.maxPaths},
+		Limits:         pathalgebra.Limits{MaxLen: *qf.maxLen, MaxPaths: *qf.maxPaths, MaxWork: *qf.maxWork},
 		Parallelism:    *qf.parallel,
 		DisablePlanner: *qf.noPlanner,
 	})
+	// Ctrl-C (and -timeout) cancel the evaluation context instead of
+	// killing the process: all evaluation workers stop at their next
+	// budget charge and partial stats are reported below. A second
+	// Ctrl-C after `stop` restores the default kill behavior.
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
+	defer stop()
+	var cancel context.CancelFunc
+	if *qf.timeout > 0 {
+		ctx, cancel = context.WithTimeout(ctx, *qf.timeout)
+		defer cancel()
+	}
 	var res *pathalgebra.PathSet
 	switch {
 	case *qf.noOpt:
-		res, err = eng.EvalPaths(plan)
+		res, err = eng.EvalPathsCtx(ctx, plan)
 	case *qf.explain:
 		var ex *pathalgebra.Explain
-		ex, err = eng.Explain(plan)
+		ex, err = eng.ExplainCtx(ctx, plan)
 		if err == nil {
 			fmt.Println("plan:")
 			fmt.Print(pathalgebra.PrintPlan(ex.Plan))
@@ -237,9 +260,15 @@ func cmdRun(args []string) error {
 			res = ex.Result
 		}
 	default:
-		res, err = eng.Run(plan)
+		res, err = eng.RunCtx(ctx, plan)
 	}
+	stop()
 	if err != nil {
+		if errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded) {
+			s := eng.Stats()
+			fmt.Fprintf(os.Stderr, "query aborted (%v); partial stats: paths=%d joinProbes=%d recursions=%d seeded=%d backward=%d\n",
+				err, s.PathsProduced, s.JoinProbes, s.Recursions, s.SeededRecursions, s.BackwardRecursions)
+		}
 		return err
 	}
 	fmt.Printf("%d paths\n", res.Len())

@@ -1,6 +1,8 @@
 package main
 
 import (
+	"context"
+	"errors"
 	"os"
 	"path/filepath"
 	"strings"
@@ -166,9 +168,27 @@ func TestCmdErrors(t *testing.T) {
 	if err := cmdRun([]string{"-query", `MATCH WALK p = (?x)-[:K]->(?y)`, "-graph", "/nope.json"}); err == nil {
 		t.Error("run with a missing graph file should fail")
 	}
-	// A diverging walk must surface the budget error.
+	// A diverging walk must surface the budget error, errors.Is-able as
+	// the typed sentinel (not a string match).
 	if err := cmdRun([]string{"-query", `MATCH WALK p = (?x)-[:Knows+]->(?y)`,
 		"-maxpaths", "50", "-no-opt"}); err == nil {
 		t.Error("diverging walk should fail under -maxpaths")
+	} else if !errors.Is(err, pathalgebra.ErrBudgetExceeded) {
+		t.Errorf("budget error = %v, want errors.Is ErrBudgetExceeded", err)
+	}
+}
+
+// TestCmdRunTimeout: -timeout aborts the evaluation with the typed
+// deadline error instead of hanging or dying on the budget.
+func TestCmdRunTimeout(t *testing.T) {
+	_, err := capture(t, func() error {
+		return cmdRun([]string{"-query", `MATCH WALK p = (?x)-[:Knows+]->(?y)`,
+			"-maxlen", "30", "-maxpaths", "1000000000", "-timeout", "1ns"})
+	})
+	if err == nil {
+		t.Fatal("run with -timeout 1ns should fail")
+	}
+	if !errors.Is(err, context.DeadlineExceeded) {
+		t.Errorf("err = %v, want errors.Is context.DeadlineExceeded", err)
 	}
 }

@@ -1,0 +1,187 @@
+// Command pathalgebrad is the path-algebra query daemon: it loads a
+// property graph once and serves queries over HTTP through the
+// internal/server query service — cancellable streaming evaluation,
+// session cursors paging NDJSON results, per-query limits and deadlines,
+// a result LRU, and /stats + /explain observability.
+//
+// Usage:
+//
+//	pathalgebrad -figure1                                # paper's Figure 1 graph
+//	pathalgebrad -graph g.json -addr :7688
+//	pathalgebrad -nodes nodes.csv -edges edges.csv       # LDBC-style CSV
+//	pathalgebrad -snb-persons 2000                       # synthetic SNB graph
+//
+// Endpoints (see internal/server):
+//
+//	POST   /query            start a query        → {"id": "q1", ...}
+//	GET    /query/{id}/next  page results (NDJSON: path lines + trailer)
+//	DELETE /query/{id}       cancel a query
+//	GET    /stats            engine + server counters
+//	POST   /explain          plan with estimated vs actual cardinalities
+//	POST   /cache/invalidate drop the result LRU
+//	GET    /healthz          liveness
+//
+// On SIGTERM/SIGINT the daemon drains gracefully: it stops accepting
+// connections, gives in-flight requests -drain-timeout to finish, then
+// aborts remaining evaluations (clients see HTTP 503, kind "draining").
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"log"
+	"net"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"pathalgebra"
+	"pathalgebra/internal/graph"
+	"pathalgebra/internal/ldbc"
+	"pathalgebra/internal/server"
+)
+
+func main() {
+	if err := run(os.Args[1:], nil); err != nil {
+		fmt.Fprintln(os.Stderr, "pathalgebrad:", err)
+		os.Exit(1)
+	}
+}
+
+// run is the daemon body, factored out of main so the smoke test can
+// drive a full serve/drain cycle in-process. If ready is non-nil, the
+// daemon's bound address is sent on it once the listener is up.
+func run(args []string, ready chan<- net.Addr) error {
+	fs := flag.NewFlagSet("pathalgebrad", flag.ContinueOnError)
+	var (
+		addr       = fs.String("addr", ":7688", "listen address")
+		graphFile  = fs.String("graph", "", "JSON graph file")
+		nodesCSV   = fs.String("nodes", "", "node CSV file (with -edges)")
+		edgesCSV   = fs.String("edges", "", "edge CSV file (with -nodes)")
+		figure1    = fs.Bool("figure1", false, "serve the paper's Figure 1 graph")
+		snbPersons = fs.Int("snb-persons", 0, "serve a synthetic SNB graph with this many persons")
+
+		parallel = fs.Int("parallel", 0, "evaluation worker goroutines per query (0 = GOMAXPROCS)")
+		maxLen   = fs.Int("maxlen", 0, "default per-query recursive path length bound")
+		maxPaths = fs.Int("maxpaths", 0, "default per-query result-size bound (0 = engine safety net)")
+		maxWork  = fs.Int("maxwork", 0, "default per-query materialization bound (0 = engine safety net)")
+
+		inflight     = fs.Int("max-inflight", 0, "max concurrently evaluating queries (0 = 2x GOMAXPROCS)")
+		maxCursors   = fs.Int("max-cursors", 0, "max live cursors (0 = 1024)")
+		chunk        = fs.Int("chunk", 0, "default paths per result page (0 = 256)")
+		cacheSize    = fs.Int("cache", 0, "result LRU entries (0 = 128, negative disables)")
+		queryTimeout = fs.Duration("query-timeout", 0, "per-query evaluation deadline (0 = 60s, negative disables)")
+		cursorTTL    = fs.Duration("cursor-ttl", 0, "idle cursor eviction (0 = 5m, negative disables)")
+		drainTimeout = fs.Duration("drain-timeout", 5*time.Second, "graceful shutdown grace period")
+	)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+
+	g, desc, err := loadGraph(*graphFile, *nodesCSV, *edgesCSV, *figure1, *snbPersons)
+	if err != nil {
+		return err
+	}
+
+	svc, err := server.New(server.Config{
+		Graph: g,
+		Engine: pathalgebra.EngineOptions{
+			Limits:      pathalgebra.Limits{MaxLen: *maxLen, MaxPaths: *maxPaths, MaxWork: *maxWork},
+			Parallelism: *parallel,
+		},
+		MaxInFlight:  *inflight,
+		MaxCursors:   *maxCursors,
+		ChunkSize:    *chunk,
+		CacheSize:    *cacheSize,
+		QueryTimeout: *queryTimeout,
+		CursorTTL:    *cursorTTL,
+	})
+	if err != nil {
+		return err
+	}
+	defer svc.Close()
+
+	ln, err := net.Listen("tcp", *addr)
+	if err != nil {
+		return err
+	}
+	httpSrv := &http.Server{Handler: svc}
+	log.Printf("pathalgebrad: serving %s on %s (nodes=%d edges=%d symbols=%d)",
+		desc, ln.Addr(), g.NumNodes(), g.NumEdges(), g.NumSymbols())
+	if ready != nil {
+		ready <- ln.Addr()
+	}
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	serveErr := make(chan error, 1)
+	go func() { serveErr <- httpSrv.Serve(ln) }()
+
+	select {
+	case err := <-serveErr:
+		return err
+	case <-ctx.Done():
+	}
+
+	// Graceful drain: stop accepting, give in-flight requests the grace
+	// period, then abort remaining evaluations so their long-polling
+	// /next requests fail fast (503 draining) instead of hanging.
+	log.Printf("pathalgebrad: draining (grace %s)", *drainTimeout)
+	shutdownCtx, cancel := context.WithTimeout(context.Background(), *drainTimeout)
+	defer cancel()
+	go func() {
+		<-shutdownCtx.Done()
+		svc.Close()
+	}()
+	if err := httpSrv.Shutdown(shutdownCtx); err != nil && !errors.Is(err, context.DeadlineExceeded) {
+		return err
+	}
+	svc.Close()
+	log.Printf("pathalgebrad: drained")
+	return nil
+}
+
+// loadGraph resolves the graph-source flags, in precedence order: CSV
+// pair, then JSON file unless -figure1 explicitly forces the paper's
+// graph (matching the pathalgebra CLI), then synthetic SNB, then
+// Figure 1 as the default.
+func loadGraph(graphFile, nodesCSV, edgesCSV string, figure1 bool, snbPersons int) (*graph.Graph, string, error) {
+	switch {
+	case nodesCSV != "" || edgesCSV != "":
+		if nodesCSV == "" || edgesCSV == "" {
+			return nil, "", fmt.Errorf("-nodes and -edges must be given together")
+		}
+		nf, err := os.Open(nodesCSV)
+		if err != nil {
+			return nil, "", err
+		}
+		defer nf.Close()
+		ef, err := os.Open(edgesCSV)
+		if err != nil {
+			return nil, "", err
+		}
+		defer ef.Close()
+		g, err := graph.ReadCSV(nf, ef)
+		return g, fmt.Sprintf("CSV %s + %s", nodesCSV, edgesCSV), err
+	case graphFile != "" && !figure1:
+		f, err := os.Open(graphFile)
+		if err != nil {
+			return nil, "", err
+		}
+		defer f.Close()
+		g, err := graph.ReadJSON(f)
+		return g, fmt.Sprintf("JSON %s", graphFile), err
+	case snbPersons > 0:
+		cfg := ldbc.DefaultConfig()
+		cfg.Persons = snbPersons
+		cfg.Messages = 2 * snbPersons
+		g, err := ldbc.Generate(cfg)
+		return g, fmt.Sprintf("synthetic SNB (%d persons)", snbPersons), err
+	default:
+		return ldbc.Figure1(), "Figure 1", nil
+	}
+}

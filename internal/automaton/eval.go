@@ -1,6 +1,7 @@
 package automaton
 
 import (
+	"context"
 	"fmt"
 	"runtime"
 	"sync"
@@ -61,6 +62,12 @@ func EvalParallel(g *graph.Graph, nfa *NFA, sem core.Semantics, lim core.Limits,
 // EvalOptions parameterizes EvalWithOptions beyond the classic all-pairs
 // forward search.
 type EvalOptions struct {
+	// Ctx, when cancellable, aborts the evaluation promptly: all workers
+	// stop at their next budget charge (or frontier item) and the
+	// evaluation returns the context's cause, errors.Is-able as
+	// context.Canceled / context.DeadlineExceeded. nil means no
+	// cancellation (context.Background()).
+	Ctx context.Context
 	// Workers is the worker goroutine count; <= 0 selects GOMAXPROCS.
 	Workers int
 	// Dir selects the search direction. Backward seeds per-seed searches
@@ -96,6 +103,10 @@ func EvalWithOptions(g *graph.Graph, nfa *NFA, sem core.Semantics, lim core.Limi
 	}
 	workers := normalizeWorkers(o.Workers, count)
 	bud := core.NewBudget(lim)
+	if o.Ctx != nil {
+		stop := bud.Watch(o.Ctx)
+		defer stop()
+	}
 	c := nfa.Compile(g)
 	back := o.Dir == core.Backward
 	if sem == core.Shortest {
@@ -304,13 +315,19 @@ func evalSource(g *graph.Graph, c *CompiledNFA, sem core.Semantics, lim core.Lim
 	if nfa.AcceptsEmpty() {
 		sh.set.AddArena(a, seed)
 		if !bud.ChargePath(0) {
-			return finish(core.ErrBudgetExceeded)
+			return finish(chargeErr(bud))
 		}
 	}
 	sh.levels = append(sh.levels, sh.set.Len())
 	for len(frontier) > 0 {
 		next = next[:0]
 		for _, it := range frontier {
+			// Poll cancellation once per frontier item: rejected extensions
+			// charge nothing, so charge failures alone would not bound the
+			// abort latency on reject-heavy searches.
+			if bud.Cancelled() {
+				return finish(chargeErr(bud))
+			}
 			if lim.MaxLen > 0 && a.PathLen(it.ref) >= lim.MaxLen {
 				continue
 			}
@@ -332,12 +349,12 @@ func evalSource(g *graph.Graph, c *CompiledNFA, sem core.Semantics, lim core.Lim
 					for _, q := range targets {
 						if admitOK && nfa.Accepting(q) && addResult(sh.set, a, np, back) {
 							if !bud.ChargePath(npLen) {
-								return finish(core.ErrBudgetExceeded)
+								return finish(chargeErr(bud))
 							}
 						}
 						if extend && sc.visited[q].Add(np) {
 							if !bud.ChargeWork(npLen) {
-								return finish(core.ErrBudgetExceeded)
+								return finish(chargeErr(bud))
 							}
 							next = append(next, searchItem{ref: np, state: q})
 							kept = true
@@ -481,9 +498,21 @@ type productState struct {
 	state StateID
 }
 
-// errBudget is the pre-wrapped budget error of the shortest evaluator, so
-// the happy path never pays the fmt.Errorf allocation.
-var errBudget = fmt.Errorf("automaton: %w", core.ErrBudgetExceeded)
+// chargeErr resolves the typed error behind a failed budget charge — the
+// cancellation cause or core.ErrBudgetExceeded (the fallback is
+// defensive: a charge only fails over-limit or cancelled).
+func chargeErr(bud *core.Budget) error {
+	if err := bud.Err(); err != nil {
+		return err
+	}
+	return core.ErrBudgetExceeded
+}
+
+// wrapChargeErr is chargeErr with the package prefix applied, for the
+// shortest evaluator whose errors are not re-wrapped by a caller.
+func wrapChargeErr(bud *core.Budget) error {
+	return fmt.Errorf("automaton: %w", chargeErr(bud))
+}
 
 // shortestScratch holds the per-source working storage of shortestFrom so
 // consecutive sources reuse it instead of reallocating.
@@ -513,7 +542,7 @@ func shortestFrom(g *graph.Graph, c *CompiledNFA, src graph.NodeID, maxLen int, 
 	dist := sc.dist
 	dist[productState{node: src, state: 0}] = 0
 	if !bud.ChargeWork(0) {
-		return errBudget
+		return wrapChargeErr(bud)
 	}
 	frontier := append(sc.frontier[:0], productState{node: src, state: 0})
 	next := sc.next[:0]
@@ -522,6 +551,13 @@ func shortestFrom(g *graph.Graph, c *CompiledNFA, src graph.NodeID, maxLen int, 
 		depth++
 		next = next[:0]
 		for _, ps := range frontier {
+			// Poll cancellation once per frontier item: already-seen product
+			// states charge nothing, so charges alone would not bound the
+			// abort latency on dense graphs.
+			if bud.Cancelled() {
+				sc.frontier, sc.next = frontier, next
+				return wrapChargeErr(bud)
+			}
 			sc.runs = scanRuns(sc.runs, g, c, ps.node, ps.state, back)
 			for _, rs := range sc.runs {
 				for _, eid := range rs.edges {
@@ -532,7 +568,7 @@ func shortestFrom(g *graph.Graph, c *CompiledNFA, src graph.NodeID, maxLen int, 
 							dist[nps] = depth
 							if !bud.ChargeWork(int(depth)) {
 								sc.frontier, sc.next = frontier, next
-								return errBudget
+								return wrapChargeErr(bud)
 							}
 							next = append(next, nps)
 						}
@@ -566,10 +602,14 @@ func shortestFrom(g *graph.Graph, c *CompiledNFA, src graph.NodeID, maxLen int, 
 	a := sc.arena
 	a.Reset()
 	if !bud.ChargeWork(0) {
-		return errBudget
+		return wrapChargeErr(bud)
 	}
 	work := append(sc.work[:0], shortestItem{ref: a.Leaf(src), state: 0})
 	for len(work) > 0 {
+		if bud.Cancelled() {
+			sc.work = work
+			return wrapChargeErr(bud)
+		}
 		it := work[len(work)-1]
 		work = work[:len(work)-1]
 		itLen := a.PathLen(it.ref)
@@ -578,7 +618,7 @@ func shortestFrom(g *graph.Graph, c *CompiledNFA, src graph.NodeID, maxLen int, 
 			if m, ok := minAcc[last]; ok && itLen == int(m) {
 				if addResult(result, a, it.ref, back) && !bud.ChargePath(itLen) {
 					sc.work = work
-					return errBudget
+					return wrapChargeErr(bud)
 				}
 			}
 		}
@@ -597,7 +637,7 @@ func shortestFrom(g *graph.Graph, c *CompiledNFA, src graph.NodeID, maxLen int, 
 						}
 						if !bud.ChargeWork(itLen + 1) {
 							sc.work = work
-							return errBudget
+							return wrapChargeErr(bud)
 						}
 						work = append(work, shortestItem{ref: np, state: q})
 					}

@@ -1,6 +1,10 @@
 package core
 
-import "sync/atomic"
+import (
+	"context"
+	"sync"
+	"sync/atomic"
+)
 
 // Budget is the shared, race-safe evaluation budget derived from Limits.
 // It replaces the ad-hoc per-evaluator path/work counters so that the
@@ -22,9 +26,27 @@ import "sync/atomic"
 // Both charges are atomic adds, so exceeding the budget is detected
 // promptly but totals near the boundary may overshoot by at most one
 // charge per worker; the budget is a safety net, not an exact quota.
+//
+// The budget is also the cancellation point of an evaluation: Cancel (or a
+// Watch-attached context) makes every subsequent charge fail, so all
+// workers of a sharded evaluation abort at their next charge. Cancellation
+// costs the charge hot path nothing: Cancel stores math.MinInt64 into the
+// (atomic) limit fields, so the limit comparison every charge already
+// performs doubles as the cancel check — the instruction count of
+// ChargePath/ChargeWork is identical to the cancellation-free budget
+// (an atomic int64 load is a plain MOV on amd64/arm64).
 type Budget struct {
-	maxPaths int64
-	maxWork  int64
+	// cancel holds the cancellation cause once Cancel ran; nil while the
+	// evaluation may proceed. The first cause wins. It leads the struct,
+	// padded away from the write-hot counters: it is read-only until
+	// cancellation, so the evaluators' between-charges polls (Cancelled)
+	// read a quiet shared cache line instead of the counters' ping-pong.
+	cancel atomic.Pointer[error]
+	_      [56]byte
+	// maxPaths/maxWork are the effective limits: set at construction,
+	// dropped to math.MinInt64 by Cancel.
+	maxPaths atomic.Int64
+	maxWork  atomic.Int64
 	paths    atomic.Int64
 	work     atomic.Int64
 }
@@ -32,25 +54,96 @@ type Budget struct {
 // NewBudget returns a fresh budget enforcing lim, with the usual defaults
 // applied (DefaultMaxPaths / DefaultMaxWork for unset fields).
 func NewBudget(lim Limits) *Budget {
-	return &Budget{
-		maxPaths: int64(lim.maxPaths()),
-		maxWork:  int64(lim.maxWork()),
-	}
+	b := &Budget{}
+	b.maxPaths.Store(int64(lim.maxPaths()))
+	b.maxWork.Store(int64(lim.maxWork()))
+	return b
 }
 
 // ChargePath accounts one admitted result path of edge length n and
-// reports whether the budget still holds.
+// reports whether the budget still holds and the evaluation is not
+// cancelled.
 func (b *Budget) ChargePath(n int) bool {
 	p := b.paths.Add(1)
 	w := b.work.Add(int64(n) + 1)
-	return p <= b.maxPaths && w <= b.maxWork
+	return p <= b.maxPaths.Load() && w <= b.maxWork.Load()
 }
 
 // ChargeWork accounts the materialization of one auxiliary search state of
 // edge length n (n+1 node slots) and reports whether the work budget still
-// holds.
+// holds and the evaluation is not cancelled.
 func (b *Budget) ChargeWork(n int) bool {
-	return b.work.Add(int64(n)+1) <= b.maxWork
+	return b.work.Add(int64(n)+1) <= b.maxWork.Load()
+}
+
+// Cancel aborts the evaluation charging this budget: every subsequent
+// charge fails and Err reports cause. A nil cause records
+// context.Canceled. The first recorded cause wins; later calls are no-ops.
+func (b *Budget) Cancel(cause error) {
+	if cause == nil {
+		cause = context.Canceled
+	}
+	if b.cancel.CompareAndSwap(nil, &cause) {
+		// Sink the limits so every in-flight and future charge fails at
+		// its ordinary limit comparison. Counters only grow, so no later
+		// charge can sneak back under MinInt64.
+		b.maxPaths.Store(minInt64)
+		b.maxWork.Store(minInt64)
+	}
+}
+
+// minInt64 spelled out to avoid importing math for one constant.
+const minInt64 = -1 << 63
+
+// Cancelled reports whether Cancel ran. Evaluator inner loops may poll it
+// between charges (one atomic load) to abort promptly even while doing
+// work that charges nothing.
+func (b *Budget) Cancelled() bool { return b.cancel.Load() != nil }
+
+// Err returns the error a failed charge stands for: the cancellation cause
+// if the budget was cancelled, ErrBudgetExceeded if a limit was crossed,
+// and nil while the budget still holds. Evaluators call it after a charge
+// returns false, so the server can tell budget exhaustion from
+// cancellation with errors.Is.
+func (b *Budget) Err() error {
+	if cause := b.cancel.Load(); cause != nil {
+		return *cause
+	}
+	if b.paths.Load() > b.maxPaths.Load() || b.work.Load() > b.maxWork.Load() {
+		return ErrBudgetExceeded
+	}
+	return nil
+}
+
+// Watch cancels the budget when ctx is cancelled, with context.Cause(ctx)
+// as the recorded cause. It returns a stop function the evaluation MUST
+// call (typically via defer) to release the watcher goroutine; stop is
+// idempotent. A context that can never be cancelled attaches no goroutine
+// and returns a no-op stop, so context-free evaluation pays nothing.
+func (b *Budget) Watch(ctx context.Context) (stop func()) {
+	if ctx == nil || ctx.Done() == nil {
+		return func() {}
+	}
+	if err := context.Cause(ctx); err != nil {
+		b.Cancel(err)
+		return func() {}
+	}
+	stopped := make(chan struct{})
+	go func() {
+		select {
+		case <-ctx.Done():
+			// Re-check stop: when both channels are ready, select picks
+			// randomly, and a stopped watcher must not cancel the budget.
+			select {
+			case <-stopped:
+			default:
+				b.Cancel(context.Cause(ctx))
+			}
+		case <-stopped:
+		}
+	}()
+	var once sync.Once
+	return func() { once.Do(func() { close(stopped) }) }
 }
 
 // Paths returns the number of result paths charged so far.

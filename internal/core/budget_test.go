@@ -1,8 +1,11 @@
 package core
 
 import (
+	"context"
+	"errors"
 	"sync"
 	"testing"
+	"time"
 )
 
 func TestBudgetChargePath(t *testing.T) {
@@ -32,9 +35,120 @@ func TestBudgetChargeWork(t *testing.T) {
 
 func TestBudgetDefaults(t *testing.T) {
 	b := NewBudget(Limits{})
-	if b.maxPaths != DefaultMaxPaths || b.maxWork != DefaultMaxWork {
-		t.Errorf("defaults = %d/%d, want %d/%d", b.maxPaths, b.maxWork,
+	if b.maxPaths.Load() != DefaultMaxPaths || b.maxWork.Load() != DefaultMaxWork {
+		t.Errorf("defaults = %d/%d, want %d/%d", b.maxPaths.Load(), b.maxWork.Load(),
 			DefaultMaxPaths, DefaultMaxWork)
+	}
+}
+
+// TestBudgetCancel: cancellation makes every subsequent charge fail and
+// Err reports the recorded cause; the first cause wins.
+func TestBudgetCancel(t *testing.T) {
+	b := NewBudget(Limits{MaxPaths: 100, MaxWork: 1000})
+	if err := b.Err(); err != nil {
+		t.Fatalf("fresh budget Err() = %v, want nil", err)
+	}
+	if b.Cancelled() {
+		t.Fatal("fresh budget reports Cancelled")
+	}
+	cause := errors.New("client went away")
+	b.Cancel(cause)
+	if !b.Cancelled() {
+		t.Error("Cancelled() = false after Cancel")
+	}
+	if b.ChargePath(1) || b.ChargeWork(1) {
+		t.Error("charges succeeded after Cancel")
+	}
+	if !errors.Is(b.Err(), cause) {
+		t.Errorf("Err() = %v, want the recorded cause", b.Err())
+	}
+	b.Cancel(errors.New("second cause"))
+	if !errors.Is(b.Err(), cause) {
+		t.Errorf("Err() = %v after second Cancel, want the FIRST cause", b.Err())
+	}
+}
+
+// TestBudgetCancelNilCause: Cancel(nil) records context.Canceled so the
+// error stays errors.Is-able.
+func TestBudgetCancelNilCause(t *testing.T) {
+	b := NewBudget(Limits{})
+	b.Cancel(nil)
+	if !errors.Is(b.Err(), context.Canceled) {
+		t.Errorf("Err() = %v, want context.Canceled", b.Err())
+	}
+}
+
+// TestBudgetErrOverLimit: Err distinguishes budget exhaustion from
+// cancellation.
+func TestBudgetErrOverLimit(t *testing.T) {
+	b := NewBudget(Limits{MaxPaths: 1, MaxWork: 1000})
+	b.ChargePath(0)
+	if b.ChargePath(0) {
+		t.Fatal("second path charge within MaxPaths=1")
+	}
+	if !errors.Is(b.Err(), ErrBudgetExceeded) {
+		t.Errorf("Err() = %v, want ErrBudgetExceeded", b.Err())
+	}
+	if errors.Is(b.Err(), context.Canceled) {
+		t.Error("budget exhaustion reported as cancellation")
+	}
+}
+
+// TestBudgetWatch: a Watch-attached context cancels the budget with the
+// context's cause, and stop releases the watcher.
+func TestBudgetWatch(t *testing.T) {
+	b := NewBudget(Limits{})
+	ctx, cancel := context.WithCancel(context.Background())
+	stop := b.Watch(ctx)
+	defer stop()
+	if b.Cancelled() {
+		t.Fatal("budget cancelled before the context")
+	}
+	cancel()
+	deadline := time.Now().Add(time.Second)
+	for !b.Cancelled() && time.Now().Before(deadline) {
+		time.Sleep(time.Millisecond)
+	}
+	if !errors.Is(b.Err(), context.Canceled) {
+		t.Errorf("Err() = %v, want context.Canceled", b.Err())
+	}
+	stop() // idempotent with the deferred call
+}
+
+// TestBudgetWatchStopped: after stop, a later context cancellation no
+// longer touches the budget.
+func TestBudgetWatchStopped(t *testing.T) {
+	b := NewBudget(Limits{})
+	ctx, cancel := context.WithCancel(context.Background())
+	stop := b.Watch(ctx)
+	stop()
+	cancel()
+	time.Sleep(10 * time.Millisecond)
+	if b.Cancelled() {
+		t.Error("budget cancelled by a context whose watch was stopped")
+	}
+}
+
+// TestBudgetWatchBackground: an uncancellable context attaches nothing.
+func TestBudgetWatchBackground(t *testing.T) {
+	b := NewBudget(Limits{})
+	stop := b.Watch(context.Background())
+	stop()
+	if b.Cancelled() {
+		t.Error("background watch cancelled the budget")
+	}
+}
+
+// TestBudgetWatchAlreadyCancelled: watching an already-dead context
+// cancels synchronously.
+func TestBudgetWatchAlreadyCancelled(t *testing.T) {
+	b := NewBudget(Limits{})
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	stop := b.Watch(ctx)
+	defer stop()
+	if !b.Cancelled() {
+		t.Error("budget not cancelled by an already-cancelled context")
 	}
 }
 
@@ -60,5 +174,19 @@ func TestBudgetConcurrent(t *testing.T) {
 	}
 	if got, want := b.Work(), int64(workers*perWorker*5); got != want {
 		t.Errorf("Work() = %d, want %d", got, want)
+	}
+}
+
+// BenchmarkBudgetCharge documents the absolute cost of the charge hot
+// path. Cancellation support is free here by design: Cancel sinks the
+// atomic limit fields to MinInt64, so the limit comparison each charge
+// already performs doubles as the cancel check and no extra hot-path
+// instruction exists to measure.
+func BenchmarkBudgetCharge(b *testing.B) {
+	bud := NewBudget(Limits{MaxPaths: 1 << 60, MaxWork: 1 << 60})
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		bud.ChargeWork(3)
+		bud.ChargePath(3)
 	}
 }

@@ -2,6 +2,7 @@ package core
 
 import (
 	"container/heap"
+	"context"
 	"errors"
 	"fmt"
 
@@ -43,6 +44,16 @@ const DefaultMaxWork = 1 << 24
 // having "an infinite number of solutions".
 var ErrBudgetExceeded = errors.New("core: recursion exceeded its path budget (ϕWalk over a cyclic input is infinite; set Limits.MaxLen or use a restrictive semantics)")
 
+// budgetErr resolves the typed error behind a failed budget charge —
+// the cancellation cause or ErrBudgetExceeded. A charge only fails
+// over-limit or cancelled, so the fallback is defensive.
+func budgetErr(b *Budget) error {
+	if err := b.Err(); err != nil {
+		return err
+	}
+	return ErrBudgetExceeded
+}
+
 func (l Limits) maxPaths() int {
 	if l.MaxPaths <= 0 {
 		return DefaultMaxPaths
@@ -80,15 +91,33 @@ func (l Limits) withinLen(p path.Path) bool {
 // cost no retained memory at all. Candidates materialize slices only on
 // admission into the result set.
 func EvalRecurse(sem Semantics, base *pathset.Set, lim Limits) (*pathset.Set, error) {
+	return EvalRecurseBudget(sem, base, lim, NewBudget(lim))
+}
+
+// EvalRecurseCtx is EvalRecurse with cooperative cancellation: the
+// recursion aborts promptly — at its next budget charge — once ctx is
+// cancelled, returning ctx's cause (errors.Is-able as context.Canceled or
+// context.DeadlineExceeded).
+func EvalRecurseCtx(ctx context.Context, sem Semantics, base *pathset.Set, lim Limits) (*pathset.Set, error) {
+	bud := NewBudget(lim)
+	stop := bud.Watch(ctx)
+	defer stop()
+	return EvalRecurseBudget(sem, base, lim, bud)
+}
+
+// EvalRecurseBudget is EvalRecurse charging a caller-supplied budget,
+// which may be shared with other operators or cancelled concurrently
+// (Budget.Cancel / Budget.Watch). On a failed charge the returned error is
+// bud.Err(): ErrBudgetExceeded or the cancellation cause.
+func EvalRecurseBudget(sem Semantics, base *pathset.Set, lim Limits, bud *Budget) (*pathset.Set, error) {
 	if sem == Shortest {
-		return evalShortest(base, lim)
+		return evalShortest(base, lim, bud)
 	}
 	admissible := base.Filter(sem.Admits).Filter(lim.withinLen)
 	result := admissible.Clone()
-	bud := NewBudget(lim)
 	for _, p := range result.Paths() {
 		if !bud.ChargePath(p.Len()) {
-			return result, ErrBudgetExceeded
+			return result, budgetErr(bud)
 		}
 	}
 
@@ -105,6 +134,9 @@ func EvalRecurse(sem Semantics, base *pathset.Set, lim Limits) (*pathset.Set, er
 	for len(frontier) > 0 {
 		next = next[:0]
 		for _, r := range frontier {
+			if bud.Cancelled() {
+				return result, budgetErr(bud)
+			}
 			if sem == Simple && arena.PathLen(r) > 0 && arena.First(r) == arena.Last(r) {
 				// A closed simple cycle cannot extend to another simple
 				// path: its first node would repeat in the interior.
@@ -120,7 +152,7 @@ func EvalRecurse(sem Semantics, base *pathset.Set, lim Limits) (*pathset.Set, er
 				if result.AddArena(arena, q) {
 					next = append(next, q)
 					if !bud.ChargePath(arena.PathLen(q)) {
-						return result, ErrBudgetExceeded
+						return result, budgetErr(bud)
 					}
 				} else {
 					arena.TruncateTo(mark)
@@ -215,7 +247,7 @@ func (h *pathHeap) Pop() any {
 // any shortest path. The search therefore terminates even on cyclic
 // inputs: only minimal paths are ever extended, and for a fixed pair only
 // finitely many walks share the minimal length.
-func evalShortest(base *pathset.Set, lim Limits) (*pathset.Set, error) {
+func evalShortest(base *pathset.Set, lim Limits, bud *Budget) (*pathset.Set, error) {
 	result := pathset.New(base.Len())
 	basePaths := base.Paths()
 	byFirst := indexByFirst(basePaths)
@@ -229,8 +261,10 @@ func evalShortest(base *pathset.Set, lim Limits) (*pathset.Set, error) {
 	}
 
 	best := make(map[endpointPair]int)
-	bud := NewBudget(lim)
 	for h.Len() > 0 {
+		if bud.Cancelled() {
+			return result, budgetErr(bud)
+		}
 		p := heap.Pop(h).(path.Path)
 		pair := endpointPair{p.First(), p.Last()}
 		if b, known := best[pair]; known && p.Len() > b {
@@ -238,7 +272,7 @@ func evalShortest(base *pathset.Set, lim Limits) (*pathset.Set, error) {
 		}
 		best[pair] = p.Len()
 		if result.Add(p) && !bud.ChargePath(p.Len()) {
-			return result, ErrBudgetExceeded
+			return result, budgetErr(bud)
 		}
 		for _, bi := range byFirst[p.Last()] {
 			q := p.Concat(basePaths[bi])

@@ -12,6 +12,7 @@
 package engine
 
 import (
+	"context"
 	"fmt"
 	"runtime"
 	"sync"
@@ -151,12 +152,15 @@ func fingerprintCollisions() int64 {
 	return pathset.Collisions() + path.ArenaCollisions()
 }
 
-// Engine evaluates plans against one graph. Evaluation methods are not
-// safe for concurrent use — create one engine per goroutine (graphs
-// themselves are immutable and shareable) — but the engine's own internal
-// parallelism (Options.Parallelism) is race-safe: evaluation budgets are
-// shared atomically across workers, worker results merge before stats are
-// counted, and the counters themselves are atomic as a guardrail.
+// Engine evaluates plans against one graph. An Engine is safe for
+// concurrent use: evaluation state is per-call, the stats counters are
+// atomic, and the plan cache is mutex-guarded — one engine can serve
+// Run/RunStream/Explain/Stats from many goroutines at once (the query
+// service layer does exactly that). ResetStats is the one exception: it
+// snapshots non-atomically and should only run while no evaluation is in
+// flight. The engine's own internal parallelism (Options.Parallelism) is
+// independently race-safe: evaluation budgets are shared atomically
+// across workers and worker results merge before stats are counted.
 type Engine struct {
 	g     *graph.Graph
 	opts  Options
@@ -211,8 +215,18 @@ func (e *Engine) Plan(x core.PathExpr) (core.PathExpr, []string) {
 
 // Run plans x (through the cache) and evaluates the chosen plan.
 func (e *Engine) Run(x core.PathExpr) (*pathset.Set, error) {
+	return e.RunCtx(context.Background(), x)
+}
+
+// RunCtx is Run with cooperative cancellation: cancelling ctx aborts the
+// evaluation promptly — all evaluation workers stop at their next budget
+// charge — and RunCtx returns ctx's cause, errors.Is-able as
+// context.Canceled or context.DeadlineExceeded. Budget exhaustion remains
+// errors.Is-able as core.ErrBudgetExceeded, so callers (e.g. an HTTP
+// layer) can map the two failure modes to distinct statuses.
+func (e *Engine) RunCtx(ctx context.Context, x core.PathExpr) (*pathset.Set, error) {
 	plan, _ := e.Plan(x)
-	return e.EvalPaths(plan)
+	return e.EvalPathsCtx(ctx, plan)
 }
 
 // Graph returns the engine's graph.
@@ -249,6 +263,27 @@ func (e *Engine) ResetStats() {
 
 // EvalPaths evaluates a path-sorted expression to a set of paths.
 func (e *Engine) EvalPaths(x core.PathExpr) (*pathset.Set, error) {
+	return e.EvalPathsCtx(context.Background(), x)
+}
+
+// ctxErr reports the typed cancellation cause if ctx is already done —
+// the operator-boundary cancellation check (the per-charge check inside
+// the evaluators handles mid-operator aborts).
+func ctxErr(ctx context.Context) error {
+	if ctx != nil && ctx.Err() != nil {
+		return context.Cause(ctx)
+	}
+	return nil
+}
+
+// EvalPathsCtx is EvalPaths under cooperative cancellation: every
+// operator boundary checks ctx, and the recursive operators (the
+// unbounded-work part of any plan) additionally abort mid-flight via
+// their budget's cancel check.
+func (e *Engine) EvalPathsCtx(ctx context.Context, x core.PathExpr) (*pathset.Set, error) {
+	if err := ctxErr(ctx); err != nil {
+		return nil, err
+	}
 	switch x := x.(type) {
 	case core.Nodes:
 		s := core.EvalNodes(e.g)
@@ -259,23 +294,23 @@ func (e *Engine) EvalPaths(x core.PathExpr) (*pathset.Set, error) {
 		addStat(&e.stats.PathsProduced, int64(s.Len()))
 		return s, nil
 	case core.Select:
-		return e.evalSelect(x)
+		return e.evalSelect(ctx, x)
 	case core.Join:
-		l, err := e.EvalPaths(x.L)
+		l, err := e.EvalPathsCtx(ctx, x.L)
 		if err != nil {
 			return nil, err
 		}
-		r, err := e.EvalPaths(x.R)
+		r, err := e.EvalPathsCtx(ctx, x.R)
 		if err != nil {
 			return nil, err
 		}
 		return e.join(l, r), nil
 	case core.Union:
-		l, err := e.EvalPaths(x.L)
+		l, err := e.EvalPathsCtx(ctx, x.L)
 		if err != nil {
 			return nil, err
 		}
-		r, err := e.EvalPaths(x.R)
+		r, err := e.EvalPathsCtx(ctx, x.R)
 		if err != nil {
 			return nil, err
 		}
@@ -285,7 +320,7 @@ func (e *Engine) EvalPaths(x core.PathExpr) (*pathset.Set, error) {
 	case core.Recurse:
 		addStat(&e.stats.Recursions, 1)
 		if !e.opts.DisableExpand {
-			if out, ok, err := e.expandRecurse(x); ok {
+			if out, ok, err := e.expandRecurse(ctx, x); ok {
 				if err != nil {
 					return nil, fmt.Errorf("engine: ϕ%s: %w", x.Sem, err)
 				}
@@ -294,18 +329,18 @@ func (e *Engine) EvalPaths(x core.PathExpr) (*pathset.Set, error) {
 				return out, nil
 			}
 		}
-		base, err := e.EvalPaths(x.In)
+		base, err := e.EvalPathsCtx(ctx, x.In)
 		if err != nil {
 			return nil, err
 		}
-		out, err := core.EvalRecurse(x.Sem, base, e.opts.Limits)
+		out, err := core.EvalRecurseCtx(ctx, x.Sem, base, e.opts.Limits)
 		if err != nil {
 			return nil, fmt.Errorf("engine: ϕ%s: %w", x.Sem, err)
 		}
 		addStat(&e.stats.PathsProduced, int64(out.Len()))
 		return out, nil
 	case core.Restrict:
-		in, err := e.EvalPaths(x.In)
+		in, err := e.EvalPathsCtx(ctx, x.In)
 		if err != nil {
 			return nil, err
 		}
@@ -313,7 +348,7 @@ func (e *Engine) EvalPaths(x core.PathExpr) (*pathset.Set, error) {
 		addStat(&e.stats.PathsProduced, int64(out.Len()))
 		return out, nil
 	case core.Project:
-		ss, err := e.EvalSpace(x.In)
+		ss, err := e.EvalSpaceCtx(ctx, x.In)
 		if err != nil {
 			return nil, err
 		}
@@ -329,15 +364,23 @@ func (e *Engine) EvalPaths(x core.PathExpr) (*pathset.Set, error) {
 
 // EvalSpace evaluates a space-sorted expression to a solution space.
 func (e *Engine) EvalSpace(x core.SpaceExpr) (*core.SolutionSpace, error) {
+	return e.EvalSpaceCtx(context.Background(), x)
+}
+
+// EvalSpaceCtx is EvalSpace under cooperative cancellation.
+func (e *Engine) EvalSpaceCtx(ctx context.Context, x core.SpaceExpr) (*core.SolutionSpace, error) {
+	if err := ctxErr(ctx); err != nil {
+		return nil, err
+	}
 	switch x := x.(type) {
 	case core.GroupBy:
-		in, err := e.EvalPaths(x.In)
+		in, err := e.EvalPathsCtx(ctx, x.In)
 		if err != nil {
 			return nil, err
 		}
 		return core.EvalGroupBy(x.Key, in), nil
 	case core.OrderBy:
-		in, err := e.EvalSpace(x.In)
+		in, err := e.EvalSpaceCtx(ctx, x.In)
 		if err != nil {
 			return nil, err
 		}
@@ -352,7 +395,7 @@ func (e *Engine) EvalSpace(x core.SpaceExpr) (*core.SolutionSpace, error) {
 // evalSelect evaluates σ, answering label-equality selections over the
 // Edges/Nodes atoms straight from the graph's label indexes when allowed,
 // and σ over pattern recursions by a seeded product search.
-func (e *Engine) evalSelect(s core.Select) (*pathset.Set, error) {
+func (e *Engine) evalSelect(ctx context.Context, s core.Select) (*pathset.Set, error) {
 	if !e.opts.DisableLabelIndex {
 		if out, ok := e.indexedSelect(s); ok {
 			addStat(&e.stats.IndexedScans, 1)
@@ -361,7 +404,7 @@ func (e *Engine) evalSelect(s core.Select) (*pathset.Set, error) {
 		}
 	}
 	if !e.opts.DisableExpand {
-		if out, ok, err := e.seededRecurse(s); ok {
+		if out, ok, err := e.seededRecurse(ctx, s); ok {
 			if err != nil {
 				return nil, err
 			}
@@ -369,7 +412,7 @@ func (e *Engine) evalSelect(s core.Select) (*pathset.Set, error) {
 			return out, nil
 		}
 	}
-	in, err := e.EvalPaths(s.In)
+	in, err := e.EvalPathsCtx(ctx, s.In)
 	if err != nil {
 		return nil, err
 	}
@@ -387,7 +430,7 @@ func (e *Engine) evalSelect(s core.Select) (*pathset.Set, error) {
 // per-seed shards merge in ascending seed order, the relative order the
 // unseeded evaluation would have produced — at a fraction of the search
 // work. Remaining conjuncts filter the admitted paths afterwards.
-func (e *Engine) seededRecurse(s core.Select) (*pathset.Set, bool, error) {
+func (e *Engine) seededRecurse(ctx context.Context, s core.Select) (*pathset.Set, bool, error) {
 	rec, ok := s.In.(core.Recurse)
 	if !ok {
 		return nil, false, nil
@@ -426,6 +469,7 @@ func (e *Engine) seededRecurse(s core.Select) (*pathset.Set, bool, error) {
 	}
 	nfa := automaton.Build(rpq.Plus{In: re})
 	out, err := automaton.EvalWithOptions(e.g, nfa, rec.Sem, e.opts.Limits, automaton.EvalOptions{
+		Ctx:     ctx,
 		Workers: e.opts.parallelism(),
 		Dir:     rec.Dir,
 		Seeds:   seeds,
@@ -505,7 +549,7 @@ func (e *Engine) indexedSelect(s core.Select) (*pathset.Set, bool) {
 // The closure of such a base equals the language (pattern)+, so the
 // recursion is exactly an RPQ and the automaton evaluator applies. ok is
 // false when the base has a different shape.
-func (e *Engine) expandRecurse(x core.Recurse) (*pathset.Set, bool, error) {
+func (e *Engine) expandRecurse(ctx context.Context, x core.Recurse) (*pathset.Set, bool, error) {
 	re, ok := labelPattern(x.In)
 	if !ok {
 		return nil, false, nil
@@ -516,6 +560,7 @@ func (e *Engine) expandRecurse(x core.Recurse) (*pathset.Set, bool, error) {
 	}
 	nfa := automaton.Build(rpq.Plus{In: re})
 	out, err := automaton.EvalWithOptions(e.g, nfa, x.Sem, e.opts.Limits, automaton.EvalOptions{
+		Ctx:     ctx,
 		Workers: e.opts.parallelism(),
 		Dir:     x.Dir,
 	})

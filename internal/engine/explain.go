@@ -1,6 +1,7 @@
 package engine
 
 import (
+	"context"
 	"fmt"
 	"strings"
 	"sync/atomic"
@@ -35,6 +36,11 @@ type Explain struct {
 // operators), so Explain costs O(depth) times the plain evaluation —
 // a diagnostic tool, not an execution mode.
 func (e *Engine) Explain(x core.PathExpr) (*Explain, error) {
+	return e.ExplainCtx(context.Background(), x)
+}
+
+// ExplainCtx is Explain under cooperative cancellation (see RunCtx).
+func (e *Engine) ExplainCtx(ctx context.Context, x core.PathExpr) (*Explain, error) {
 	hitsBefore := atomic.LoadInt64(&e.stats.PlanCacheHits)
 	plan, applied := e.Plan(x)
 	ex := &Explain{
@@ -42,7 +48,7 @@ func (e *Engine) Explain(x core.PathExpr) (*Explain, error) {
 		Applied:  applied,
 		CacheHit: atomic.LoadInt64(&e.stats.PlanCacheHits) > hitsBefore,
 	}
-	out, err := e.explainPath(plan, 0, ex)
+	out, err := e.explainPath(ctx, plan, 0, ex)
 	if err != nil {
 		return nil, err
 	}
@@ -50,8 +56,8 @@ func (e *Engine) Explain(x core.PathExpr) (*Explain, error) {
 	return ex, nil
 }
 
-func (e *Engine) explainPath(x core.PathExpr, depth int, ex *Explain) (*pathset.Set, error) {
-	out, err := e.EvalPaths(x)
+func (e *Engine) explainPath(ctx context.Context, x core.PathExpr, depth int, ex *Explain) (*pathset.Set, error) {
+	out, err := e.EvalPathsCtx(ctx, x)
 	if err != nil {
 		return nil, err
 	}
@@ -71,20 +77,20 @@ func (e *Engine) explainPath(x core.PathExpr, depth int, ex *Explain) (*pathset.
 	case core.Restrict:
 		children = []core.PathExpr{x.In}
 	case core.Project:
-		if err := e.explainSpace(x.In, depth+1, ex); err != nil {
+		if err := e.explainSpace(ctx, x.In, depth+1, ex); err != nil {
 			return nil, err
 		}
 	}
 	for _, c := range children {
-		if _, err := e.explainPath(c, depth+1, ex); err != nil {
+		if _, err := e.explainPath(ctx, c, depth+1, ex); err != nil {
 			return nil, err
 		}
 	}
 	return out, nil
 }
 
-func (e *Engine) explainSpace(x core.SpaceExpr, depth int, ex *Explain) error {
-	ss, err := e.EvalSpace(x)
+func (e *Engine) explainSpace(ctx context.Context, x core.SpaceExpr, depth int, ex *Explain) error {
+	ss, err := e.EvalSpaceCtx(ctx, x)
 	if err != nil {
 		return err
 	}
@@ -107,10 +113,10 @@ func (e *Engine) explainSpace(x core.SpaceExpr, depth int, ex *Explain) error {
 	}
 	ex.Lines = append(ex.Lines, ExplainLine{Depth: depth, Op: op, Est: est, Actual: ss.NumPaths()})
 	if inner != nil {
-		return e.explainSpace(inner, depth+1, ex)
+		return e.explainSpace(ctx, inner, depth+1, ex)
 	}
 	if pathIn != nil {
-		_, err := e.explainPath(pathIn, depth+1, ex)
+		_, err := e.explainPath(ctx, pathIn, depth+1, ex)
 		return err
 	}
 	return nil

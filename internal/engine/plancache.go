@@ -1,10 +1,10 @@
 package engine
 
 import (
-	"container/list"
 	"hash/fnv"
 
 	"pathalgebra/internal/core"
+	"pathalgebra/internal/lru"
 )
 
 // planCache is a fixed-capacity LRU of planned queries. Keys are the
@@ -17,27 +17,21 @@ import (
 // evaluations. Hits verify the full key text: a fingerprint collision
 // (≈2^-64 per pair) degrades to a miss, never to a wrong plan.
 //
-// The cache is engine-private and, like the engine's evaluation methods,
-// not safe for concurrent use.
+// The cache is engine-private and mutex-guarded (lru.Cache): concurrent
+// Plan/Run calls on one engine serialize only the cache probe and the
+// (rare) planning of a cold query, never evaluation.
 type planCache struct {
-	capacity int
-	entries  map[uint64]*list.Element
-	lru      *list.List // front = most recently used
+	entries *lru.Cache[uint64, *planEntry]
 }
 
 type planEntry struct {
-	fp      uint64
 	key     string
 	plan    core.PathExpr
 	applied []string
 }
 
 func newPlanCache(capacity int) *planCache {
-	return &planCache{
-		capacity: capacity,
-		entries:  make(map[uint64]*list.Element, capacity),
-		lru:      list.New(),
-	}
+	return &planCache{entries: lru.New[uint64, *planEntry](capacity)}
 }
 
 // planFingerprint hashes the normalized plan text.
@@ -48,31 +42,16 @@ func planFingerprint(key string) uint64 {
 }
 
 func (c *planCache) get(fp uint64, key string) (core.PathExpr, []string, bool) {
-	el, ok := c.entries[fp]
-	if !ok {
+	ent, ok := c.entries.Get(fp)
+	if !ok || ent.key != key {
 		return nil, nil, false
 	}
-	ent := el.Value.(*planEntry)
-	if ent.key != key {
-		return nil, nil, false
-	}
-	c.lru.MoveToFront(el)
 	return ent.plan, ent.applied, true
 }
 
 func (c *planCache) put(fp uint64, key string, plan core.PathExpr, applied []string) {
-	if el, ok := c.entries[fp]; ok {
-		el.Value = &planEntry{fp: fp, key: key, plan: plan, applied: applied}
-		c.lru.MoveToFront(el)
-		return
-	}
-	for c.lru.Len() >= c.capacity {
-		oldest := c.lru.Back()
-		c.lru.Remove(oldest)
-		delete(c.entries, oldest.Value.(*planEntry).fp)
-	}
-	c.entries[fp] = c.lru.PushFront(&planEntry{fp: fp, key: key, plan: plan, applied: applied})
+	c.entries.Put(fp, &planEntry{key: key, plan: plan, applied: applied})
 }
 
 // Len returns the number of cached plans.
-func (c *planCache) Len() int { return c.lru.Len() }
+func (c *planCache) Len() int { return c.entries.Len() }

@@ -1,0 +1,143 @@
+package engine
+
+import (
+	"context"
+
+	"pathalgebra/internal/core"
+	"pathalgebra/internal/path"
+	"pathalgebra/internal/pathset"
+)
+
+// DefaultChunkSize is the paths-per-chunk bound applied when
+// StreamOptions.ChunkSize is unset.
+const DefaultChunkSize = 1024
+
+// StreamOptions configures RunStream.
+type StreamOptions struct {
+	// ChunkSize bounds the number of paths per emitted chunk; <= 0
+	// selects DefaultChunkSize.
+	ChunkSize int
+}
+
+func (o StreamOptions) chunkSize() int {
+	if o.ChunkSize <= 0 {
+		return DefaultChunkSize
+	}
+	return o.ChunkSize
+}
+
+// Stream is a chunked, cancellable result cursor produced by RunStream.
+// Chunks are emitted in the engine's deterministic result order, so the
+// concatenation of all chunks is exactly the set Engine.Run would have
+// returned — at every parallelism and chunk size. A Stream is not safe
+// for concurrent use; callers paging one stream from several goroutines
+// (e.g. the query service's cursor endpoints) must serialize Next calls.
+type Stream struct {
+	chunk  int
+	cancel context.CancelFunc
+	done   chan struct{} // closed when evaluation finished
+	set    *pathset.Set  // evaluation result; written before done closes
+	err    error         // evaluation error; written before done closes
+	pos    int           // next unread position into set
+}
+
+// RunStream plans x like Run and evaluates the chosen plan in a
+// background goroutine, returning immediately with a cursor over the
+// eventual result. Next blocks until evaluation completes and then pages
+// the result in chunks of at most the configured size. Cancelling ctx
+// (or calling Stream.Cancel) aborts the evaluation promptly: all
+// evaluation workers stop at their next budget charge, and Next returns
+// the cancellation cause (errors.Is context.Canceled /
+// context.DeadlineExceeded; budget exhaustion stays
+// core.ErrBudgetExceeded).
+//
+// Chunked delivery, not incremental production: the engine's operators
+// are deterministic-order set operators, so results are materialized
+// fully before the first chunk — what streaming buys is bounded-size
+// pages for transport, a stable pagination order, and the ability to
+// abandon the evaluation (or the unread tail) at any point.
+func (e *Engine) RunStream(ctx context.Context, x core.PathExpr, o StreamOptions) *Stream {
+	ctx, cancel := context.WithCancel(ctx)
+	s := &Stream{
+		chunk:  o.chunkSize(),
+		cancel: cancel,
+		done:   make(chan struct{}),
+	}
+	plan, _ := e.Plan(x)
+	go func() {
+		defer close(s.done)
+		defer cancel()
+		s.set, s.err = e.EvalPathsCtx(ctx, plan)
+	}()
+	return s
+}
+
+// StreamOf wraps an already-materialized result set in a Stream paging
+// it in chunks of at most chunkSize (<= 0 selects DefaultChunkSize). The
+// query service uses it to page result-cache hits through the same
+// cursor machinery as live evaluations.
+func StreamOf(set *pathset.Set, chunkSize int) *Stream {
+	s := &Stream{
+		chunk:  StreamOptions{ChunkSize: chunkSize}.chunkSize(),
+		cancel: func() {},
+		done:   make(chan struct{}),
+		set:    set,
+	}
+	close(s.done)
+	return s
+}
+
+// Next returns the next chunk of results as a pathset of at most the
+// configured chunk size, blocking until the evaluation has completed.
+// It returns (nil, nil) when the stream is exhausted, and the
+// evaluation's error — typed: core.ErrBudgetExceeded, context.Canceled,
+// context.DeadlineExceeded — once, on the first call after failure.
+func (s *Stream) Next() (*pathset.Set, error) {
+	<-s.done
+	if s.err != nil {
+		return nil, s.err
+	}
+	if s.pos >= s.set.Len() {
+		return nil, nil
+	}
+	hi := min(s.pos+s.chunk, s.set.Len())
+	// A chunk view is duplicate-free by construction (a slice of a
+	// deduplicated set), so the disjoint constructor applies: one index
+	// insert per path, no membership probes, and the chunk paths alias
+	// the result set's storage — no copying.
+	chunk := pathset.FromOrderedDisjoint([][]path.Path{s.set.Paths()[s.pos:hi]})
+	s.pos = hi
+	return chunk, nil
+}
+
+// Cancel aborts the evaluation (all workers stop at their next budget
+// charge) and releases the stream's context resources. Idempotent;
+// harmless after completion — already-delivered chunks stay valid, and
+// the undelivered remainder of a completed result stays readable.
+func (s *Stream) Cancel() { s.cancel() }
+
+// Done returns a channel closed when the evaluation has finished
+// (successfully or not) and its worker goroutines have exited.
+func (s *Stream) Done() <-chan struct{} { return s.done }
+
+// Result blocks until evaluation completes and returns the full result
+// set and error — Run's return values. The query service uses it to
+// admit completed results into the result cache; pagination state is
+// unaffected.
+func (s *Stream) Result() (*pathset.Set, error) {
+	<-s.done
+	return s.set, s.err
+}
+
+// Len returns the total number of result paths, blocking until the
+// evaluation completes; 0 on error.
+func (s *Stream) Len() int {
+	<-s.done
+	if s.set == nil {
+		return 0
+	}
+	return s.set.Len()
+}
+
+// Pos returns the number of paths already delivered by Next.
+func (s *Stream) Pos() int { return s.pos }

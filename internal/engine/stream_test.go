@@ -1,0 +1,182 @@
+package engine
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"testing"
+	"time"
+
+	"pathalgebra/internal/core"
+	"pathalgebra/internal/gql"
+	"pathalgebra/internal/graph"
+	"pathalgebra/internal/ldbc"
+	"pathalgebra/internal/pathset"
+)
+
+// streamGraph is large enough that every semantics produces multiple
+// chunks at small chunk sizes.
+func streamGraph(t testing.TB) *graph.Graph {
+	t.Helper()
+	return ldbc.MustGenerate(ldbc.Config{
+		Persons: 30, Messages: 40, KnowsPerPerson: 2, LikesPerPerson: 2,
+		CycleFraction: 0.3, Seed: 23,
+	})
+}
+
+// TestRunStreamMatchesRun: for all five semantics, at parallelism 1 and
+// 8 and several chunk sizes, the concatenation of RunStream's chunks is
+// byte-identical (same paths, same order) to Engine.Run's result, and
+// merging the chunk sets with pathset.Merge reproduces the same set.
+func TestRunStreamMatchesRun(t *testing.T) {
+	g := streamGraph(t)
+	queries := map[string]string{
+		"Walk":     `MATCH WALK p = (?x)-[:Knows+]->(?y)`,
+		"Trail":    `MATCH TRAIL p = (?x)-[:Knows+]->(?y)`,
+		"Acyclic":  `MATCH ACYCLIC p = (?x)-[(:Knows|:Likes)+]->(?y)`,
+		"Simple":   `MATCH SIMPLE p = (?x)-[:Knows+]->(?y)`,
+		"Shortest": `MATCH ANY SHORTEST WALK p = (?x)-[(:Likes/:Has_creator)+]->(?y)`,
+	}
+	lim := core.Limits{MaxLen: 5}
+	for sem, q := range queries {
+		plan := gql.MustCompile(q)
+		for _, workers := range []int{1, 8} {
+			eng := New(g, Options{Limits: lim, Parallelism: workers})
+			want, err := eng.Run(plan)
+			if err != nil {
+				t.Fatalf("%s/p%d: Run: %v", sem, workers, err)
+			}
+			for _, chunkSize := range []int{1, 7, 64, 100000} {
+				name := fmt.Sprintf("%s/p%d/chunk%d", sem, workers, chunkSize)
+				s := eng.RunStream(context.Background(), plan, StreamOptions{ChunkSize: chunkSize})
+				var chunks []*pathset.Set
+				got := 0
+				for {
+					chunk, err := s.Next()
+					if err != nil {
+						t.Fatalf("%s: Next: %v", name, err)
+					}
+					if chunk == nil {
+						break
+					}
+					if chunk.Len() == 0 || chunk.Len() > chunkSize {
+						t.Fatalf("%s: chunk of %d paths, want 1..%d", name, chunk.Len(), chunkSize)
+					}
+					// Byte-identical concatenation: chunk i continues exactly
+					// where chunk i-1 stopped, in Run's insertion order.
+					for j, p := range chunk.Paths() {
+						if !p.Equal(want.At(got + j)) {
+							t.Fatalf("%s: path %d differs from Run's", name, got+j)
+						}
+					}
+					got += chunk.Len()
+					chunks = append(chunks, chunk)
+				}
+				if got != want.Len() {
+					t.Fatalf("%s: streamed %d paths, Run produced %d", name, got, want.Len())
+				}
+				if merged := pathset.Merge(chunks...); !merged.Equal(want) {
+					t.Fatalf("%s: merged chunks differ from Run's set", name)
+				}
+				if s.Len() != want.Len() || s.Pos() != want.Len() {
+					t.Fatalf("%s: Len/Pos = %d/%d, want %d", name, s.Len(), s.Pos(), want.Len())
+				}
+			}
+		}
+	}
+}
+
+// TestRunStreamCancel: cancelling a stream mid-evaluation makes Next
+// return context.Canceled within 100ms.
+func TestRunStreamCancel(t *testing.T) {
+	g := ldbc.MustGenerate(ldbc.Config{
+		Persons: 300, Messages: 300, KnowsPerPerson: 4, LikesPerPerson: 3,
+		CycleFraction: 0.5, Seed: 7,
+	})
+	eng := New(g, Options{Limits: core.Limits{MaxLen: 40, MaxPaths: 1 << 30, MaxWork: 1 << 40}})
+	plan := gql.MustCompile(`MATCH WALK p = (?x)-[(:Knows|:Likes)+]->(?y)`)
+	s := eng.RunStream(context.Background(), plan, StreamOptions{})
+	time.Sleep(30 * time.Millisecond)
+	cancelled := time.Now()
+	s.Cancel()
+	_, err := s.Next()
+	if since := time.Since(cancelled); since > 100*time.Millisecond {
+		t.Errorf("Next returned %v after Cancel, want < 100ms", since)
+	}
+	if !errors.Is(err, context.Canceled) {
+		t.Errorf("Next err = %v, want context.Canceled", err)
+	}
+	// The error is delivered once; afterwards callers see it again (a
+	// failed stream stays failed).
+	if _, err2 := s.Next(); !errors.Is(err2, context.Canceled) {
+		t.Errorf("second Next err = %v, want context.Canceled", err2)
+	}
+}
+
+// TestRunStreamDeadline: a deadline on the stream context surfaces as
+// context.DeadlineExceeded.
+func TestRunStreamDeadline(t *testing.T) {
+	g := ldbc.MustGenerate(ldbc.Config{
+		Persons: 300, Messages: 300, KnowsPerPerson: 4, LikesPerPerson: 3,
+		CycleFraction: 0.5, Seed: 7,
+	})
+	eng := New(g, Options{Limits: core.Limits{MaxLen: 40, MaxPaths: 1 << 30, MaxWork: 1 << 40}})
+	plan := gql.MustCompile(`MATCH WALK p = (?x)-[(:Knows|:Likes)+]->(?y)`)
+	ctx, cancel := context.WithTimeout(context.Background(), 20*time.Millisecond)
+	defer cancel()
+	s := eng.RunStream(ctx, plan, StreamOptions{})
+	defer s.Cancel()
+	if _, err := s.Next(); !errors.Is(err, context.DeadlineExceeded) {
+		t.Errorf("Next err = %v, want context.DeadlineExceeded", err)
+	}
+}
+
+// TestRunStreamBudget: budget exhaustion stays typed through the stream.
+func TestRunStreamBudget(t *testing.T) {
+	g := ldbc.Figure1()
+	eng := New(g, Options{Limits: core.Limits{MaxPaths: 2}})
+	plan := gql.MustCompile(`MATCH WALK p = (?x)-[:Knows+]->(?y)`)
+	s := eng.RunStream(context.Background(), plan, StreamOptions{})
+	defer s.Cancel()
+	if _, err := s.Next(); !errors.Is(err, core.ErrBudgetExceeded) {
+		t.Errorf("Next err = %v, want core.ErrBudgetExceeded", err)
+	}
+}
+
+// TestStreamOf: a pre-materialized set pages like a live stream.
+func TestStreamOf(t *testing.T) {
+	g := ldbc.Figure1()
+	eng := New(g, Options{Limits: core.Limits{MaxLen: 4}})
+	want, err := eng.Run(gql.MustCompile(`MATCH TRAIL p = (?x)-[:Knows+]->(?y)`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := StreamOf(want, 3)
+	got := 0
+	for {
+		chunk, err := s.Next()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if chunk == nil {
+			break
+		}
+		got += chunk.Len()
+	}
+	if got != want.Len() {
+		t.Errorf("StreamOf delivered %d paths, want %d", got, want.Len())
+	}
+}
+
+// TestRunCtxCancelledBeforeStart: an already-cancelled context returns
+// immediately with the typed cause and no partial work.
+func TestRunCtxCancelledBeforeStart(t *testing.T) {
+	g := ldbc.Figure1()
+	eng := New(g, Options{})
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	_, err := eng.RunCtx(ctx, gql.MustCompile(`MATCH TRAIL p = (?x)-[:Knows+]->(?y)`))
+	if !errors.Is(err, context.Canceled) {
+		t.Errorf("RunCtx err = %v, want context.Canceled", err)
+	}
+}

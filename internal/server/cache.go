@@ -1,0 +1,58 @@
+package server
+
+import (
+	"pathalgebra/internal/lru"
+	"pathalgebra/internal/pathset"
+)
+
+// resultCache is an LRU (lru.Cache) of fully materialized query results,
+// keyed by the canonical rendering of the PLANNED physical plan plus the
+// evaluation limits (the two inputs that determine a result byte for
+// byte — the engine's evaluation is deterministic at every parallelism).
+// Cached sets are immutable and shared: hits page the same *pathset.Set
+// through a fresh cursor, so a hit costs no evaluation and no copying.
+//
+// Capacity is counted in entries. Explicit invalidation (the
+// /cache/invalidate endpoint) empties the cache; there is no implicit
+// invalidation because a Graph is immutable for the lifetime of a server.
+type resultCache struct {
+	entries *lru.Cache[string, *pathset.Set]
+}
+
+func newResultCache(capacity int) *resultCache {
+	return &resultCache{entries: lru.New[string, *pathset.Set](capacity)}
+}
+
+// get returns the cached result for key, bumping its recency.
+func (c *resultCache) get(key string) (*pathset.Set, bool) {
+	if c == nil {
+		return nil, false
+	}
+	return c.entries.Get(key)
+}
+
+// put admits a completed result, evicting least-recently-used entries
+// beyond capacity.
+func (c *resultCache) put(key string, set *pathset.Set) {
+	if c == nil {
+		return
+	}
+	c.entries.Put(key, set)
+}
+
+// invalidate empties the cache and returns how many entries it dropped.
+func (c *resultCache) invalidate() int {
+	if c == nil {
+		return 0
+	}
+	return c.entries.Clear()
+}
+
+// snapshot returns (entries, hits, misses) for /stats.
+func (c *resultCache) snapshot() (entries int, hits, misses int64) {
+	if c == nil {
+		return 0, 0, 0
+	}
+	hits, misses = c.entries.Counters()
+	return c.entries.Len(), hits, misses
+}

@@ -1,0 +1,123 @@
+package server
+
+import (
+	"context"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"pathalgebra/internal/core"
+	"pathalgebra/internal/engine"
+)
+
+// cursor is one session-scoped query: the stream being paged, the cancel
+// handle aborting its evaluation, and pagination bookkeeping. Page reads
+// serialize on mu (a cursor is a sequential protocol; concurrent /next
+// calls on one id would otherwise race the stream).
+type cursor struct {
+	id      string
+	query   string      // original query text, echoed in /stats-level logs
+	limits  core.Limits // effective per-query limits
+	chunk   int
+	stream  *engine.Stream
+	cancel  context.CancelFunc // cancels the query context (deadline included)
+	cached  bool               // served from the result cache, no evaluation
+	created time.Time
+	// discarded marks a cursor whose registration was rejected after its
+	// evaluation had already launched; the completion watcher then skips
+	// the completed/failed accounting (the request counted as rejected).
+	discarded atomic.Bool
+
+	mu        sync.Mutex
+	delivered int64
+	lastRead  time.Time
+}
+
+// touch records a page read for the idle-TTL sweeper.
+func (c *cursor) touch(now time.Time) {
+	c.lastRead = now
+}
+
+// cursorTable is the mutex-guarded cursor registry. Cursors are removed
+// on exhaustion, on error delivery, on DELETE, by the idle sweeper, and
+// all at once on server close.
+type cursorTable struct {
+	mu      sync.Mutex
+	cursors map[string]*cursor
+	max     int
+}
+
+func newCursorTable(max int) *cursorTable {
+	return &cursorTable{cursors: make(map[string]*cursor), max: max}
+}
+
+// add registers c, reporting false when the table is full.
+func (t *cursorTable) add(c *cursor) bool {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if len(t.cursors) >= t.max {
+		return false
+	}
+	t.cursors[c.id] = c
+	return true
+}
+
+func (t *cursorTable) get(id string) (*cursor, bool) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	c, ok := t.cursors[id]
+	return c, ok
+}
+
+// remove unregisters id, returning the cursor if it was present. It does
+// NOT cancel the cursor — callers decide (exhaustion keeps nothing
+// running; DELETE and the sweeper cancel).
+func (t *cursorTable) remove(id string) (*cursor, bool) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	c, ok := t.cursors[id]
+	if ok {
+		delete(t.cursors, id)
+	}
+	return c, ok
+}
+
+func (t *cursorTable) len() int {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return len(t.cursors)
+}
+
+// drainAll removes every cursor and returns them for cancellation —
+// server close.
+func (t *cursorTable) drainAll() []*cursor {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	out := make([]*cursor, 0, len(t.cursors))
+	for id, c := range t.cursors {
+		out = append(out, c)
+		delete(t.cursors, id)
+	}
+	return out
+}
+
+// sweepIdle removes and returns cursors whose last page read (or
+// creation, if never read) is older than ttl.
+func (t *cursorTable) sweepIdle(now time.Time, ttl time.Duration) []*cursor {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	var out []*cursor
+	for id, c := range t.cursors {
+		c.mu.Lock()
+		last := c.lastRead
+		c.mu.Unlock()
+		if last.IsZero() {
+			last = c.created
+		}
+		if now.Sub(last) > ttl {
+			out = append(out, c)
+			delete(t.cursors, id)
+		}
+	}
+	return out
+}

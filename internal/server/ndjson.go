@@ -1,0 +1,53 @@
+package server
+
+import (
+	"encoding/json"
+	"io"
+
+	"pathalgebra/internal/graph"
+	"pathalgebra/internal/path"
+)
+
+// The cursor pages stream as NDJSON (one JSON document per line,
+// Content-Type application/x-ndjson): zero or more path lines followed by
+// exactly one trailer line. Path lines carry a "nodes" field; the trailer
+// carries "done", so a line-oriented client can tell them apart without
+// lookahead, and a page is self-delimiting even over chunked transfer.
+
+// pathJSON is one result path rendered with the graph's external keys —
+// the alternating (n1, e1, ..., ek, nk+1) sequence split into its node
+// and edge tracks.
+type pathJSON struct {
+	Nodes []string `json:"nodes"`
+	Edges []string `json:"edges"`
+	Len   int      `json:"len"`
+}
+
+// pageTrailer terminates every cursor page. Done reports whether the
+// cursor is exhausted (and therefore removed server-side); Returned is
+// the number of path lines on this page; Delivered and Total are the
+// cursor's cumulative progress.
+type pageTrailer struct {
+	Done      bool  `json:"done"`
+	Returned  int   `json:"returned"`
+	Delivered int64 `json:"delivered"`
+	Total     int   `json:"total"`
+}
+
+func encodePath(g *graph.Graph, p path.Path) pathJSON {
+	nodes := make([]string, len(p.Nodes()))
+	for i, n := range p.Nodes() {
+		nodes[i] = g.Node(n).Key
+	}
+	edges := make([]string, len(p.Edges()))
+	for i, e := range p.Edges() {
+		edges[i] = g.Edge(e).Key
+	}
+	return pathJSON{Nodes: nodes, Edges: edges, Len: p.Len()}
+}
+
+// writeNDJSON encodes one value as a single NDJSON line.
+func writeNDJSON(w io.Writer, v any) error {
+	enc := json.NewEncoder(w) // Encode appends the newline
+	return enc.Encode(v)
+}

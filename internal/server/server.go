@@ -1,0 +1,708 @@
+// Package server is the query service layer over the path-algebra engine:
+// a concurrent scheduler with admission control, session-scoped result
+// cursors, NDJSON streaming, and a result LRU — the machinery that turns
+// the blocking Engine.Run call into a service that can start, page,
+// observe and abandon queries over HTTP.
+//
+// Lifecycle of a query:
+//
+//	POST /query            {"query": "...", ...}      → {"id": "q1", ...}
+//	GET  /query/{id}/next  pages the result as NDJSON (path lines + trailer)
+//	DELETE /query/{id}     cancels the evaluation and discards the cursor
+//
+// plus GET /stats (engine + server counters), POST /explain (plan with
+// estimated vs. actual cardinalities), POST /cache/invalidate (drop the
+// result LRU) and GET /healthz.
+//
+// Failure modes are typed end to end: budget exhaustion surfaces as
+// core.ErrBudgetExceeded (HTTP 422), a per-query deadline as
+// context.DeadlineExceeded (504), client cancellation as context.Canceled
+// (410), and server drain as ErrDraining (503) — the error-contract
+// mapping the evaluators' budget cancellation makes possible.
+package server
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+	"runtime"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"pathalgebra/internal/core"
+	"pathalgebra/internal/engine"
+	"pathalgebra/internal/gql"
+	"pathalgebra/internal/graph"
+)
+
+// ErrDraining is the cancellation cause recorded by Close: queries cut
+// short by server shutdown fail with it (HTTP 503) rather than a generic
+// cancellation, so clients can tell "server going away, retry elsewhere"
+// from "my query was cancelled".
+var ErrDraining = errors.New("server: draining, query aborted")
+
+// Config parameterizes a Server. The zero value of every field selects a
+// sensible default; Graph is the only required field.
+type Config struct {
+	// Graph is the (immutable) graph served. Required.
+	Graph *graph.Graph
+	// Engine is the base engine configuration. Engine.Limits acts as the
+	// per-query default; requests may override MaxLen/MaxPaths/MaxWork.
+	Engine engine.Options
+	// MaxInFlight bounds concurrently evaluating queries (admission
+	// control; excess POST /query returns 429). <= 0 selects
+	// 2×GOMAXPROCS. Cache hits bypass admission — they evaluate nothing.
+	MaxInFlight int
+	// MaxCursors bounds live cursors (429 beyond). <= 0 selects 1024.
+	MaxCursors int
+	// ChunkSize is the default paths-per-page; requests may override up
+	// to MaxChunkSize. <= 0 selects 256.
+	ChunkSize int
+	// MaxChunkSize caps the per-request chunk size. <= 0 selects 65536.
+	MaxChunkSize int
+	// QueryTimeout is the per-query evaluation deadline. 0 selects 60s;
+	// < 0 disables the deadline. Requests may shorten it (timeout_ms),
+	// never extend it.
+	QueryTimeout time.Duration
+	// CursorTTL evicts (and cancels) cursors idle longer than this. 0
+	// selects 5m; < 0 disables the sweeper.
+	CursorTTL time.Duration
+	// CacheSize bounds the result LRU in entries. 0 selects 128; < 0
+	// disables result caching.
+	CacheSize int
+}
+
+func (c Config) maxInFlight() int {
+	if c.MaxInFlight <= 0 {
+		return 2 * runtime.GOMAXPROCS(0)
+	}
+	return c.MaxInFlight
+}
+
+func (c Config) maxCursors() int {
+	if c.MaxCursors <= 0 {
+		return 1024
+	}
+	return c.MaxCursors
+}
+
+func (c Config) chunkSize() int {
+	if c.ChunkSize <= 0 {
+		return 256
+	}
+	return c.ChunkSize
+}
+
+func (c Config) maxChunkSize() int {
+	if c.MaxChunkSize <= 0 {
+		return 65536
+	}
+	return c.MaxChunkSize
+}
+
+func (c Config) queryTimeout() time.Duration {
+	switch {
+	case c.QueryTimeout == 0:
+		return 60 * time.Second
+	case c.QueryTimeout < 0:
+		return 0
+	default:
+		return c.QueryTimeout
+	}
+}
+
+func (c Config) cursorTTL() time.Duration {
+	switch {
+	case c.CursorTTL == 0:
+		return 5 * time.Minute
+	case c.CursorTTL < 0:
+		return 0
+	default:
+		return c.CursorTTL
+	}
+}
+
+func (c Config) cacheSize() int {
+	switch {
+	case c.CacheSize == 0:
+		return 128
+	case c.CacheSize < 0:
+		return 0
+	default:
+		return c.CacheSize
+	}
+}
+
+// serverCounters are the service-level /stats counters, all atomic.
+type serverCounters struct {
+	started   atomic.Int64 // queries admitted to evaluation
+	completed atomic.Int64 // evaluations finishing without error
+	failed    atomic.Int64 // evaluations finishing with an error
+	rejected  atomic.Int64 // POSTs refused by admission control
+	cancelled atomic.Int64 // DELETEs and sweeper evictions
+	paths     atomic.Int64 // path lines delivered
+	pages     atomic.Int64 // pages served
+}
+
+// Server is the query service. It implements http.Handler; wire it into
+// an http.Server (cmd/pathalgebrad does) or call its handlers in-process
+// through httptest. All methods are safe for concurrent use.
+type Server struct {
+	cfg  Config
+	g    *graph.Graph
+	base *engine.Engine
+	// engines pools one engine per distinct per-query Limits so plan
+	// caches stay warm across requests that share limits; the map is
+	// bounded — beyond enginePoolMax distinct limit combinations the
+	// server serves transient engines (correct, just cache-cold).
+	enginesMu sync.Mutex
+	engines   map[core.Limits]*engine.Engine
+
+	cache    *resultCache
+	cursors  *cursorTable
+	inflight atomic.Int64
+	counters serverCounters
+	nextID   atomic.Int64
+
+	// baseCtx parents every query context so Close aborts all running
+	// evaluations with ErrDraining as the cause.
+	baseCtx    context.Context
+	baseCancel context.CancelCauseFunc
+	sweepStop  chan struct{}
+	closeOnce  sync.Once
+	mux        *http.ServeMux
+}
+
+// enginePoolMax bounds the per-limits engine pool.
+const enginePoolMax = 64
+
+// New returns a Server over cfg.Graph.
+func New(cfg Config) (*Server, error) {
+	if cfg.Graph == nil {
+		return nil, fmt.Errorf("server: Config.Graph is required")
+	}
+	baseCtx, baseCancel := context.WithCancelCause(context.Background())
+	s := &Server{
+		cfg:        cfg,
+		g:          cfg.Graph,
+		base:       engine.New(cfg.Graph, cfg.Engine),
+		engines:    make(map[core.Limits]*engine.Engine),
+		cursors:    newCursorTable(cfg.maxCursors()),
+		baseCtx:    baseCtx,
+		baseCancel: baseCancel,
+		sweepStop:  make(chan struct{}),
+		mux:        http.NewServeMux(),
+	}
+	s.engines[cfg.Engine.Limits] = s.base
+	if n := cfg.cacheSize(); n > 0 {
+		s.cache = newResultCache(n)
+	}
+	s.mux.HandleFunc("POST /query", s.handleQuery)
+	s.mux.HandleFunc("GET /query/{id}/next", s.handleNext)
+	s.mux.HandleFunc("DELETE /query/{id}", s.handleCancel)
+	s.mux.HandleFunc("GET /stats", s.handleStats)
+	s.mux.HandleFunc("POST /explain", s.handleExplain)
+	s.mux.HandleFunc("POST /cache/invalidate", s.handleInvalidate)
+	s.mux.HandleFunc("GET /healthz", s.handleHealthz)
+	if ttl := cfg.cursorTTL(); ttl > 0 {
+		go s.sweepLoop(ttl)
+	}
+	return s, nil
+}
+
+// ServeHTTP dispatches to the service endpoints.
+func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) {
+	s.mux.ServeHTTP(w, r)
+}
+
+// Close aborts every running evaluation (cause ErrDraining), cancels and
+// drops all cursors, and stops the sweeper. Safe to call more than once.
+// Callers draining an http.Server should Shutdown it first (stop
+// accepting, let quick requests finish), then Close the query service to
+// cut the long-running evaluations.
+func (s *Server) Close() {
+	s.closeOnce.Do(func() {
+		s.baseCancel(ErrDraining)
+		close(s.sweepStop)
+		for _, c := range s.cursors.drainAll() {
+			c.cancel()
+			s.counters.cancelled.Add(1)
+		}
+	})
+}
+
+// sweepLoop evicts idle cursors every ttl/4.
+func (s *Server) sweepLoop(ttl time.Duration) {
+	tick := time.NewTicker(ttl / 4)
+	defer tick.Stop()
+	for {
+		select {
+		case <-s.sweepStop:
+			return
+		case now := <-tick.C:
+			for _, c := range s.cursors.sweepIdle(now, ttl) {
+				c.cancel()
+				s.counters.cancelled.Add(1)
+			}
+		}
+	}
+}
+
+// engineFor returns the pooled engine for the given limits, creating it
+// on first use; beyond the pool bound it returns a transient engine.
+func (s *Server) engineFor(lim core.Limits) *engine.Engine {
+	opts := s.cfg.Engine
+	opts.Limits = lim
+	s.enginesMu.Lock()
+	defer s.enginesMu.Unlock()
+	if eng, ok := s.engines[lim]; ok {
+		return eng
+	}
+	eng := engine.New(s.g, opts)
+	if len(s.engines) < enginePoolMax {
+		s.engines[lim] = eng
+	}
+	return eng
+}
+
+// queryRequest is the POST /query (and POST /explain) body.
+type queryRequest struct {
+	// Query is the GQL path query text. Required.
+	Query string `json:"query"`
+	// ChunkSize overrides the server's default page size, capped at
+	// Config.MaxChunkSize.
+	ChunkSize int `json:"chunk_size"`
+	// MaxLen / MaxPaths / MaxWork override the server's default
+	// per-query limits (core.Limits semantics; 0 keeps the default).
+	MaxLen   int `json:"max_len"`
+	MaxPaths int `json:"max_paths"`
+	MaxWork  int `json:"max_work"`
+	// TimeoutMS shortens (never extends) the per-query deadline.
+	TimeoutMS int `json:"timeout_ms"`
+	// NoCache bypasses the result LRU for this query (both lookup and
+	// admission of the result).
+	NoCache bool `json:"no_cache"`
+}
+
+// queryResponse is the POST /query response.
+type queryResponse struct {
+	ID     string `json:"id"`
+	Cached bool   `json:"cached"`
+	// Total is the result size, known immediately on a cache hit.
+	Total *int `json:"total,omitempty"`
+}
+
+// errorResponse is the body of every non-2xx response.
+type errorResponse struct {
+	Error string `json:"error"`
+	// Kind is the machine-readable failure class: bad_request, not_found,
+	// over_capacity, budget_exceeded, deadline_exceeded, cancelled,
+	// draining, internal.
+	Kind string `json:"kind"`
+}
+
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	json.NewEncoder(w).Encode(v)
+}
+
+func writeError(w http.ResponseWriter, status int, kind, format string, args ...any) {
+	writeJSON(w, status, errorResponse{Error: fmt.Sprintf(format, args...), Kind: kind})
+}
+
+// writeEvalError maps an evaluation error to its HTTP status — the
+// payoff of the typed error contract (errors.Is, never string matching).
+func writeEvalError(w http.ResponseWriter, err error) {
+	switch {
+	case errors.Is(err, ErrDraining):
+		writeError(w, http.StatusServiceUnavailable, "draining", "%v", err)
+	case errors.Is(err, core.ErrBudgetExceeded):
+		writeError(w, http.StatusUnprocessableEntity, "budget_exceeded", "%v", err)
+	case errors.Is(err, context.DeadlineExceeded):
+		writeError(w, http.StatusGatewayTimeout, "deadline_exceeded", "%v", err)
+	case errors.Is(err, context.Canceled):
+		writeError(w, http.StatusGone, "cancelled", "%v", err)
+	default:
+		writeError(w, http.StatusInternalServerError, "internal", "%v", err)
+	}
+}
+
+// decodeRequest parses the JSON body of POST /query and /explain.
+func decodeRequest(r *http.Request) (*queryRequest, error) {
+	var req queryRequest
+	dec := json.NewDecoder(http.MaxBytesReader(nil, r.Body, 1<<20))
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&req); err != nil {
+		return nil, fmt.Errorf("invalid request body: %w", err)
+	}
+	if req.Query == "" {
+		return nil, fmt.Errorf("missing \"query\" field")
+	}
+	return &req, nil
+}
+
+// limitsFor merges request overrides into the server's default limits.
+func (s *Server) limitsFor(req *queryRequest) core.Limits {
+	lim := s.cfg.Engine.Limits
+	if req.MaxLen > 0 {
+		lim.MaxLen = req.MaxLen
+	}
+	if req.MaxPaths > 0 {
+		lim.MaxPaths = req.MaxPaths
+	}
+	if req.MaxWork > 0 {
+		lim.MaxWork = req.MaxWork
+	}
+	return lim
+}
+
+// chunkFor resolves the page size of a cursor.
+func (s *Server) chunkFor(req *queryRequest) int {
+	chunk := s.cfg.chunkSize()
+	if req.ChunkSize > 0 {
+		chunk = req.ChunkSize
+	}
+	return min(chunk, s.cfg.maxChunkSize())
+}
+
+// compile parses and compiles the query text into a logical plan.
+func compile(query string) (core.PathExpr, error) {
+	q, err := gql.Parse(query)
+	if err != nil {
+		return nil, err
+	}
+	return gql.Compile(q)
+}
+
+// resultKey is the result-LRU key: the canonical rendering of the
+// physical plan the engine chose, plus the limits that bound its
+// evaluation. Everything else (parallelism, join strategy, planner
+// on/off) does not change results, by the repo's determinism invariants.
+func resultKey(plan core.PathExpr, lim core.Limits) string {
+	return fmt.Sprintf("%s|maxlen=%d|maxpaths=%d|maxwork=%d", plan, lim.MaxLen, lim.MaxPaths, lim.MaxWork)
+}
+
+// handleQuery admits a query: cache hit → cursor over the cached set;
+// miss → admission control, then a cancellable streaming evaluation.
+func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
+	req, err := decodeRequest(r)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, "bad_request", "%v", err)
+		return
+	}
+	logical, err := compile(req.Query)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, "bad_request", "%v", err)
+		return
+	}
+	lim := s.limitsFor(req)
+	eng := s.engineFor(lim)
+	plan, _ := eng.Plan(logical)
+	key := resultKey(plan, lim)
+
+	id := fmt.Sprintf("q%d", s.nextID.Add(1))
+	cur := &cursor{
+		id:      id,
+		query:   req.Query,
+		limits:  lim,
+		chunk:   s.chunkFor(req),
+		created: time.Now(),
+	}
+
+	if !req.NoCache {
+		if set, ok := s.cache.get(key); ok {
+			cur.cached = true
+			cur.cancel = func() {}
+			cur.stream = engine.StreamOf(set, cur.chunk)
+			if !s.cursors.add(cur) {
+				s.counters.rejected.Add(1)
+				writeError(w, http.StatusTooManyRequests, "over_capacity", "cursor table full (%d live cursors)", s.cursors.len())
+				return
+			}
+			total := set.Len()
+			writeJSON(w, http.StatusCreated, queryResponse{ID: id, Cached: true, Total: &total})
+			return
+		}
+	}
+
+	// Cheap pre-launch capacity check so a full cursor table rejects
+	// before any evaluation starts; the registration below re-checks
+	// under the table lock (the authoritative cap) for the racy window.
+	if s.cursors.len() >= s.cfg.maxCursors() {
+		s.counters.rejected.Add(1)
+		writeError(w, http.StatusTooManyRequests, "over_capacity", "cursor table full (%d live cursors)", s.cursors.len())
+		return
+	}
+
+	// Admission control: bound concurrently evaluating queries.
+	if n := s.inflight.Add(1); n > int64(s.cfg.maxInFlight()) {
+		s.inflight.Add(-1)
+		s.counters.rejected.Add(1)
+		writeError(w, http.StatusTooManyRequests, "over_capacity", "too many in-flight queries (max %d)", s.cfg.maxInFlight())
+		return
+	}
+
+	var qctx context.Context
+	var qcancel context.CancelFunc
+	if t := s.deadlineFor(req); t > 0 {
+		qctx, qcancel = context.WithTimeout(s.baseCtx, t)
+	} else {
+		qctx, qcancel = context.WithCancel(s.baseCtx)
+	}
+	cur.cancel = qcancel
+	cur.stream = eng.RunStream(qctx, logical, engine.StreamOptions{ChunkSize: cur.chunk})
+	s.counters.started.Add(1)
+
+	// Completion watcher: release the admission slot, admit successful
+	// results into the result cache.
+	go func() {
+		<-cur.stream.Done()
+		s.inflight.Add(-1)
+		if cur.discarded.Load() {
+			return // registration rejected; counted as rejected, not failed
+		}
+		set, err := cur.stream.Result()
+		if err != nil {
+			s.counters.failed.Add(1)
+			return
+		}
+		s.counters.completed.Add(1)
+		if !req.NoCache {
+			s.cache.put(key, set)
+		}
+	}()
+
+	if !s.cursors.add(cur) {
+		// Lost the pre-check race: undo the start accounting and mark the
+		// cursor discarded so the completion watcher skips the
+		// completed/failed counters — a capacity rejection must not read
+		// as a started+failed query in /stats.
+		cur.discarded.Store(true)
+		qcancel()
+		s.counters.started.Add(-1)
+		s.counters.rejected.Add(1)
+		writeError(w, http.StatusTooManyRequests, "over_capacity", "cursor table full (%d live cursors)", s.cursors.len())
+		return
+	}
+	writeJSON(w, http.StatusCreated, queryResponse{ID: id, Cached: false})
+}
+
+// deadlineFor resolves the effective per-query deadline.
+func (s *Server) deadlineFor(req *queryRequest) time.Duration {
+	t := s.cfg.queryTimeout()
+	if req.TimeoutMS > 0 {
+		reqT := time.Duration(req.TimeoutMS) * time.Millisecond
+		if t <= 0 || reqT < t {
+			t = reqT
+		}
+	}
+	return t
+}
+
+// handleNext serves one cursor page as NDJSON. The wait for evaluation
+// completion is a long-poll bounded by the client's own request context;
+// an abandoned wait leaves the evaluation running for a later retry.
+func (s *Server) handleNext(w http.ResponseWriter, r *http.Request) {
+	id := r.PathValue("id")
+	cur, ok := s.cursors.get(id)
+	if !ok {
+		writeError(w, http.StatusNotFound, "not_found", "no cursor %q", id)
+		return
+	}
+	// Touch before the long-poll wait too: a client blocked here on a
+	// slow evaluation is attentive, not idle — without this the TTL
+	// sweeper could cancel a query out from under its waiting reader.
+	cur.mu.Lock()
+	cur.touch(time.Now())
+	cur.mu.Unlock()
+	select {
+	case <-cur.stream.Done():
+	case <-r.Context().Done():
+		// Client went away while the evaluation was still running; the
+		// cursor stays valid.
+		return
+	}
+	cur.mu.Lock()
+	defer cur.mu.Unlock()
+	cur.touch(time.Now())
+	chunk, err := cur.stream.Next()
+	if err != nil {
+		// Removal releases the per-query context (timer included); the
+		// evaluation is already finished, so cancel only cleans up.
+		s.cursors.remove(id)
+		cur.cancel()
+		writeEvalError(w, err)
+		return
+	}
+	total := cur.stream.Len()
+	returned := 0
+	if chunk != nil {
+		returned = chunk.Len()
+	}
+	cur.delivered += int64(returned)
+	done := cur.stream.Pos() >= total
+	if done {
+		// Exhausted: the cursor is gone after this page (a re-POST of the
+		// same query hits the result cache), and its per-query context —
+		// a deadline timer parented on baseCtx — is released.
+		s.cursors.remove(id)
+		cur.cancel()
+	}
+	s.counters.paths.Add(int64(returned))
+	s.counters.pages.Add(1)
+
+	w.Header().Set("Content-Type", "application/x-ndjson")
+	if chunk != nil {
+		for _, p := range chunk.Paths() {
+			if err := writeNDJSON(w, encodePath(s.g, p)); err != nil {
+				return
+			}
+		}
+	}
+	writeNDJSON(w, pageTrailer{
+		Done:      done,
+		Returned:  returned,
+		Delivered: cur.delivered,
+		Total:     total,
+	})
+}
+
+// handleCancel aborts a query and discards its cursor.
+func (s *Server) handleCancel(w http.ResponseWriter, r *http.Request) {
+	id := r.PathValue("id")
+	cur, ok := s.cursors.remove(id)
+	if !ok {
+		writeError(w, http.StatusNotFound, "not_found", "no cursor %q", id)
+		return
+	}
+	cur.cancel()
+	cur.stream.Cancel()
+	s.counters.cancelled.Add(1)
+	writeJSON(w, http.StatusOK, map[string]any{"id": id, "cancelled": true})
+}
+
+// statsResponse is the GET /stats body.
+type statsResponse struct {
+	Engine engine.Stats `json:"engine"`
+	Server struct {
+		InFlight    int64 `json:"in_flight"`
+		LiveCursors int   `json:"live_cursors"`
+		Started     int64 `json:"queries_started"`
+		Completed   int64 `json:"queries_completed"`
+		Failed      int64 `json:"queries_failed"`
+		Rejected    int64 `json:"queries_rejected"`
+		Cancelled   int64 `json:"queries_cancelled"`
+		Paths       int64 `json:"paths_delivered"`
+		Pages       int64 `json:"pages_served"`
+	} `json:"server"`
+	ResultCache struct {
+		Entries int   `json:"entries"`
+		Hits    int64 `json:"hits"`
+		Misses  int64 `json:"misses"`
+	} `json:"result_cache"`
+	Graph struct {
+		Nodes   int `json:"nodes"`
+		Edges   int `json:"edges"`
+		Symbols int `json:"symbols"`
+	} `json:"graph"`
+}
+
+// handleStats snapshots engine stats (aggregated across the per-limits
+// engine pool) plus the service counters.
+func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
+	var resp statsResponse
+	s.enginesMu.Lock()
+	for _, eng := range s.engines {
+		st := eng.Stats()
+		resp.Engine.PathsProduced += st.PathsProduced
+		resp.Engine.JoinProbes += st.JoinProbes
+		resp.Engine.IndexedScans += st.IndexedScans
+		resp.Engine.Recursions += st.Recursions
+		resp.Engine.ExpandedRecursions += st.ExpandedRecursions
+		resp.Engine.SeededRecursions += st.SeededRecursions
+		resp.Engine.BackwardRecursions += st.BackwardRecursions
+		resp.Engine.PlanCacheHits += st.PlanCacheHits
+		resp.Engine.PlanCacheMisses += st.PlanCacheMisses
+		resp.Engine.FingerprintCollisions += st.FingerprintCollisions
+	}
+	s.enginesMu.Unlock()
+	resp.Server.InFlight = s.inflight.Load()
+	resp.Server.LiveCursors = s.cursors.len()
+	resp.Server.Started = s.counters.started.Load()
+	resp.Server.Completed = s.counters.completed.Load()
+	resp.Server.Failed = s.counters.failed.Load()
+	resp.Server.Rejected = s.counters.rejected.Load()
+	resp.Server.Cancelled = s.counters.cancelled.Load()
+	resp.Server.Paths = s.counters.paths.Load()
+	resp.Server.Pages = s.counters.pages.Load()
+	resp.ResultCache.Entries, resp.ResultCache.Hits, resp.ResultCache.Misses = s.cache.snapshot()
+	resp.Graph.Nodes = s.g.NumNodes()
+	resp.Graph.Edges = s.g.NumEdges()
+	resp.Graph.Symbols = s.g.NumSymbols()
+	writeJSON(w, http.StatusOK, resp)
+}
+
+// explainResponse is the POST /explain body.
+type explainResponse struct {
+	Plan     string   `json:"plan"`
+	Rules    []string `json:"rules"`
+	CacheHit bool     `json:"cache_hit"`
+	Total    int      `json:"total"`
+	Text     string   `json:"text"`
+}
+
+// handleExplain plans and evaluates the query, reporting the chosen plan
+// with estimated vs. actual per-operator cardinalities. Explain
+// evaluates each subtree independently (a diagnostic, not an execution
+// mode), so it runs under the same admission control as queries.
+func (s *Server) handleExplain(w http.ResponseWriter, r *http.Request) {
+	req, err := decodeRequest(r)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, "bad_request", "%v", err)
+		return
+	}
+	logical, err := compile(req.Query)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, "bad_request", "%v", err)
+		return
+	}
+	if n := s.inflight.Add(1); n > int64(s.cfg.maxInFlight()) {
+		s.inflight.Add(-1)
+		s.counters.rejected.Add(1)
+		writeError(w, http.StatusTooManyRequests, "over_capacity", "too many in-flight queries (max %d)", s.cfg.maxInFlight())
+		return
+	}
+	defer s.inflight.Add(-1)
+	ctx := s.baseCtx
+	if t := s.deadlineFor(req); t > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, t)
+		defer cancel()
+	}
+	ex, err := s.engineFor(s.limitsFor(req)).ExplainCtx(ctx, logical)
+	if err != nil {
+		writeEvalError(w, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, explainResponse{
+		Plan:     gql.PrintPlan(ex.Plan),
+		Rules:    ex.Applied,
+		CacheHit: ex.CacheHit,
+		Total:    ex.Result.Len(),
+		Text:     ex.Format(),
+	})
+}
+
+// handleInvalidate drops every cached result.
+func (s *Server) handleInvalidate(w http.ResponseWriter, r *http.Request) {
+	n := s.cache.invalidate()
+	writeJSON(w, http.StatusOK, map[string]any{"invalidated": n})
+}
+
+func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, map[string]any{"ok": true})
+}

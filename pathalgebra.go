@@ -151,6 +151,20 @@ type Engine = engine.Engine
 // Explain is the result of Engine.Explain.
 type Explain = engine.Explain
 
+// Stream is a chunked, cancellable result cursor produced by
+// Engine.RunStream: chunks concatenate to exactly the Engine.Run result,
+// and cancelling the stream's context aborts the evaluation promptly.
+type Stream = engine.Stream
+
+// StreamOptions configures Engine.RunStream (chunk size).
+type StreamOptions = engine.StreamOptions
+
+// ErrBudgetExceeded is the typed, errors.Is-able error returned when a
+// recursive evaluation exceeds its Limits budget — distinct from the
+// cancellation causes (context.Canceled, context.DeadlineExceeded) a
+// cancelled RunCtx/RunStream returns.
+var ErrBudgetExceeded = core.ErrBudgetExceeded
+
 // NewEngine returns an engine over g.
 func NewEngine(g *Graph, opts EngineOptions) *Engine { return engine.New(g, opts) }
 

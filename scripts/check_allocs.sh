@@ -49,3 +49,26 @@ if [ "$hit" -ge "$cold" ]; then
     exit 1
 fi
 echo "check_allocs: plan-cache hit path allocates $hit allocs/op vs $cold cold (threshold $PLANCACHE_THRESHOLD)"
+
+# Streaming gate: chunked delivery (RunStream paged to exhaustion) must
+# stay within a small constant number of extra allocations over the
+# equivalent batch Run — chunks are zero-copy views into the evaluated
+# set, so the only legitimate overhead is the per-chunk set headers and
+# the stream bookkeeping. A breach means chunking started copying paths.
+STREAM_THRESHOLD=${STREAM_ALLOCS_THRESHOLD:-300}
+
+out=$(go test -run xxx -bench 'BenchmarkStreamDelivery' -benchtime 20x -benchmem . 2>&1)
+printf '%s\n' "$out"
+
+batch=$(printf '%s\n' "$out" | awk '/^BenchmarkStreamDelivery\/batch/ { for (i = 1; i < NF; i++) if ($(i+1) == "allocs/op") print $i }')
+stream=$(printf '%s\n' "$out" | awk '/^BenchmarkStreamDelivery\/stream/ { for (i = 1; i < NF; i++) if ($(i+1) == "allocs/op") print $i }')
+if [ -z "$batch" ] || [ -z "$stream" ]; then
+    echo "check_allocs: could not find BenchmarkStreamDelivery allocs/op in benchmark output" >&2
+    exit 1
+fi
+extra=$((stream - batch))
+if [ "$extra" -gt "$STREAM_THRESHOLD" ]; then
+    echo "check_allocs: streaming delivery allocates $extra allocs/op over batch ($stream vs $batch) > threshold $STREAM_THRESHOLD" >&2
+    exit 1
+fi
+echo "check_allocs: streaming delivery allocates $extra allocs/op over batch ($stream vs $batch, threshold $STREAM_THRESHOLD)"
