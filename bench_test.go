@@ -740,3 +740,163 @@ func BenchmarkServerThroughput(b *testing.B) {
 	b.Run("nocache", func(b *testing.B) { run(b, true) })
 	b.Run("cached", func(b *testing.B) { run(b, false) })
 }
+
+// BenchmarkIngest measures delta-apply throughput: the full deterministic
+// LDBC-style update stream (8 batches × 16 ops) applied to a live store,
+// with compaction disabled, synchronous, and forced-every-batch.
+func BenchmarkIngest(b *testing.B) {
+	base := benchGraph()
+	stream := ldbc.MustUpdateStream(ldbc.UpdateConfig{
+		Batches: 8, OpsPerBatch: 16, ExistingPersons: 40, PersonFraction: 0.4, Seed: 7,
+	})
+	ops := 0
+	for _, batch := range stream {
+		ops += len(batch.Ops)
+	}
+	cases := []struct {
+		name      string
+		threshold int
+		compact   bool // force a Compact after every batch
+	}{
+		{"delta-only", -1, false},
+		{"auto-compact-64", 64, false},
+		{"compact-every-batch", -1, true},
+	}
+	for _, tc := range cases {
+		b.Run(tc.name, func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				s := NewStore(base, StoreOptions{CompactThreshold: tc.threshold})
+				for _, batch := range stream {
+					if _, err := s.Apply(batch); err != nil {
+						b.Fatal(err)
+					}
+					if tc.compact {
+						if err := s.Compact(); err != nil {
+							b.Fatal(err)
+						}
+					}
+				}
+				s.Close()
+			}
+			b.ReportMetric(float64(ops)*float64(b.N)/b.Elapsed().Seconds(), "ops/sec")
+		})
+	}
+}
+
+// BenchmarkQueryUnderIngest measures query latency on a live engine while
+// a saturating writer churns batches (and the background compactor folds
+// them), against an idle-store baseline. The writer adds a batch of
+// person+knows pairs then deletes it, so the graph stays bounded and the
+// measured gap is the cost of reading through COW overlays and racing
+// epoch swaps, not of a growing result set.
+func BenchmarkQueryUnderIngest(b *testing.B) {
+	plan := gql.MustCompile(`MATCH TRAIL p = (?x)-[:Knows+]->(?y)`)
+	run := func(b *testing.B, ingest bool) {
+		s := NewStore(benchGraph(), StoreOptions{CompactThreshold: 256})
+		defer s.Close()
+		eng := NewEngineWithStore(s, engine.Options{Limits: Limits{MaxLen: 5}})
+		stop := make(chan struct{})
+		var wg sync.WaitGroup
+		if ingest {
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				seq := 0
+				for {
+					select {
+					case <-stop:
+						return
+					default:
+					}
+					add, del := Batch{}, Batch{}
+					for k := 0; k < 8; k++ {
+						key := fmt.Sprintf("ing%d", seq)
+						add.Ops = append(add.Ops,
+							Op{Kind: OpAddNode, Key: key, Label: "Person"},
+							Op{Kind: OpAddEdge, Key: "e" + key,
+								Src: fmt.Sprintf("p%d", seq%40+1), Dst: key, Label: "Knows"})
+						del.Ops = append(del.Ops, Op{Kind: OpDelNode, Key: key})
+						seq++
+					}
+					if _, err := s.Apply(add); err != nil {
+						b.Error(err)
+						return
+					}
+					if _, err := s.Apply(del); err != nil {
+						b.Error(err)
+						return
+					}
+				}
+			}()
+		}
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			if _, err := eng.Run(plan); err != nil {
+				b.Fatal(err)
+			}
+		}
+		b.StopTimer()
+		close(stop)
+		wg.Wait()
+	}
+	b.Run("idle", func(b *testing.B) { run(b, false) })
+	b.Run("under-ingest", func(b *testing.B) { run(b, true) })
+}
+
+// BenchmarkSnapshotOverlayRead runs the same recursive query over three
+// physically distinct but logically related graphs:
+//
+//   - sealed: a from-scratch Build of base+delta — the pre-PR read path;
+//   - empty-delta: a live store holding the same content after compaction
+//     (ov == nil) — must allocate identically to sealed, gated in
+//     scripts/check_allocs.sh;
+//   - with-delta: the same content with the delta still in the COW
+//     overlay (ov != nil) — documents the overlay read penalty.
+func BenchmarkSnapshotOverlayRead(b *testing.B) {
+	base := benchGraph()
+	batch := ldbc.MustUpdateStream(ldbc.UpdateConfig{
+		Batches: 1, OpsPerBatch: 32, ExistingPersons: 40, PersonFraction: 0.3, Seed: 11,
+	})[0]
+	plan := gql.MustCompile(`MATCH TRAIL p = (?x)-[:Knows+]->(?y)`)
+	lim := Limits{MaxLen: 5}
+
+	overlayStore := NewStore(base, StoreOptions{CompactThreshold: -1})
+	defer overlayStore.Close()
+	if _, err := overlayStore.Apply(batch); err != nil {
+		b.Fatal(err)
+	}
+	withDelta := overlayStore.Graph()
+
+	compactStore := NewStore(base, StoreOptions{CompactThreshold: -1})
+	defer compactStore.Close()
+	if _, err := compactStore.Apply(batch); err != nil {
+		b.Fatal(err)
+	}
+	if err := compactStore.Compact(); err != nil {
+		b.Fatal(err)
+	}
+	emptyDelta := compactStore.Graph()
+
+	sealed, err := withDelta.Rebuild()
+	if err != nil {
+		b.Fatal(err)
+	}
+
+	for _, tc := range []struct {
+		name string
+		g    *Graph
+	}{
+		{"sealed", sealed},
+		{"empty-delta", emptyDelta},
+		{"with-delta", withDelta},
+	} {
+		b.Run(tc.name, func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				mustEval(b, tc.g, plan, lim)
+			}
+		})
+	}
+}

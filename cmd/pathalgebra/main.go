@@ -19,6 +19,7 @@ import (
 	"fmt"
 	"os"
 	"os/signal"
+	"strings"
 	"time"
 
 	"pathalgebra"
@@ -66,6 +67,8 @@ flags (per command):
   -query  the path query (required for parse/plan/run)
   -graph  JSON graph file (default: the paper's Figure 1 graph)
   -figure1  force the Figure 1 graph
+  -ingest   NDJSON (or .csv) mutation batch applied to the graph before
+            evaluation (add_node/add_edge/del_node/del_edge ops)
   -maxlen   bound recursive path length (0 = unbounded)
   -maxpaths bound result size (0 = default safety net)
   -maxwork  bound materialized node slots (0 = default safety net)
@@ -89,6 +92,7 @@ type queryFlags struct {
 	nodesCSV  *string
 	edgesCSV  *string
 	figure1   *bool
+	ingest    *string
 	maxLen    *int
 	maxPaths  *int
 	maxWork   *int
@@ -109,6 +113,7 @@ func newQueryFlags(name string) *queryFlags {
 		nodesCSV:  fs.String("nodes", "", "node CSV file (with -edges)"),
 		edgesCSV:  fs.String("edges", "", "edge CSV file (with -nodes)"),
 		figure1:   fs.Bool("figure1", false, "use the paper's Figure 1 graph"),
+		ingest:    fs.String("ingest", "", "NDJSON batch file (or .csv) of mutations applied before evaluation"),
 		maxLen:    fs.Int("maxlen", 0, "bound recursive path length"),
 		maxPaths:  fs.Int("maxpaths", 0, "bound result size"),
 		maxWork:   fs.Int("maxwork", 0, "bound materialized node slots"),
@@ -122,6 +127,35 @@ func newQueryFlags(name string) *queryFlags {
 }
 
 func (qf *queryFlags) loadGraph() (*pathalgebra.Graph, error) {
+	g, err := qf.loadBase()
+	if err != nil || *qf.ingest == "" {
+		return g, err
+	}
+	// Apply the batch through a live store and evaluate against the
+	// resulting epoch's view — the CLI analogue of the daemon's /ingest.
+	f, err := os.Open(*qf.ingest)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	var batch pathalgebra.Batch
+	if strings.HasSuffix(*qf.ingest, ".csv") {
+		batch, err = pathalgebra.ReadBatchCSV(f)
+	} else {
+		batch, err = pathalgebra.ReadBatchNDJSON(f)
+	}
+	if err != nil {
+		return nil, err
+	}
+	store := pathalgebra.NewStore(g, pathalgebra.StoreOptions{CompactThreshold: -1})
+	defer store.Close()
+	if _, err := store.Apply(batch); err != nil {
+		return nil, err
+	}
+	return store.Graph(), nil
+}
+
+func (qf *queryFlags) loadBase() (*pathalgebra.Graph, error) {
 	switch {
 	case *qf.nodesCSV != "" || *qf.edgesCSV != "":
 		if *qf.nodesCSV == "" || *qf.edgesCSV == "" {

@@ -16,6 +16,7 @@
 //	POST   /query            start a query        → {"id": "q1", ...}
 //	GET    /query/{id}/next  page results (NDJSON: path lines + trailer)
 //	DELETE /query/{id}       cancel a query
+//	POST   /ingest           apply a mutation batch (NDJSON or text/csv)
 //	GET    /stats            engine + server counters
 //	POST   /explain          plan with estimated vs actual cardinalities
 //	POST   /cache/invalidate drop the result LRU
@@ -77,6 +78,9 @@ func run(args []string, ready chan<- net.Addr) error {
 		queryTimeout = fs.Duration("query-timeout", 0, "per-query evaluation deadline (0 = 60s, negative disables)")
 		cursorTTL    = fs.Duration("cursor-ttl", 0, "idle cursor eviction (0 = 5m, negative disables)")
 		drainTimeout = fs.Duration("drain-timeout", 5*time.Second, "graceful shutdown grace period")
+
+		compactThreshold = fs.Int("compact-threshold", 0,
+			"delta ops before background compaction folds the overlay into a fresh CSR (0 = 4096, negative disables)")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -99,6 +103,8 @@ func run(args []string, ready chan<- net.Addr) error {
 		CacheSize:    *cacheSize,
 		QueryTimeout: *queryTimeout,
 		CursorTTL:    *cursorTTL,
+
+		CompactThreshold: *compactThreshold,
 	})
 	if err != nil {
 		return err

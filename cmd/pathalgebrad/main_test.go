@@ -134,6 +134,79 @@ func TestDaemonSmoke(t *testing.T) {
 	}
 }
 
+// TestDaemonIngestSmoke is the live-graph end-to-end smoke: boot the
+// daemon with a low compaction threshold, ingest a batch over HTTP,
+// verify a query reflects it and /stats reports the epoch, then drain.
+func TestDaemonIngestSmoke(t *testing.T) {
+	base, exit := startDaemon(t, "-figure1", "-compact-threshold", "4")
+
+	// n4 (Apu) has no outgoing Knows edge in Figure 1; ingest one.
+	body := `{"op":"add_node","key":"n8","label":"Person","props":{"name":{"kind":"string","str":"Edna"}}}
+{"op":"add_edge","key":"e12","src":"n4","dst":"n8","label":"Knows"}
+`
+	resp, err := http.Post(base+"/ingest", "application/x-ndjson", bytes.NewReader([]byte(body)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var ir map[string]any
+	if err := json.NewDecoder(resp.Body).Decode(&ir); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK || ir["epoch"] != float64(1) {
+		t.Fatalf("POST /ingest = %d %v", resp.StatusCode, ir)
+	}
+
+	// The query surface sees the delta.
+	_, qr := post(t, base+"/query", `{"query": "MATCH TRAIL p = (?x {name:\"Apu\"})-[:Knows]->(?y)", "max_len": 2}`)
+	id, _ := qr["id"].(string)
+	if id == "" {
+		t.Fatalf("POST /query = %v", qr)
+	}
+	page, err := http.Get(fmt.Sprintf("%s/query/%s/next", base, id))
+	if err != nil {
+		t.Fatal(err)
+	}
+	saw := false
+	sc := bufio.NewScanner(page.Body)
+	for sc.Scan() {
+		if bytes.Contains(sc.Bytes(), []byte(`"e12"`)) {
+			saw = true
+		}
+	}
+	page.Body.Close()
+	if !saw {
+		t.Fatal("query page does not contain the ingested edge e12")
+	}
+
+	// /stats surfaces the store section.
+	stResp, err := http.Get(base + "/stats")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var st map[string]any
+	if err := json.NewDecoder(stResp.Body).Decode(&st); err != nil {
+		t.Fatal(err)
+	}
+	stResp.Body.Close()
+	store, _ := st["store"].(map[string]any)
+	if store == nil || store["epoch"] != float64(1) || store["ingests"] != float64(1) {
+		t.Fatalf("/stats store section = %v", store)
+	}
+
+	if err := syscall.Kill(syscall.Getpid(), syscall.SIGTERM); err != nil {
+		t.Fatal(err)
+	}
+	select {
+	case err := <-exit:
+		if err != nil {
+			t.Fatalf("daemon exit error: %v", err)
+		}
+	case <-time.After(10 * time.Second):
+		t.Fatal("daemon did not drain within 10s of SIGTERM")
+	}
+}
+
 // TestLoadGraphFlags covers the graph-source precedence.
 func TestLoadGraphFlags(t *testing.T) {
 	g, desc, err := loadGraph("", "", "", true, 0)

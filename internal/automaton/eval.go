@@ -297,6 +297,11 @@ func evalSource(g *graph.Graph, c *CompiledNFA, sem core.Semantics, lim core.Lim
 	// The zero Set defers its index allocation until the first Add, so
 	// sources admitting no paths cost no map allocation.
 	sh := &shard{set: new(pathset.Set)}
+	// Tombstoned sources admit nothing — not even the zero-length path an
+	// empty-word-accepting NFA would otherwise seed.
+	if !g.NodeAlive(src) {
+		return sh
+	}
 	a := sc.arena
 	a.Reset()
 	for _, v := range sc.visited {
@@ -537,6 +542,9 @@ type shortestItem struct {
 // other semantics; admitted result paths additionally charge ChargePath.
 func shortestFrom(g *graph.Graph, c *CompiledNFA, src graph.NodeID, maxLen int, bud *core.Budget, result *pathset.Set, sc *shortestScratch, back bool) error {
 	nfa := c.nfa
+	if !g.NodeAlive(src) {
+		return nil
+	}
 	// Phase 1: BFS distances over the product space.
 	clear(sc.dist)
 	dist := sc.dist

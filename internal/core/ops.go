@@ -16,6 +16,9 @@ import (
 func EvalNodes(g *graph.Graph) *pathset.Set {
 	out := pathset.New(g.NumNodes())
 	for i := 0; i < g.NumNodes(); i++ {
+		if !g.NodeAlive(graph.NodeID(i)) {
+			continue
+		}
 		out.Add(path.FromNode(graph.NodeID(i)))
 	}
 	return out
@@ -25,6 +28,9 @@ func EvalNodes(g *graph.Graph) *pathset.Set {
 func EvalEdges(g *graph.Graph) *pathset.Set {
 	out := pathset.New(g.NumEdges())
 	for i := 0; i < g.NumEdges(); i++ {
+		if !g.EdgeAlive(graph.EdgeID(i)) {
+			continue
+		}
 		out.Add(path.FromEdge(g, graph.EdgeID(i)))
 	}
 	return out

@@ -162,28 +162,74 @@ func fingerprintCollisions() int64 {
 // independently race-safe: evaluation budgets are shared atomically
 // across workers and worker results merge before stats are counted.
 type Engine struct {
-	g     *graph.Graph
-	opts  Options
-	stats Stats
+	g    *graph.Graph
+	opts Options
+	// store, when non-nil, makes this a live engine: every public entry
+	// point pins the store's current epoch and evaluates a bound copy of
+	// the engine against that epoch's immutable graph and statistics. A
+	// static engine (store == nil) evaluates e.g directly, exactly as
+	// before the live-graph layer existed.
+	store *graph.Store
+	// epoch is the pinned epoch of a bound copy (and the cache key its
+	// Plan calls use); always 0 on a static engine.
+	epoch uint64
+	// stats is shared by pointer so bound copies account into the same
+	// counters.
+	stats *Stats
 	// collisionBase is the fingerprintCollisions reading at construction
 	// (or last ResetStats); Stats reports the delta since then.
 	collisionBase int64
-	// cm is the cost model over the graph's build-time statistics; it
-	// drives Plan (unless DisablePlanner) and the -explain estimates.
+	// cm is the cost model over the pinned epoch's statistics; it drives
+	// Plan (unless DisablePlanner) and the -explain estimates.
 	cm *opt.CostModel
-	// plans is the LRU plan cache consulted by Plan.
+	// plans is the LRU plan cache consulted by Plan, keyed by
+	// (epoch, plan); shared across bound copies.
 	plans *planCache
 }
 
-// New returns an engine over g with the given options.
+// New returns a static engine over g with the given options.
 func New(g *graph.Graph, opts Options) *Engine {
 	return &Engine{
 		g:             g,
 		opts:          opts,
+		stats:         &Stats{},
 		collisionBase: fingerprintCollisions(),
 		cm:            &opt.CostModel{Stats: g.Stats(), Limits: opts.Limits},
 		plans:         newPlanCache(opts.planCacheSize()),
 	}
+}
+
+// NewWithStore returns a live engine over a store: every Run, RunStream,
+// Explain and Plan pins the store's current epoch for its own duration
+// (RunStream until Stream.Close), so each call sees one consistent graph
+// no matter how many batches apply concurrently, and plans are cached and
+// costed per epoch.
+func NewWithStore(s *graph.Store, opts Options) *Engine {
+	e := New(s.Graph(), opts)
+	e.store = s
+	return e
+}
+
+// releaseNoop is the free release returned by pin on static engines.
+func releaseNoop() {}
+
+// pin returns the engine to evaluate against and a release function. A
+// static engine returns itself; a live engine snapshots the store and
+// returns a bound shallow copy — same options, shared stats and plan
+// cache, but graph, epoch and cost model fixed to the pinned snapshot.
+// The bound copy's store field is nil, so nested public calls made on it
+// do not re-pin.
+func (e *Engine) pin() (*Engine, func()) {
+	if e.store == nil {
+		return e, releaseNoop
+	}
+	sn := e.store.Snapshot()
+	b := *e
+	b.store = nil
+	b.g = sn.Graph()
+	b.epoch = sn.Epoch()
+	b.cm = &opt.CostModel{Stats: b.g.Stats(), Limits: e.opts.Limits}
+	return &b, sn.Release
 }
 
 // CostModel returns the engine's cost model (the graph's build-time
@@ -196,9 +242,18 @@ func (e *Engine) CostModel() *opt.CostModel { return e.cm }
 // when DisablePlanner is set — and memoize the result under the
 // normalized fingerprint of the input plan's canonical rendering.
 func (e *Engine) Plan(x core.PathExpr) (core.PathExpr, []string) {
+	b, release := e.pin()
+	defer release()
+	return b.plan(x)
+}
+
+// plan is Plan on an already-bound engine: the cache key includes the
+// pinned epoch, so plans costed against one epoch's statistics are never
+// replayed against another's.
+func (e *Engine) plan(x core.PathExpr) (core.PathExpr, []string) {
 	key := x.String()
 	fp := planFingerprint(key)
-	if plan, applied, ok := e.plans.get(fp, key); ok {
+	if plan, applied, ok := e.plans.get(e.epoch, fp, key); ok {
 		addStat(&e.stats.PlanCacheHits, 1)
 		return plan, applied
 	}
@@ -209,7 +264,7 @@ func (e *Engine) Plan(x core.PathExpr) (core.PathExpr, []string) {
 	} else {
 		res = opt.Plan(x, e.cm)
 	}
-	e.plans.put(fp, key, res.Plan, res.Applied)
+	e.plans.put(e.epoch, fp, key, res.Plan, res.Applied)
 	return res.Plan, res.Applied
 }
 
@@ -225,12 +280,32 @@ func (e *Engine) Run(x core.PathExpr) (*pathset.Set, error) {
 // errors.Is-able as core.ErrBudgetExceeded, so callers (e.g. an HTTP
 // layer) can map the two failure modes to distinct statuses.
 func (e *Engine) RunCtx(ctx context.Context, x core.PathExpr) (*pathset.Set, error) {
-	plan, _ := e.Plan(x)
-	return e.EvalPathsCtx(ctx, plan)
+	b, release := e.pin()
+	defer release()
+	plan, _ := b.plan(x)
+	return b.evalPathsCtx(ctx, plan)
 }
 
-// Graph returns the engine's graph.
-func (e *Engine) Graph() *graph.Graph { return e.g }
+// Graph returns the engine's graph: the current epoch's view on a live
+// engine, the construction-time graph on a static one.
+func (e *Engine) Graph() *graph.Graph {
+	if e.store != nil {
+		return e.store.Graph()
+	}
+	return e.g
+}
+
+// Epoch returns the engine's current epoch: the store's epoch on a live
+// engine, the pinned epoch on a bound copy, 0 on a static engine.
+func (e *Engine) Epoch() uint64 {
+	if e.store != nil {
+		return e.store.Epoch()
+	}
+	return e.epoch
+}
+
+// Store returns the live engine's store, or nil for a static engine.
+func (e *Engine) Store() *graph.Store { return e.store }
 
 // Parallelism returns the resolved worker count used by the engine's
 // parallelizable operators.
@@ -257,7 +332,7 @@ func addStat(counter *int64, n int64) { atomic.AddInt64(counter, n) }
 
 // ResetStats zeroes the counters.
 func (e *Engine) ResetStats() {
-	e.stats = Stats{}
+	*e.stats = Stats{}
 	e.collisionBase = fingerprintCollisions()
 }
 
@@ -279,8 +354,17 @@ func ctxErr(ctx context.Context) error {
 // EvalPathsCtx is EvalPaths under cooperative cancellation: every
 // operator boundary checks ctx, and the recursive operators (the
 // unbounded-work part of any plan) additionally abort mid-flight via
-// their budget's cancel check.
+// their budget's cancel check. On a live engine the whole evaluation runs
+// against one pinned epoch.
 func (e *Engine) EvalPathsCtx(ctx context.Context, x core.PathExpr) (*pathset.Set, error) {
+	b, release := e.pin()
+	defer release()
+	return b.evalPathsCtx(ctx, x)
+}
+
+// evalPathsCtx is the recursive evaluator body, always running on a
+// bound (or static) engine.
+func (e *Engine) evalPathsCtx(ctx context.Context, x core.PathExpr) (*pathset.Set, error) {
 	if err := ctxErr(ctx); err != nil {
 		return nil, err
 	}
@@ -296,21 +380,21 @@ func (e *Engine) EvalPathsCtx(ctx context.Context, x core.PathExpr) (*pathset.Se
 	case core.Select:
 		return e.evalSelect(ctx, x)
 	case core.Join:
-		l, err := e.EvalPathsCtx(ctx, x.L)
+		l, err := e.evalPathsCtx(ctx, x.L)
 		if err != nil {
 			return nil, err
 		}
-		r, err := e.EvalPathsCtx(ctx, x.R)
+		r, err := e.evalPathsCtx(ctx, x.R)
 		if err != nil {
 			return nil, err
 		}
 		return e.join(l, r), nil
 	case core.Union:
-		l, err := e.EvalPathsCtx(ctx, x.L)
+		l, err := e.evalPathsCtx(ctx, x.L)
 		if err != nil {
 			return nil, err
 		}
-		r, err := e.EvalPathsCtx(ctx, x.R)
+		r, err := e.evalPathsCtx(ctx, x.R)
 		if err != nil {
 			return nil, err
 		}
@@ -329,7 +413,7 @@ func (e *Engine) EvalPathsCtx(ctx context.Context, x core.PathExpr) (*pathset.Se
 				return out, nil
 			}
 		}
-		base, err := e.EvalPathsCtx(ctx, x.In)
+		base, err := e.evalPathsCtx(ctx, x.In)
 		if err != nil {
 			return nil, err
 		}
@@ -340,7 +424,7 @@ func (e *Engine) EvalPathsCtx(ctx context.Context, x core.PathExpr) (*pathset.Se
 		addStat(&e.stats.PathsProduced, int64(out.Len()))
 		return out, nil
 	case core.Restrict:
-		in, err := e.EvalPathsCtx(ctx, x.In)
+		in, err := e.evalPathsCtx(ctx, x.In)
 		if err != nil {
 			return nil, err
 		}
@@ -348,7 +432,7 @@ func (e *Engine) EvalPathsCtx(ctx context.Context, x core.PathExpr) (*pathset.Se
 		addStat(&e.stats.PathsProduced, int64(out.Len()))
 		return out, nil
 	case core.Project:
-		ss, err := e.EvalSpaceCtx(ctx, x.In)
+		ss, err := e.evalSpaceCtx(ctx, x.In)
 		if err != nil {
 			return nil, err
 		}
@@ -369,18 +453,25 @@ func (e *Engine) EvalSpace(x core.SpaceExpr) (*core.SolutionSpace, error) {
 
 // EvalSpaceCtx is EvalSpace under cooperative cancellation.
 func (e *Engine) EvalSpaceCtx(ctx context.Context, x core.SpaceExpr) (*core.SolutionSpace, error) {
+	b, release := e.pin()
+	defer release()
+	return b.evalSpaceCtx(ctx, x)
+}
+
+// evalSpaceCtx is the recursive space-evaluator body on a bound engine.
+func (e *Engine) evalSpaceCtx(ctx context.Context, x core.SpaceExpr) (*core.SolutionSpace, error) {
 	if err := ctxErr(ctx); err != nil {
 		return nil, err
 	}
 	switch x := x.(type) {
 	case core.GroupBy:
-		in, err := e.EvalPathsCtx(ctx, x.In)
+		in, err := e.evalPathsCtx(ctx, x.In)
 		if err != nil {
 			return nil, err
 		}
 		return core.EvalGroupBy(x.Key, in), nil
 	case core.OrderBy:
-		in, err := e.EvalSpaceCtx(ctx, x.In)
+		in, err := e.evalSpaceCtx(ctx, x.In)
 		if err != nil {
 			return nil, err
 		}
@@ -412,7 +503,7 @@ func (e *Engine) evalSelect(ctx context.Context, s core.Select) (*pathset.Set, e
 			return out, nil
 		}
 	}
-	in, err := e.EvalPathsCtx(ctx, s.In)
+	in, err := e.evalPathsCtx(ctx, s.In)
 	if err != nil {
 		return nil, err
 	}
@@ -500,6 +591,9 @@ func (e *Engine) seedNodes(conds []cond.Cond) []graph.NodeID {
 	var seeds []graph.NodeID
 	for n := 0; n < e.g.NumNodes(); n++ {
 		id := graph.NodeID(n)
+		if !e.g.NodeAlive(id) {
+			continue
+		}
 		if c.Eval(e.g, path.FromNode(id)) {
 			seeds = append(seeds, id)
 		}

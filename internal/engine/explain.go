@@ -39,10 +39,18 @@ func (e *Engine) Explain(x core.PathExpr) (*Explain, error) {
 	return e.ExplainCtx(context.Background(), x)
 }
 
-// ExplainCtx is Explain under cooperative cancellation (see RunCtx).
+// ExplainCtx is Explain under cooperative cancellation (see RunCtx). On
+// a live engine the whole explanation — planning, estimates and every
+// operator evaluation — runs against one pinned epoch.
 func (e *Engine) ExplainCtx(ctx context.Context, x core.PathExpr) (*Explain, error) {
+	b, release := e.pin()
+	defer release()
+	return b.explainCtx(ctx, x)
+}
+
+func (e *Engine) explainCtx(ctx context.Context, x core.PathExpr) (*Explain, error) {
 	hitsBefore := atomic.LoadInt64(&e.stats.PlanCacheHits)
-	plan, applied := e.Plan(x)
+	plan, applied := e.plan(x)
 	ex := &Explain{
 		Plan:     plan,
 		Applied:  applied,
@@ -57,7 +65,7 @@ func (e *Engine) ExplainCtx(ctx context.Context, x core.PathExpr) (*Explain, err
 }
 
 func (e *Engine) explainPath(ctx context.Context, x core.PathExpr, depth int, ex *Explain) (*pathset.Set, error) {
-	out, err := e.EvalPathsCtx(ctx, x)
+	out, err := e.evalPathsCtx(ctx, x)
 	if err != nil {
 		return nil, err
 	}
@@ -90,7 +98,7 @@ func (e *Engine) explainPath(ctx context.Context, x core.PathExpr, depth int, ex
 }
 
 func (e *Engine) explainSpace(ctx context.Context, x core.SpaceExpr, depth int, ex *Explain) error {
-	ss, err := e.EvalSpaceCtx(ctx, x)
+	ss, err := e.evalSpaceCtx(ctx, x)
 	if err != nil {
 		return err
 	}

@@ -1,0 +1,147 @@
+package engine
+
+import (
+	"pathalgebra/internal/cond"
+	"pathalgebra/internal/core"
+	"pathalgebra/internal/graph"
+)
+
+// PlanFootprint computes the label footprint of a physical plan: which
+// node and edge label populations the plan's result can depend on. The
+// query service tags cached results with it so ingest batches invalidate
+// only the entries whose plans actually read a touched label
+// (graph.Store.ValidAt).
+//
+// The analysis leans on the store's immutability discipline — node and
+// edge labels and properties never change after creation (the batch ops
+// are add/delete only) — so a subtree's result changes only when the
+// OBJECT POPULATIONS it draws from change. Selections, conditions,
+// grouping and ordering all read attributes of objects the input already
+// supplies, so they add nothing to the input's footprint. The two
+// narrowing shapes the planner itself produces are recognized exactly:
+//
+//	σ[label(edge(1)) = L](Edges(G))  →  edge label L
+//	σ[label(first|last|node(1)) = L](Nodes(G))  →  node label L
+//
+// Everything else is conservative: bare atoms depend on all nodes/edges,
+// unknown operator shapes on everything.
+func PlanFootprint(x core.PathExpr) graph.Footprint {
+	var a fpAcc
+	a.path(x)
+	fp := graph.Footprint{AllNodes: a.allNodes, AllEdges: a.allEdges}
+	for l := range a.nodeLabels {
+		fp.NodeLabels = append(fp.NodeLabels, l)
+	}
+	for l := range a.edgeLabels {
+		fp.EdgeLabels = append(fp.EdgeLabels, l)
+	}
+	return fp.Normalize()
+}
+
+type fpAcc struct {
+	allNodes, allEdges bool
+	nodeLabels         map[string]struct{}
+	edgeLabels         map[string]struct{}
+}
+
+func (a *fpAcc) nodeLabel(l string) {
+	if a.nodeLabels == nil {
+		a.nodeLabels = make(map[string]struct{})
+	}
+	a.nodeLabels[l] = struct{}{}
+}
+
+func (a *fpAcc) edgeLabel(l string) {
+	if a.edgeLabels == nil {
+		a.edgeLabels = make(map[string]struct{})
+	}
+	a.edgeLabels[l] = struct{}{}
+}
+
+func (a *fpAcc) path(x core.PathExpr) {
+	switch x := x.(type) {
+	case core.Nodes:
+		a.allNodes = true
+	case core.Edges:
+		a.allEdges = true
+	case core.Select:
+		if l, ok := edgeLabelSelect(x); ok {
+			a.edgeLabel(l)
+			return
+		}
+		if l, ok := nodeLabelSelect(x); ok {
+			a.nodeLabel(l)
+			return
+		}
+		// A general selection filters its input; labels and properties are
+		// immutable, so the condition adds no dependencies beyond the
+		// input's object populations.
+		a.path(x.In)
+	case core.Join:
+		a.path(x.L)
+		a.path(x.R)
+	case core.Union:
+		a.path(x.L)
+		a.path(x.R)
+	case core.Recurse:
+		// The closure joins paths of the base with themselves; it reads no
+		// graph data beyond what the base draws on (the automaton fast path
+		// walks exactly the base pattern's labels).
+		a.path(x.In)
+	case core.Restrict:
+		a.path(x.In)
+	case core.Project:
+		a.space(x.In)
+	default:
+		a.allNodes = true
+		a.allEdges = true
+	}
+}
+
+func (a *fpAcc) space(x core.SpaceExpr) {
+	switch x := x.(type) {
+	case core.GroupBy:
+		a.path(x.In)
+	case core.OrderBy:
+		a.space(x.In)
+	default:
+		a.allNodes = true
+		a.allEdges = true
+	}
+}
+
+// edgeLabelSelect recognizes σ[label(edge(1)) = L](Edges(G)): the
+// length-one paths over L-labeled edges.
+func edgeLabelSelect(x core.Select) (string, bool) {
+	lc, ok := x.Cond.(cond.LabelCmp)
+	if !ok || lc.Op != cond.EQ || lc.Target.Kind != cond.TargetEdge || lc.Target.Pos != 1 {
+		return "", false
+	}
+	if _, ok := x.In.(core.Edges); !ok {
+		return "", false
+	}
+	return lc.Value, true
+}
+
+// nodeLabelSelect recognizes σ[label(first) = L](Nodes(G)) (and the
+// equivalent last/node(1) spellings over zero-length paths): the
+// zero-length paths at L-labeled nodes.
+func nodeLabelSelect(x core.Select) (string, bool) {
+	lc, ok := x.Cond.(cond.LabelCmp)
+	if !ok || lc.Op != cond.EQ {
+		return "", false
+	}
+	switch lc.Target.Kind {
+	case cond.TargetFirst, cond.TargetLast:
+	case cond.TargetNode:
+		if lc.Target.Pos != 1 {
+			return "", false
+		}
+	default:
+		return "", false
+	}
+	if _, ok := x.In.(core.Nodes); !ok {
+		return "", false
+	}
+	return lc.Value, true
+}

@@ -20,11 +20,18 @@ import (
 // The cache is engine-private and mutex-guarded (lru.Cache): concurrent
 // Plan/Run calls on one engine serialize only the cache probe and the
 // (rare) planning of a cold query, never evaluation.
+//
+// On a live engine the key additionally carries the epoch the plan was
+// costed against (folded into the fingerprint, verified on the entry):
+// the same query text planned at epoch 4 and epoch 7 occupies two slots,
+// so stale-statistics plans are never replayed, and old epochs' entries
+// age out of the LRU naturally as new epochs fill it.
 type planCache struct {
 	entries *lru.Cache[uint64, *planEntry]
 }
 
 type planEntry struct {
+	epoch   uint64
 	key     string
 	plan    core.PathExpr
 	applied []string
@@ -41,16 +48,32 @@ func planFingerprint(key string) uint64 {
 	return h.Sum64()
 }
 
-func (c *planCache) get(fp uint64, key string) (core.PathExpr, []string, bool) {
-	ent, ok := c.entries.Get(fp)
-	if !ok || ent.key != key {
+// epochFp folds an epoch into a plan fingerprint (FNV-64a over the
+// fingerprint's bytes, seeded by the epoch).
+func epochFp(epoch, fp uint64) uint64 {
+	if epoch == 0 {
+		return fp
+	}
+	h := fnv.New64a()
+	var buf [16]byte
+	for i := 0; i < 8; i++ {
+		buf[i] = byte(epoch >> (8 * i))
+		buf[8+i] = byte(fp >> (8 * i))
+	}
+	h.Write(buf[:])
+	return h.Sum64()
+}
+
+func (c *planCache) get(epoch, fp uint64, key string) (core.PathExpr, []string, bool) {
+	ent, ok := c.entries.Get(epochFp(epoch, fp))
+	if !ok || ent.key != key || ent.epoch != epoch {
 		return nil, nil, false
 	}
 	return ent.plan, ent.applied, true
 }
 
-func (c *planCache) put(fp uint64, key string, plan core.PathExpr, applied []string) {
-	c.entries.Put(fp, &planEntry{key: key, plan: plan, applied: applied})
+func (c *planCache) put(epoch, fp uint64, key string, plan core.PathExpr, applied []string) {
+	c.entries.Put(epochFp(epoch, fp), &planEntry{epoch: epoch, key: key, plan: plan, applied: applied})
 }
 
 // Len returns the number of cached plans.

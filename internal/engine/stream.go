@@ -2,8 +2,10 @@ package engine
 
 import (
 	"context"
+	"sync/atomic"
 
 	"pathalgebra/internal/core"
+	"pathalgebra/internal/graph"
 	"pathalgebra/internal/path"
 	"pathalgebra/internal/pathset"
 )
@@ -39,6 +41,15 @@ type Stream struct {
 	set    *pathset.Set  // evaluation result; written before done closes
 	err    error         // evaluation error; written before done closes
 	pos    int           // next unread position into set
+
+	// g/epoch identify the graph view the evaluation ran (or a cached
+	// result was computed) against; on a live engine the stream holds a
+	// pin on that epoch until Close, so compaction can never remap the
+	// IDs inside the stream's paths while a cursor is open.
+	g       *graph.Graph
+	epoch   uint64
+	release func()
+	closed  atomic.Bool
 }
 
 // RunStream plans x like Run and evaluates the chosen plan in a
@@ -57,17 +68,21 @@ type Stream struct {
 // pages for transport, a stable pagination order, and the ability to
 // abandon the evaluation (or the unread tail) at any point.
 func (e *Engine) RunStream(ctx context.Context, x core.PathExpr, o StreamOptions) *Stream {
+	b, release := e.pin()
 	ctx, cancel := context.WithCancel(ctx)
 	s := &Stream{
-		chunk:  o.chunkSize(),
-		cancel: cancel,
-		done:   make(chan struct{}),
+		chunk:   o.chunkSize(),
+		cancel:  cancel,
+		done:    make(chan struct{}),
+		g:       b.g,
+		epoch:   b.epoch,
+		release: release,
 	}
-	plan, _ := e.Plan(x)
+	plan, _ := b.plan(x)
 	go func() {
 		defer close(s.done)
 		defer cancel()
-		s.set, s.err = e.EvalPathsCtx(ctx, plan)
+		s.set, s.err = b.evalPathsCtx(ctx, plan)
 	}()
 	return s
 }
@@ -75,13 +90,16 @@ func (e *Engine) RunStream(ctx context.Context, x core.PathExpr, o StreamOptions
 // StreamOf wraps an already-materialized result set in a Stream paging
 // it in chunks of at most chunkSize (<= 0 selects DefaultChunkSize). The
 // query service uses it to page result-cache hits through the same
-// cursor machinery as live evaluations.
-func StreamOf(set *pathset.Set, chunkSize int) *Stream {
+// cursor machinery as live evaluations; g is the graph view the set was
+// computed against (the view its path IDs must be rendered with).
+func StreamOf(g *graph.Graph, set *pathset.Set, chunkSize int) *Stream {
 	s := &Stream{
-		chunk:  StreamOptions{ChunkSize: chunkSize}.chunkSize(),
-		cancel: func() {},
-		done:   make(chan struct{}),
-		set:    set,
+		chunk:   StreamOptions{ChunkSize: chunkSize}.chunkSize(),
+		cancel:  func() {},
+		done:    make(chan struct{}),
+		set:     set,
+		g:       g,
+		release: releaseNoop,
 	}
 	close(s.done)
 	return s
@@ -113,8 +131,34 @@ func (s *Stream) Next() (*pathset.Set, error) {
 // Cancel aborts the evaluation (all workers stop at their next budget
 // charge) and releases the stream's context resources. Idempotent;
 // harmless after completion — already-delivered chunks stay valid, and
-// the undelivered remainder of a completed result stays readable.
+// the undelivered remainder of a completed result stays readable. Cancel
+// does NOT unpin the stream's epoch; call Close when done with the
+// stream's data.
 func (s *Stream) Cancel() { s.cancel() }
+
+// Close cancels the stream and releases its epoch pin. Idempotent. After
+// Close the already-read chunks stay valid (the graph view is reachable
+// while referenced), but the store may compact the epoch away.
+func (s *Stream) Close() {
+	s.cancel()
+	if s.closed.Swap(true) {
+		return
+	}
+	// Wait for the evaluation goroutine before unpinning: the epoch must
+	// stay pinned while workers still read its graph.
+	<-s.done
+	if s.release != nil {
+		s.release()
+	}
+}
+
+// Graph returns the graph view the stream's paths resolve against — the
+// pinned epoch's view on a live engine. Render result paths with this
+// graph, never with the engine's current one.
+func (s *Stream) Graph() *graph.Graph { return s.g }
+
+// Epoch returns the epoch the stream evaluated against.
+func (s *Stream) Epoch() uint64 { return s.epoch }
 
 // Done returns a channel closed when the evaluation has finished
 // (successfully or not) and its worker goroutines have exited.

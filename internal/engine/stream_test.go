@@ -151,7 +151,7 @@ func TestStreamOf(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	s := StreamOf(want, 3)
+	s := StreamOf(g, want, 3)
 	got := 0
 	for {
 		chunk, err := s.Next()

@@ -1,0 +1,106 @@
+package graph
+
+import (
+	"strings"
+	"testing"
+)
+
+// TestReadBatchNDJSON: the wire format round-trips into ops, blank lines
+// are skipped, and malformed lines fail with their line number.
+func TestReadBatchNDJSON(t *testing.T) {
+	in := `{"op":"add_node","key":"d","label":"Person","props":{"name":{"kind":"string","str":"D"}}}
+
+{"op":"add_edge","key":"cd","src":"c","dst":"d","label":"Knows"}
+{"op":"del_edge","key":"ab"}
+{"op":"del_node","key":"b"}
+`
+	b, err := ReadBatchNDJSON(strings.NewReader(in))
+	if err != nil {
+		t.Fatalf("ReadBatchNDJSON: %v", err)
+	}
+	if len(b.Ops) != 4 {
+		t.Fatalf("len(Ops) = %d, want 4", len(b.Ops))
+	}
+	if b.Ops[0].Kind != OpAddNode || b.Ops[0].Key != "d" || b.Ops[0].Label != "Person" {
+		t.Fatalf("op 0 = %+v", b.Ops[0])
+	}
+	if v, ok := b.Ops[0].Props["name"]; !ok || v.Str() != "D" {
+		t.Fatalf("op 0 props = %+v", b.Ops[0].Props)
+	}
+	if b.Ops[1].Kind != OpAddEdge || b.Ops[1].Src != "c" || b.Ops[1].Dst != "d" {
+		t.Fatalf("op 1 = %+v", b.Ops[1])
+	}
+	if b.Ops[2].Kind != OpDelEdge || b.Ops[3].Kind != OpDelNode {
+		t.Fatalf("ops 2/3 = %+v / %+v", b.Ops[2], b.Ops[3])
+	}
+}
+
+func TestReadBatchNDJSONErrors(t *testing.T) {
+	cases := []struct {
+		name, in, wantSub string
+	}{
+		{"bad json", `{"op":`, "line 1"},
+		{"unknown field", `{"op":"add_node","key":"x","labell":"P"}`, "line 1"},
+		{"unknown op", `{"op":"upsert","key":"x"}`, "unknown op"},
+		{"missing key", `{"op":"add_node","label":"P"}`, "missing key"},
+		{"edge missing endpoints", `{"op":"add_edge","key":"e","label":"L"}`, "missing src or dst"},
+		{"second line", "{\"op\":\"del_node\",\"key\":\"a\"}\n{bad}", "line 2"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			_, err := ReadBatchNDJSON(strings.NewReader(tc.in))
+			if err == nil || !strings.Contains(err.Error(), tc.wantSub) {
+				t.Fatalf("err = %v, want substring %q", err, tc.wantSub)
+			}
+		})
+	}
+}
+
+// TestReadBatchCSV: the fixed-header CSV form parses, and structural
+// errors carry line numbers.
+func TestReadBatchCSV(t *testing.T) {
+	in := `op,key,src,dst,label
+add_node,d,,,Person
+add_edge,cd,c,d,Knows
+del_edge,ab,,,
+`
+	b, err := ReadBatchCSV(strings.NewReader(in))
+	if err != nil {
+		t.Fatalf("ReadBatchCSV: %v", err)
+	}
+	if len(b.Ops) != 3 {
+		t.Fatalf("len(Ops) = %d, want 3", len(b.Ops))
+	}
+	if b.Ops[0].Kind != OpAddNode || b.Ops[0].Label != "Person" {
+		t.Fatalf("op 0 = %+v", b.Ops[0])
+	}
+	if b.Ops[1].Kind != OpAddEdge || b.Ops[1].Src != "c" || b.Ops[1].Dst != "d" {
+		t.Fatalf("op 1 = %+v", b.Ops[1])
+	}
+
+	if _, err := ReadBatchCSV(strings.NewReader("op,key\nx,y\n")); err == nil {
+		t.Fatal("bad header accepted")
+	}
+	if _, err := ReadBatchCSV(strings.NewReader("op,key,src,dst,label\nupsert,x,,,\n")); err == nil || !strings.Contains(err.Error(), "unknown op") {
+		t.Fatalf("unknown op err = %v", err)
+	}
+}
+
+// TestBatchRoundTripThroughStore: a parsed NDJSON batch applies cleanly.
+func TestBatchRoundTripThroughStore(t *testing.T) {
+	in := `{"op":"add_node","key":"d","label":"Person"}
+{"op":"add_edge","key":"cd","src":"c","dst":"d","label":"Knows"}
+`
+	b, err := ReadBatchNDJSON(strings.NewReader(in))
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := NewStore(seedGraph(t), StoreOptions{CompactThreshold: -1})
+	defer s.Close()
+	if _, err := s.Apply(b); err != nil {
+		t.Fatalf("Apply: %v", err)
+	}
+	if s.Graph().LiveNodes() != 4 || s.Graph().LiveEdges() != 4 {
+		t.Fatalf("live = %d/%d", s.Graph().LiveNodes(), s.Graph().LiveEdges())
+	}
+}

@@ -1,0 +1,48 @@
+package graph
+
+import "sort"
+
+// Footprint is the set of graph labels a query plan reads — the unit of
+// result-cache invalidation. A cached result is stale only when a later
+// batch touched a label its plan's footprint covers: a delta on `likes`
+// leaves every cached `knows`-only result hot. AllNodes/AllEdges are the
+// conservative catch-alls for plans that scan unlabelled object space
+// (the Nodes/Edges atoms) — any node (edge) delta invalidates them.
+type Footprint struct {
+	AllNodes   bool
+	AllEdges   bool
+	NodeLabels []string
+	EdgeLabels []string
+}
+
+// Normalize sorts and dedupes the label lists (and drops them when the
+// corresponding catch-all is set), giving footprints a canonical form.
+func (f Footprint) Normalize() Footprint {
+	if f.AllNodes {
+		f.NodeLabels = nil
+	} else {
+		f.NodeLabels = dedupe(f.NodeLabels)
+	}
+	if f.AllEdges {
+		f.EdgeLabels = nil
+	} else {
+		f.EdgeLabels = dedupe(f.EdgeLabels)
+	}
+	return f
+}
+
+func dedupe(in []string) []string {
+	if len(in) == 0 {
+		return nil
+	}
+	out := append([]string(nil), in...)
+	sort.Strings(out)
+	w := 1
+	for i := 1; i < len(out); i++ {
+		if out[i] != out[w-1] {
+			out[w] = out[i]
+			w++
+		}
+	}
+	return out[:w]
+}

@@ -91,23 +91,93 @@ type Graph struct {
 	// stats is the one-pass statistics bundle computed at Build from the
 	// CSR runs; the cost-based planner reads it through Stats().
 	stats *stats.Stats
+
+	// ov, when non-nil, makes this Graph a delta view: an immutable
+	// overlay of appended nodes/edges, tombstones and per-node adjacency
+	// patches over a sealed base epoch (see overlay.go). A sealed graph
+	// has ov == nil and every accessor below takes its original path —
+	// the one extra, perfectly predicted nil check is the entire hot-path
+	// cost of the live-graph layer.
+	ov *overlay
 }
 
-// NumNodes returns |N|.
-func (g *Graph) NumNodes() int { return len(g.nodes) }
+// NumNodes returns the size of the node ID space: 0..NumNodes-1 are valid
+// NodeIDs. On a delta view this includes tombstoned nodes — use NodeAlive
+// to skip them, or LiveNodes for the live count.
+func (g *Graph) NumNodes() int {
+	if g.ov != nil {
+		return len(g.ov.base.nodes) + len(g.ov.extraNodes)
+	}
+	return len(g.nodes)
+}
 
-// NumEdges returns |E|.
-func (g *Graph) NumEdges() int { return len(g.edges) }
+// NumEdges returns the size of the edge ID space (see NumNodes).
+func (g *Graph) NumEdges() int {
+	if g.ov != nil {
+		return len(g.ov.base.edges) + len(g.ov.extraEdges)
+	}
+	return len(g.edges)
+}
+
+// LiveNodes returns the number of live (non-tombstoned) nodes.
+func (g *Graph) LiveNodes() int {
+	if g.ov != nil {
+		return g.ov.liveNodes
+	}
+	return len(g.nodes)
+}
+
+// LiveEdges returns the number of live edges.
+func (g *Graph) LiveEdges() int {
+	if g.ov != nil {
+		return g.ov.liveEdges
+	}
+	return len(g.edges)
+}
+
+// NodeAlive reports whether id is a live node of this view — always true
+// on a sealed graph, false for tombstoned IDs on a delta view. Evaluators
+// iterating the dense ID space must skip dead IDs.
+func (g *Graph) NodeAlive(id NodeID) bool {
+	if g.ov != nil {
+		_, dead := g.ov.deadNodes[id]
+		return !dead
+	}
+	return true
+}
+
+// EdgeAlive is NodeAlive for edges.
+func (g *Graph) EdgeAlive(id EdgeID) bool {
+	if g.ov != nil {
+		_, dead := g.ov.deadEdges[id]
+		return !dead
+	}
+	return true
+}
 
 // Node returns the node with the given ID. It panics if id is out of
-// range, which indicates a path from a different graph.
-func (g *Graph) Node(id NodeID) *Node { return &g.nodes[id] }
+// range, which indicates a path from a different graph. Tombstoned IDs
+// remain addressable (paths pinned to this view never contain them).
+func (g *Graph) Node(id NodeID) *Node {
+	if g.ov != nil {
+		return g.ov.node(id)
+	}
+	return &g.nodes[id]
+}
 
 // Edge returns the edge with the given ID.
-func (g *Graph) Edge(id EdgeID) *Edge { return &g.edges[id] }
+func (g *Graph) Edge(id EdgeID) *Edge {
+	if g.ov != nil {
+		return g.ov.edge(id)
+	}
+	return &g.edges[id]
+}
 
-// NodeByKey looks up a node by its external key.
+// NodeByKey looks up a live node by its external key.
 func (g *Graph) NodeByKey(key string) (*Node, bool) {
+	if g.ov != nil {
+		return g.ov.nodeByKey(key)
+	}
 	id, ok := g.nodeByKey[key]
 	if !ok {
 		return nil, false
@@ -115,8 +185,11 @@ func (g *Graph) NodeByKey(key string) (*Node, bool) {
 	return &g.nodes[id], true
 }
 
-// EdgeByKey looks up an edge by its external key.
+// EdgeByKey looks up a live edge by its external key.
 func (g *Graph) EdgeByKey(key string) (*Edge, bool) {
+	if g.ov != nil {
+		return g.ov.edgeByKey(key)
+	}
 	id, ok := g.edgeByKey[key]
 	if !ok {
 		return nil, false
@@ -124,28 +197,57 @@ func (g *Graph) EdgeByKey(key string) (*Edge, bool) {
 	return &g.edges[id], true
 }
 
-// Nodes returns all nodes in ID order. The slice is shared; do not modify.
-func (g *Graph) Nodes() []Node { return g.nodes }
+// Nodes returns all live nodes in ID order. On a sealed graph the slice
+// is shared (do not modify); a delta view materializes a fresh slice.
+func (g *Graph) Nodes() []Node {
+	if g.ov != nil {
+		return g.ov.liveNodeList()
+	}
+	return g.nodes
+}
 
-// Edges returns all edges in ID order. The slice is shared; do not modify.
-func (g *Graph) Edges() []Edge { return g.edges }
+// Edges returns all live edges in ID order (see Nodes).
+func (g *Graph) Edges() []Edge {
+	if g.ov != nil {
+		return g.ov.liveEdgeList()
+	}
+	return g.edges
+}
 
-// Out returns the IDs of edges leaving n in the CSR order: ascending by
-// (label symbol, edge ID). The slice aliases the CSR data; do not modify.
-func (g *Graph) Out(n NodeID) []EdgeID { return g.outData[g.outOff[n]:g.outOff[n+1]] }
+// Out returns the IDs of live edges leaving n in the CSR order: ascending
+// by (label symbol, edge ID). The slice aliases shared storage; do not
+// modify.
+func (g *Graph) Out(n NodeID) []EdgeID {
+	if g.ov != nil {
+		return g.ov.out(n)
+	}
+	return g.outData[g.outOff[n]:g.outOff[n+1]]
+}
 
-// In returns the IDs of edges entering n in (label symbol, edge ID) order.
-func (g *Graph) In(n NodeID) []EdgeID { return g.inData[g.inOff[n]:g.inOff[n+1]] }
+// In returns the IDs of live edges entering n in (label symbol, edge ID)
+// order.
+func (g *Graph) In(n NodeID) []EdgeID {
+	if g.ov != nil {
+		return g.ov.in(n)
+	}
+	return g.inData[g.inOff[n]:g.inOff[n+1]]
+}
 
 // OutRuns returns n's outgoing adjacency partitioned into label-homogeneous
 // runs, symbols ascending. The slice is shared; do not modify.
 func (g *Graph) OutRuns(n NodeID) []SymbolRun {
+	if g.ov != nil {
+		return g.ov.outRuns(n)
+	}
 	return g.outRuns[g.outRunOff[n]:g.outRunOff[n+1]]
 }
 
 // InRuns returns n's incoming adjacency partitioned into label-homogeneous
 // runs, symbols ascending.
 func (g *Graph) InRuns(n NodeID) []SymbolRun {
+	if g.ov != nil {
+		return g.ov.inRuns(n)
+	}
 	return g.inRuns[g.inRunOff[n]:g.inRunOff[n+1]]
 }
 
@@ -154,11 +256,17 @@ func (g *Graph) InRuns(n NodeID) []SymbolRun {
 // It binary-searches n's runs (symbols are ascending), so the cost is
 // O(log runs(n)) and no non-matching edge is ever touched.
 func (g *Graph) OutWithSymbol(n NodeID, sym SymbolID) []EdgeID {
+	if g.ov != nil {
+		return findRun(g.ov.outRuns(n), sym)
+	}
 	return findRun(g.outRuns[g.outRunOff[n]:g.outRunOff[n+1]], sym)
 }
 
 // InWithSymbol is OutWithSymbol for incoming edges.
 func (g *Graph) InWithSymbol(n NodeID, sym SymbolID) []EdgeID {
+	if g.ov != nil {
+		return findRun(g.ov.inRuns(n), sym)
+	}
 	return findRun(g.inRuns[g.inRunOff[n]:g.inRunOff[n+1]], sym)
 }
 
@@ -178,15 +286,35 @@ func findRun(runs []SymbolRun, sym SymbolID) []EdgeID {
 	return nil
 }
 
-// NumSymbols returns the size of the edge-label symbol table.
-func (g *Graph) NumSymbols() int { return len(g.symbols) }
+// NumSymbols returns the size of the edge-label symbol table. A delta
+// view shares its base's symbol table: a batch introducing a label unseen
+// by the sealed epoch forces a compaction (see Store.Apply), so the
+// lexicographic symbol order the CSR discovery order depends on is never
+// perturbed by an overlay.
+func (g *Graph) NumSymbols() int {
+	if g.ov != nil {
+		return len(g.ov.base.symbols)
+	}
+	return len(g.symbols)
+}
 
 // SymbolName returns the label string interned as sym.
-func (g *Graph) SymbolName(sym SymbolID) string { return g.symbols[sym] }
+func (g *Graph) SymbolName(sym SymbolID) string {
+	if g.ov != nil {
+		return g.ov.base.symbols[sym]
+	}
+	return g.symbols[sym]
+}
 
 // SymbolOf returns the symbol interned for label, or NoSymbol when no edge
 // carries it.
 func (g *Graph) SymbolOf(label string) SymbolID {
+	if g.ov != nil {
+		if sym, ok := g.ov.base.symbolOf[label]; ok {
+			return sym
+		}
+		return NoSymbol
+	}
 	if sym, ok := g.symbolOf[label]; ok {
 		return sym
 	}
@@ -194,43 +322,82 @@ func (g *Graph) SymbolOf(label string) SymbolID {
 }
 
 // EdgeSymbol returns the interned label symbol of edge e.
-func (g *Graph) EdgeSymbol(e EdgeID) SymbolID { return g.edgeSym[e] }
+func (g *Graph) EdgeSymbol(e EdgeID) SymbolID {
+	if g.ov != nil {
+		return g.ov.edgeSymbol(e)
+	}
+	return g.edgeSym[e]
+}
 
-// NodesWithLabel returns node IDs labelled l, ascending.
-func (g *Graph) NodesWithLabel(l string) []NodeID { return g.nodesByLabel[l] }
+// NodesWithLabel returns live node IDs labelled l, ascending.
+func (g *Graph) NodesWithLabel(l string) []NodeID {
+	if g.ov != nil {
+		return g.ov.nodesWithLabel(l)
+	}
+	return g.nodesByLabel[l]
+}
 
-// EdgesWithLabel returns edge IDs labelled l, ascending.
-func (g *Graph) EdgesWithLabel(l string) []EdgeID { return g.edgesByLabel[l] }
+// EdgesWithLabel returns live edge IDs labelled l, ascending.
+func (g *Graph) EdgesWithLabel(l string) []EdgeID {
+	if g.ov != nil {
+		return g.ov.edgesWithLabel(l)
+	}
+	return g.edgesByLabel[l]
+}
 
 // NodeLabel implements λ for nodes; returns "" when unlabelled.
-func (g *Graph) NodeLabel(id NodeID) string { return g.nodes[id].Label }
+func (g *Graph) NodeLabel(id NodeID) string {
+	if g.ov != nil {
+		return g.ov.node(id).Label
+	}
+	return g.nodes[id].Label
+}
 
 // EdgeLabel implements λ for edges; returns "" when unlabelled.
-func (g *Graph) EdgeLabel(id EdgeID) string { return g.edges[id].Label }
+func (g *Graph) EdgeLabel(id EdgeID) string {
+	if g.ov != nil {
+		return g.ov.edge(id).Label
+	}
+	return g.edges[id].Label
+}
 
 // NodeProp implements ν for nodes; returns Null when undefined.
 func (g *Graph) NodeProp(id NodeID, prop string) Value {
+	if g.ov != nil {
+		return g.ov.node(id).Props[prop]
+	}
 	return g.nodes[id].Props[prop]
 }
 
 // EdgeProp implements ν for edges; returns Null when undefined.
 func (g *Graph) EdgeProp(id EdgeID, prop string) Value {
+	if g.ov != nil {
+		return g.ov.edge(id).Props[prop]
+	}
 	return g.edges[id].Props[prop]
 }
 
 // Endpoints implements ρ.
 func (g *Graph) Endpoints(id EdgeID) (src, dst NodeID) {
+	if g.ov != nil {
+		e := g.ov.edge(id)
+		return e.Src, e.Dst
+	}
 	e := &g.edges[id]
 	return e.Src, e.Dst
 }
 
-// Labels returns the sorted set of all labels used by nodes and edges.
+// Labels returns the sorted set of all labels used by live nodes and edges.
 func (g *Graph) Labels() []string {
-	seen := make(map[string]bool, len(g.nodesByLabel)+len(g.edgesByLabel))
-	for l := range g.nodesByLabel {
+	nbl, ebl := g.nodesByLabel, g.edgesByLabel
+	if g.ov != nil {
+		nbl, ebl = g.ov.labelSets()
+	}
+	seen := make(map[string]bool, len(nbl)+len(ebl))
+	for l := range nbl {
 		seen[l] = true
 	}
-	for l := range g.edgesByLabel {
+	for l := range ebl {
 		seen[l] = true
 	}
 	out := make([]string, 0, len(seen))
@@ -267,9 +434,9 @@ func NewBuilder() *Builder {
 func (b *Builder) AddNode(key, label string, props map[string]Value) NodeID {
 	if b.err == nil {
 		if _, dup := b.nodeByKey[key]; dup {
-			b.err = fmt.Errorf("graph: duplicate node key %q", key)
+			b.err = fmt.Errorf("graph: duplicate node key %q: %w", key, ErrDuplicateKey)
 		} else if _, dup := b.edgeByKey[key]; dup {
-			b.err = fmt.Errorf("graph: key %q used by both a node and an edge", key)
+			b.err = fmt.Errorf("graph: key %q used by both a node and an edge: %w", key, ErrDuplicateKey)
 		}
 	}
 	id := NodeID(len(b.nodes))
@@ -285,14 +452,14 @@ func (b *Builder) AddEdge(key, srcKey, dstKey, label string, props map[string]Va
 	if b.err == nil {
 		switch {
 		case !okSrc:
-			b.err = fmt.Errorf("graph: edge %q references unknown source node %q", key, srcKey)
+			b.err = fmt.Errorf("graph: edge %q references unknown source node %q: %w", key, srcKey, ErrUnknownNode)
 		case !okDst:
-			b.err = fmt.Errorf("graph: edge %q references unknown target node %q", key, dstKey)
+			b.err = fmt.Errorf("graph: edge %q references unknown target node %q: %w", key, dstKey, ErrUnknownNode)
 		}
 		if _, dup := b.edgeByKey[key]; dup {
-			b.err = fmt.Errorf("graph: duplicate edge key %q", key)
+			b.err = fmt.Errorf("graph: duplicate edge key %q: %w", key, ErrDuplicateKey)
 		} else if _, dup := b.nodeByKey[key]; dup {
-			b.err = fmt.Errorf("graph: key %q used by both a node and an edge", key)
+			b.err = fmt.Errorf("graph: key %q used by both a node and an edge: %w", key, ErrDuplicateKey)
 		}
 	}
 	id := EdgeID(len(b.edges))
@@ -384,7 +551,12 @@ func (g *Graph) buildStats() {
 }
 
 // Stats returns the graph's statistics bundle, computed once at Build.
-func (g *Graph) Stats() *stats.Stats { return g.stats }
+func (g *Graph) Stats() *stats.Stats {
+	if g.ov != nil {
+		return g.ov.stats
+	}
+	return g.stats
+}
 
 // buildSymbols interns the distinct edge labels (including "" for
 // unlabelled edges, since λ is partial) in lexicographic order.

@@ -1,0 +1,634 @@
+package graph
+
+import (
+	"fmt"
+	"sync"
+	"sync/atomic"
+)
+
+// Store is the mutable home of a live graph: a sequence of immutable
+// epochs, each a *Graph (sealed CSR or delta view), swapped atomically as
+// batches apply. Readers pin an epoch with Snapshot and evaluate against
+// it unchanged — the automaton/core/arena read path never learns the
+// graph is live — while a single writer applies batches and a compactor
+// folds accumulated deltas back into a fresh sealed CSR.
+//
+// Epoch numbering is logical: epoch N is the state after N applied
+// batches. Compaction is a physical swap — it replaces the delta view
+// with an equivalent sealed graph under the same epoch number, so cached
+// results and cursors keyed by epoch stay valid across it.
+type Store struct {
+	mu   sync.Mutex // serializes writers: Apply, Compact
+	cur  atomic.Pointer[epochState]
+	opts StoreOptions
+
+	// Advisory epoch registry for observability: every published state,
+	// pruned when unpinned and superseded. Metrics only — snapshot
+	// safety comes from the GC, not from this map.
+	regMu sync.Mutex
+	reg   map[*epochState]struct{}
+
+	compactions atomic.Uint64
+
+	compactCh chan struct{}
+	stopOnce  sync.Once
+	stopCh    chan struct{}
+	doneCh    chan struct{}
+}
+
+// StoreOptions tunes a Store.
+type StoreOptions struct {
+	// CompactThreshold is the delta size (appended objects + tombstones)
+	// at which the store compacts the overlay into a fresh sealed CSR.
+	// 0 selects DefaultCompactThreshold; negative disables automatic
+	// compaction (Compact can still be called explicitly).
+	CompactThreshold int
+	// SyncCompact folds the delta inline in Apply when the threshold is
+	// reached instead of handing it to the background compactor —
+	// deterministic, for tests and single-shot CLI use.
+	SyncCompact bool
+}
+
+// DefaultCompactThreshold is the delta size that triggers compaction when
+// StoreOptions.CompactThreshold is zero.
+const DefaultCompactThreshold = 4096
+
+// epochState is one published epoch: immutable after publish except for
+// its pin count.
+type epochState struct {
+	epoch uint64
+	g     *Graph
+	clock *labelClock
+	pins  atomic.Int64
+}
+
+// NewStore wraps a sealed graph as epoch 0 of a live store. The graph
+// must not be mutated afterwards (graphs built by Build never are).
+func NewStore(g *Graph, opts StoreOptions) *Store {
+	if opts.CompactThreshold == 0 {
+		opts.CompactThreshold = DefaultCompactThreshold
+	}
+	s := &Store{
+		opts:   opts,
+		reg:    make(map[*epochState]struct{}),
+		stopCh: make(chan struct{}),
+		doneCh: make(chan struct{}),
+	}
+	st := &epochState{epoch: 0, g: g, clock: newLabelClock()}
+	s.cur.Store(st)
+	s.reg[st] = struct{}{}
+	if opts.CompactThreshold > 0 && !opts.SyncCompact {
+		s.compactCh = make(chan struct{}, 1)
+		go s.compactor()
+	} else {
+		close(s.doneCh)
+	}
+	return s
+}
+
+// Close stops the background compactor. Snapshots stay usable.
+func (s *Store) Close() {
+	s.stopOnce.Do(func() { close(s.stopCh) })
+	<-s.doneCh
+}
+
+func (s *Store) compactor() {
+	defer close(s.doneCh)
+	for {
+		select {
+		case <-s.stopCh:
+			return
+		case <-s.compactCh:
+			// Ignore the (never-expected) rebuild error: the overlay it
+			// folds was itself validated at Apply time, and leaving the
+			// delta in place is always safe.
+			_ = s.Compact()
+		}
+	}
+}
+
+// Snapshot pins the current epoch and returns a handle to it. The caller
+// must Release it; in the meantime the epoch's graph is immutable no
+// matter how many batches apply or compactions run.
+func (s *Store) Snapshot() *Snapshot {
+	st := s.cur.Load()
+	st.pins.Add(1)
+	return &Snapshot{store: s, st: st}
+}
+
+// Snapshot is a pinned, immutable epoch handle.
+type Snapshot struct {
+	store    *Store
+	st       *epochState
+	released atomic.Bool
+}
+
+// Graph returns the epoch's graph view.
+func (sn *Snapshot) Graph() *Graph { return sn.st.g }
+
+// Epoch returns the epoch number.
+func (sn *Snapshot) Epoch() uint64 { return sn.st.epoch }
+
+// Release unpins the epoch. Idempotent.
+func (sn *Snapshot) Release() {
+	if sn.released.Swap(true) {
+		return
+	}
+	if sn.st.pins.Add(-1) == 0 && sn.store.cur.Load() != sn.st {
+		sn.store.prune(sn.st)
+	}
+}
+
+func (s *Store) prune(st *epochState) {
+	s.regMu.Lock()
+	if st.pins.Load() == 0 && s.cur.Load() != st {
+		delete(s.reg, st)
+	}
+	s.regMu.Unlock()
+}
+
+func (s *Store) publishLocked(st *epochState) {
+	prev := s.cur.Load()
+	s.regMu.Lock()
+	s.reg[st] = struct{}{}
+	s.cur.Store(st)
+	if prev != nil && prev.pins.Load() == 0 {
+		delete(s.reg, prev)
+	}
+	s.regMu.Unlock()
+}
+
+// Epoch returns the current epoch number.
+func (s *Store) Epoch() uint64 { return s.cur.Load().epoch }
+
+// Graph returns the current epoch's graph without pinning it — for
+// one-shot reads where a torn epoch does not matter. Use Snapshot for
+// evaluation.
+func (s *Store) Graph() *Graph { return s.cur.Load().g }
+
+// DeltaSize returns the current epoch's delta record count (appended
+// objects plus tombstones); 0 when sealed.
+func (s *Store) DeltaSize() int {
+	if g := s.cur.Load().g; g.ov != nil {
+		return g.ov.deltaSize()
+	}
+	return 0
+}
+
+// DeltaCounts returns the appended/tombstoned node and edge counts of the
+// current epoch's overlay.
+func (s *Store) DeltaCounts() (addedNodes, addedEdges, deadNodes, deadEdges int) {
+	if g := s.cur.Load().g; g.ov != nil {
+		ov := g.ov
+		return len(ov.extraNodes), len(ov.extraEdges), len(ov.deadNodes), len(ov.deadEdges)
+	}
+	return 0, 0, 0, 0
+}
+
+// Compactions returns the number of compactions performed (inline reseals
+// for unseen labels included).
+func (s *Store) Compactions() uint64 { return s.compactions.Load() }
+
+// LiveEpochs returns the number of distinct epoch states still reachable
+// (current or pinned) and the total pin count — advisory metrics.
+func (s *Store) LiveEpochs() (states int, pins int64) {
+	s.regMu.Lock()
+	defer s.regMu.Unlock()
+	for st := range s.reg {
+		states++
+		pins += st.pins.Load()
+	}
+	return states, pins
+}
+
+// ValidAt reports whether a result computed at the given epoch with the
+// given label footprint is still current: no later batch touched any
+// label the footprint reads.
+func (s *Store) ValidAt(fp Footprint, epoch uint64) bool {
+	return s.cur.Load().clock.validAt(fp, epoch)
+}
+
+// Compact folds the current delta view into a fresh sealed CSR under the
+// same epoch number. No-op when already sealed.
+func (s *Store) Compact() error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.compactLocked()
+}
+
+func (s *Store) compactLocked() error {
+	cur := s.cur.Load()
+	if cur.g.ov == nil {
+		return nil
+	}
+	g, err := cur.g.Rebuild()
+	if err != nil {
+		return err
+	}
+	s.publishLocked(&epochState{epoch: cur.epoch, g: g, clock: cur.clock})
+	s.compactions.Add(1)
+	return nil
+}
+
+// Apply applies one batch atomically and publishes the next epoch. On
+// error nothing is published and the error wraps one of the typed
+// sentinels (ErrDuplicateKey, ErrUnknownNode, ErrUnknownKey). A batch
+// whose edge labels are all known to the sealed base extends the overlay
+// in O(delta); a batch introducing an unseen edge label reseals inline
+// (the lexicographic symbol order the CSR depends on cannot absorb a new
+// symbol without perturbing discovery order).
+func (s *Store) Apply(b Batch) (uint64, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+
+	cur := s.cur.Load()
+	prevG := cur.g
+	ov := overlayFor(prevG).clone()
+
+	eff, err := ov.applyOps(b)
+	if err != nil {
+		return cur.epoch, err
+	}
+	epoch := cur.epoch + 1
+	clock := cur.clock.advance(eff, epoch)
+
+	var g *Graph
+	if eff.newLabel {
+		// Reseal: the overlay's live lists are valid even though its
+		// patches and stats were skipped — rebuild from them.
+		g, err = (&Graph{ov: ov}).Rebuild()
+		if err != nil {
+			return cur.epoch, err
+		}
+		s.compactions.Add(1)
+	} else {
+		ov.finalize(prevG, eff)
+		g = &Graph{ov: ov}
+	}
+	s.publishLocked(&epochState{epoch: epoch, g: g, clock: clock})
+
+	if g.ov != nil && s.opts.CompactThreshold > 0 && g.ov.deltaSize() >= s.opts.CompactThreshold {
+		if s.opts.SyncCompact {
+			if err := s.compactLocked(); err != nil {
+				return epoch, err
+			}
+		} else if s.compactCh != nil {
+			select {
+			case s.compactCh <- struct{}{}:
+			default: // a compaction is already queued
+			}
+		}
+	}
+	return epoch, nil
+}
+
+func overlayFor(g *Graph) *overlay {
+	if g.ov != nil {
+		return g.ov
+	}
+	return emptyOverlay(g)
+}
+
+// Rebuild folds a delta view into a fresh sealed Graph by replaying the
+// live nodes and edges, in ID order, through a Builder — the same code
+// path as a from-scratch build, so the result is bit-for-bit what Build
+// would produce over the live object sequence. Returns the receiver when
+// already sealed.
+func (g *Graph) Rebuild() (*Graph, error) {
+	if g.ov == nil {
+		return g, nil
+	}
+	b := NewBuilder()
+	for _, n := range g.Nodes() {
+		b.AddNode(n.Key, n.Label, n.Props)
+	}
+	for _, e := range g.Edges() {
+		b.AddEdge(e.Key, g.Node(e.Src).Key, g.Node(e.Dst).Key, e.Label, e.Props)
+	}
+	return b.Build()
+}
+
+// effects accumulates what one batch touched, for patch finalization,
+// stats maintenance and the label clock.
+type effects struct {
+	touchedOut map[NodeID]struct{}
+	touchedIn  map[NodeID]struct{}
+
+	nodeLabelDelta map[string]int
+	edgeLabelDelta map[string]int
+
+	anyNode, anyEdge bool
+	newLabel         bool
+}
+
+func newEffects() *effects {
+	return &effects{
+		touchedOut:     map[NodeID]struct{}{},
+		touchedIn:      map[NodeID]struct{}{},
+		nodeLabelDelta: map[string]int{},
+		edgeLabelDelta: map[string]int{},
+	}
+}
+
+// applyOps applies the batch's operations, in order, to the (private,
+// pre-publish) overlay clone: object and key bookkeeping only — adjacency
+// patches, label indexes and statistics are deferred to finalize so a
+// failed op leaves nothing to unwind. Mid-batch reads therefore go
+// through the key maps and liveIncident, never through the stale patches.
+func (ov *overlay) applyOps(b Batch) (*effects, error) {
+	eff := newEffects()
+	for i, op := range b.Ops {
+		var err error
+		switch op.Kind {
+		case OpAddNode:
+			err = ov.applyAddNode(op, eff)
+		case OpAddEdge:
+			err = ov.applyAddEdge(op, eff)
+		case OpDelNode:
+			err = ov.applyDelNode(op, eff)
+		case OpDelEdge:
+			err = ov.applyDelEdge(op, eff)
+		default:
+			err = fmt.Errorf("graph: unknown op kind %d", op.Kind)
+		}
+		if err != nil {
+			return nil, fmt.Errorf("graph: batch op %d: %w", i, err)
+		}
+	}
+	return eff, nil
+}
+
+func (ov *overlay) keyInUse(key string) bool {
+	if _, ok := ov.nodeByKey(key); ok {
+		return true
+	}
+	_, ok := ov.edgeByKey(key)
+	return ok
+}
+
+func (ov *overlay) applyAddNode(op Op, eff *effects) error {
+	if ov.keyInUse(op.Key) {
+		return fmt.Errorf("add_node %q: %w", op.Key, ErrDuplicateKey)
+	}
+	id := NodeID(len(ov.base.nodes) + len(ov.extraNodes))
+	ov.extraNodes = append(ov.extraNodes, Node{
+		ID: id, Key: op.Key, Label: op.Label, Props: cloneProps(op.Props),
+	})
+	ov.addedNodeKeys[op.Key] = id
+	ov.liveNodes++
+	eff.nodeLabelDelta[op.Label]++
+	eff.anyNode = true
+	return nil
+}
+
+func (ov *overlay) applyAddEdge(op Op, eff *effects) error {
+	if ov.keyInUse(op.Key) {
+		return fmt.Errorf("add_edge %q: %w", op.Key, ErrDuplicateKey)
+	}
+	src, okSrc := ov.nodeByKey(op.Src)
+	if !okSrc {
+		return fmt.Errorf("add_edge %q: source %q: %w", op.Key, op.Src, ErrUnknownNode)
+	}
+	dst, okDst := ov.nodeByKey(op.Dst)
+	if !okDst {
+		return fmt.Errorf("add_edge %q: target %q: %w", op.Key, op.Dst, ErrUnknownNode)
+	}
+	sym := SymbolID(NoSymbol)
+	if s, ok := ov.base.symbolOf[op.Label]; ok {
+		sym = s
+	} else {
+		eff.newLabel = true // forces an inline reseal; sym stays NoSymbol
+	}
+	id := EdgeID(len(ov.base.edges) + len(ov.extraEdges))
+	ov.extraEdges = append(ov.extraEdges, Edge{
+		ID: id, Key: op.Key, Src: src.ID, Dst: dst.ID, Label: op.Label, Props: cloneProps(op.Props),
+	})
+	ov.extraEdgeSym = append(ov.extraEdgeSym, sym)
+	ov.addedEdgeKeys[op.Key] = id
+	ov.liveEdges++
+	eff.edgeLabelDelta[op.Label]++
+	eff.touchedOut[src.ID] = struct{}{}
+	eff.touchedIn[dst.ID] = struct{}{}
+	eff.anyEdge = true
+	return nil
+}
+
+func (ov *overlay) applyDelNode(op Op, eff *effects) error {
+	n, ok := ov.nodeByKey(op.Key)
+	if !ok {
+		return fmt.Errorf("del_node %q: %w", op.Key, ErrUnknownKey)
+	}
+	// Cascade: every live incident edge dies with its endpoint.
+	for _, e := range ov.liveIncident(n.ID) {
+		ov.killEdge(e, eff)
+	}
+	ov.deadNodes[n.ID] = struct{}{}
+	if _, added := ov.addedNodeKeys[op.Key]; added {
+		delete(ov.addedNodeKeys, op.Key)
+	}
+	if _, inBase := ov.base.nodeByKey[op.Key]; inBase {
+		ov.deadNodeKeys[op.Key] = struct{}{}
+	}
+	ov.liveNodes--
+	eff.nodeLabelDelta[n.Label]--
+	eff.anyNode = true
+	eff.touchedOut[n.ID] = struct{}{}
+	eff.touchedIn[n.ID] = struct{}{}
+	return nil
+}
+
+func (ov *overlay) applyDelEdge(op Op, eff *effects) error {
+	e, ok := ov.edgeByKey(op.Key)
+	if !ok {
+		return fmt.Errorf("del_edge %q: %w", op.Key, ErrUnknownKey)
+	}
+	ov.killEdge(e.ID, eff)
+	return nil
+}
+
+func (ov *overlay) killEdge(id EdgeID, eff *effects) {
+	e := ov.edge(id)
+	ov.deadEdges[id] = struct{}{}
+	if _, added := ov.addedEdgeKeys[e.Key]; added {
+		delete(ov.addedEdgeKeys, e.Key)
+	}
+	if _, inBase := ov.base.edgeByKey[e.Key]; inBase {
+		ov.deadEdgeKeys[e.Key] = struct{}{}
+	}
+	ov.liveEdges--
+	eff.edgeLabelDelta[e.Label]--
+	eff.touchedOut[e.Src] = struct{}{}
+	eff.touchedIn[e.Dst] = struct{}{}
+	eff.anyEdge = true
+}
+
+// liveIncident returns the live edges incident to n (out and in, deduped
+// for self-loops), reading the base CSR and the extra-edge list directly
+// so it stays correct mid-batch while patches are stale.
+func (ov *overlay) liveIncident(n NodeID) []EdgeID {
+	var out []EdgeID
+	seen := map[EdgeID]struct{}{}
+	add := func(e EdgeID) {
+		if _, dead := ov.deadEdges[e]; dead {
+			return
+		}
+		if _, dup := seen[e]; dup {
+			return
+		}
+		seen[e] = struct{}{}
+		out = append(out, e)
+	}
+	if int(n) < len(ov.base.nodes) {
+		g := ov.base
+		for _, e := range g.outData[g.outOff[n]:g.outOff[n+1]] {
+			add(e)
+		}
+		for _, e := range g.inData[g.inOff[n]:g.inOff[n+1]] {
+			add(e)
+		}
+	}
+	for i := range ov.extraEdges {
+		e := &ov.extraEdges[i]
+		if e.Src == n || e.Dst == n {
+			add(e.ID)
+		}
+	}
+	return out
+}
+
+// finalize rematerializes the adjacency patches, label indexes and
+// statistics the batch invalidated. prevG is the previously published
+// view — the source of the old degrees the incremental stats cancel.
+func (ov *overlay) finalize(prevG *Graph, eff *effects) {
+	prevNodes := prevG.NumNodes()
+	for n := range eff.touchedOut {
+		var oldRuns []SymbolRun
+		if int(n) < prevNodes {
+			oldRuns = prevG.OutRuns(n)
+		}
+		adj := ov.rebuildAdj(n, true)
+		ov.outPatch[n] = adj
+		diffRuns(oldRuns, adj.runs, ov.stats.UpdateOutDegree)
+		ov.stats.UpdateAnyOut(totalDeg(oldRuns), len(adj.data))
+	}
+	for n := range eff.touchedIn {
+		var oldRuns []SymbolRun
+		if int(n) < prevNodes {
+			oldRuns = prevG.InRuns(n)
+		}
+		adj := ov.rebuildAdj(n, false)
+		ov.inPatch[n] = adj
+		diffRuns(oldRuns, adj.runs, ov.stats.UpdateInDegree)
+		ov.stats.UpdateAnyIn(totalDeg(oldRuns), len(adj.data))
+	}
+	for l, d := range eff.nodeLabelDelta {
+		if d != 0 {
+			ov.stats.AdjustNodeLabel(l, d)
+		}
+		ov.patchNodeLabel(l)
+	}
+	for l, d := range eff.edgeLabelDelta {
+		if d != 0 {
+			ov.stats.AdjustEdgeLabel(l, d)
+		}
+		ov.patchEdgeLabel(l)
+	}
+	ov.stats.SetCounts(ov.liveNodes, ov.liveEdges)
+}
+
+func totalDeg(runs []SymbolRun) int {
+	n := 0
+	for _, r := range runs {
+		n += len(r.Edges)
+	}
+	return n
+}
+
+// diffRuns walks two symbol-ascending run lists and reports each symbol
+// whose degree changed.
+func diffRuns(old, upd []SymbolRun, update func(sym, oldDeg, newDeg int)) {
+	i, j := 0, 0
+	for i < len(old) || j < len(upd) {
+		switch {
+		case j >= len(upd) || (i < len(old) && old[i].Sym < upd[j].Sym):
+			update(int(old[i].Sym), len(old[i].Edges), 0)
+			i++
+		case i >= len(old) || upd[j].Sym < old[i].Sym:
+			update(int(upd[j].Sym), 0, len(upd[j].Edges))
+			j++
+		default:
+			if len(old[i].Edges) != len(upd[j].Edges) {
+				update(int(old[i].Sym), len(old[i].Edges), len(upd[j].Edges))
+			}
+			i++
+			j++
+		}
+	}
+}
+
+// labelClock is the immutable invalidation clock one epoch publishes:
+// per-label last-modified epochs plus catch-all any-node/any-edge marks.
+// A cached result with footprint fp computed at epoch e is current iff
+// every label fp reads was last modified at or before e.
+type labelClock struct {
+	anyNode, anyEdge uint64
+	nodeLabels       map[string]uint64
+	edgeLabels       map[string]uint64
+}
+
+func newLabelClock() *labelClock {
+	return &labelClock{
+		nodeLabels: map[string]uint64{},
+		edgeLabels: map[string]uint64{},
+	}
+}
+
+// advance returns a new clock with the batch's touched labels stamped at
+// epoch. The receiver is not modified (prior epochs keep their clocks).
+func (c *labelClock) advance(eff *effects, epoch uint64) *labelClock {
+	nc := &labelClock{
+		anyNode:    c.anyNode,
+		anyEdge:    c.anyEdge,
+		nodeLabels: make(map[string]uint64, len(c.nodeLabels)+len(eff.nodeLabelDelta)),
+		edgeLabels: make(map[string]uint64, len(c.edgeLabels)+len(eff.edgeLabelDelta)),
+	}
+	for l, e := range c.nodeLabels {
+		nc.nodeLabels[l] = e
+	}
+	for l, e := range c.edgeLabels {
+		nc.edgeLabels[l] = e
+	}
+	if eff.anyNode {
+		nc.anyNode = epoch
+	}
+	if eff.anyEdge {
+		nc.anyEdge = epoch
+	}
+	for l := range eff.nodeLabelDelta {
+		nc.nodeLabels[l] = epoch
+	}
+	for l := range eff.edgeLabelDelta {
+		nc.edgeLabels[l] = epoch
+	}
+	return nc
+}
+
+func (c *labelClock) validAt(fp Footprint, epoch uint64) bool {
+	if fp.AllNodes && c.anyNode > epoch {
+		return false
+	}
+	if fp.AllEdges && c.anyEdge > epoch {
+		return false
+	}
+	for _, l := range fp.NodeLabels {
+		if c.nodeLabels[l] > epoch {
+			return false
+		}
+	}
+	for _, l := range fp.EdgeLabels {
+		if c.edgeLabels[l] > epoch {
+			return false
+		}
+	}
+	return true
+}

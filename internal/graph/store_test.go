@@ -1,0 +1,438 @@
+package graph
+
+import (
+	"errors"
+	"fmt"
+	"reflect"
+	"strings"
+	"testing"
+)
+
+// seedGraph builds a small two-label graph: persons a,b,c in a Knows
+// chain a→b→c with a Likes edge a→c.
+func seedGraph(t testing.TB) *Graph {
+	t.Helper()
+	b := NewBuilder()
+	b.AddNode("a", "Person", Props("name", "A"))
+	b.AddNode("b", "Person", Props("name", "B"))
+	b.AddNode("c", "Person", Props("name", "C"))
+	b.AddEdge("ab", "a", "b", "Knows", nil)
+	b.AddEdge("bc", "b", "c", "Knows", nil)
+	b.AddEdge("ac", "a", "c", "Likes", nil)
+	return b.MustBuild()
+}
+
+func mustApply(t *testing.T, s *Store, ops ...Op) uint64 {
+	t.Helper()
+	epoch, err := s.Apply(Batch{Ops: ops})
+	if err != nil {
+		t.Fatalf("Apply: %v", err)
+	}
+	return epoch
+}
+
+// outKeys renders n's out-neighborhood restricted to label as edge keys —
+// the byte-identity currency of the differential tests (IDs shift across
+// rebuilds, keys never do).
+func outKeys(g *Graph, nodeKey, label string) []string {
+	n, ok := g.NodeByKey(nodeKey)
+	if !ok {
+		return nil
+	}
+	var keys []string
+	for _, e := range g.OutWithSymbol(n.ID, g.SymbolOf(label)) {
+		keys = append(keys, g.Edge(e).Key)
+	}
+	return keys
+}
+
+// TestStoreApplyVisibility: applied ops are visible through every epoch
+// accessor — key maps, adjacency, label indexes — including ops that
+// reference objects added earlier in the same batch.
+func TestStoreApplyVisibility(t *testing.T) {
+	s := NewStore(seedGraph(t), StoreOptions{CompactThreshold: -1})
+	defer s.Close()
+
+	epoch := mustApply(t, s,
+		Op{Kind: OpAddNode, Key: "d", Label: "Person", Props: Props("name", "D")},
+		Op{Kind: OpAddEdge, Key: "cd", Src: "c", Dst: "d", Label: "Knows"},
+		Op{Kind: OpAddEdge, Key: "da", Src: "d", Dst: "a", Label: "Knows"},
+	)
+	if epoch != 1 || s.Epoch() != 1 {
+		t.Fatalf("epoch = %d / %d, want 1", epoch, s.Epoch())
+	}
+	g := s.Graph()
+	if g.LiveNodes() != 4 || g.LiveEdges() != 5 {
+		t.Fatalf("live counts = %d/%d, want 4/5", g.LiveNodes(), g.LiveEdges())
+	}
+	d, ok := g.NodeByKey("d")
+	if !ok || d.Label != "Person" {
+		t.Fatalf("NodeByKey(d) = %v, %v", d, ok)
+	}
+	if got := outKeys(g, "c", "Knows"); !reflect.DeepEqual(got, []string{"cd"}) {
+		t.Fatalf("out(c, Knows) = %v, want [cd]", got)
+	}
+	if got := outKeys(g, "d", "Knows"); !reflect.DeepEqual(got, []string{"da"}) {
+		t.Fatalf("out(d, Knows) = %v, want [da]", got)
+	}
+	persons := g.NodesWithLabel("Person")
+	if len(persons) != 4 {
+		t.Fatalf("NodesWithLabel(Person) = %d nodes, want 4", len(persons))
+	}
+	if len(g.EdgesWithLabel("Knows")) != 4 {
+		t.Fatalf("EdgesWithLabel(Knows) = %d, want 4", len(g.EdgesWithLabel("Knows")))
+	}
+}
+
+// TestStoreDeleteCascade: deleting a node kills its incident edges, and
+// adjacency of the surviving endpoints is rebuilt without them.
+func TestStoreDeleteCascade(t *testing.T) {
+	s := NewStore(seedGraph(t), StoreOptions{CompactThreshold: -1})
+	defer s.Close()
+
+	mustApply(t, s, Op{Kind: OpDelNode, Key: "c"})
+	g := s.Graph()
+	if g.LiveNodes() != 2 || g.LiveEdges() != 1 {
+		t.Fatalf("live counts after del = %d/%d, want 2/1", g.LiveNodes(), g.LiveEdges())
+	}
+	if _, ok := g.NodeByKey("c"); ok {
+		t.Fatal("NodeByKey(c) still resolves after delete")
+	}
+	for _, key := range []string{"bc", "ac"} {
+		if _, ok := g.EdgeByKey(key); ok {
+			t.Fatalf("EdgeByKey(%s) survived its endpoint's deletion", key)
+		}
+	}
+	if got := outKeys(g, "b", "Knows"); got != nil {
+		t.Fatalf("out(b, Knows) = %v, want empty", got)
+	}
+	if got := outKeys(g, "a", "Knows"); !reflect.DeepEqual(got, []string{"ab"}) {
+		t.Fatalf("out(a, Knows) = %v, want [ab]", got)
+	}
+	if got := outKeys(g, "a", "Likes"); got != nil {
+		t.Fatalf("out(a, Likes) = %v, want empty", got)
+	}
+}
+
+// TestStoreKeyReuse: a deleted key can be re-added (a fresh object under
+// a fresh ID); a live key cannot.
+func TestStoreKeyReuse(t *testing.T) {
+	s := NewStore(seedGraph(t), StoreOptions{CompactThreshold: -1})
+	defer s.Close()
+
+	mustApply(t, s, Op{Kind: OpDelEdge, Key: "ab"})
+	mustApply(t, s, Op{Kind: OpAddEdge, Key: "ab", Src: "b", Dst: "a", Label: "Knows"})
+	g := s.Graph()
+	e, ok := g.EdgeByKey("ab")
+	if !ok {
+		t.Fatal("re-added edge key does not resolve")
+	}
+	if src, dst := g.Node(e.Src).Key, g.Node(e.Dst).Key; src != "b" || dst != "a" {
+		t.Fatalf("re-added ab runs %s→%s, want b→a", src, dst)
+	}
+	if _, err := s.Apply(Batch{Ops: []Op{{Kind: OpAddEdge, Key: "ab", Src: "a", Dst: "b", Label: "Knows"}}}); !errors.Is(err, ErrDuplicateKey) {
+		t.Fatalf("re-adding a live key: err = %v, want ErrDuplicateKey", err)
+	}
+}
+
+// TestStoreTypedErrors: Apply wraps the typed sentinels and a failed
+// batch applies nothing (atomicity).
+func TestStoreTypedErrors(t *testing.T) {
+	s := NewStore(seedGraph(t), StoreOptions{CompactThreshold: -1})
+	defer s.Close()
+
+	cases := []struct {
+		name string
+		ops  []Op
+		want error
+	}{
+		{"dup node", []Op{{Kind: OpAddNode, Key: "a", Label: "Person"}}, ErrDuplicateKey},
+		{"dup edge", []Op{{Kind: OpAddEdge, Key: "ab", Src: "a", Dst: "b", Label: "Knows"}}, ErrDuplicateKey},
+		{"node key vs edge key", []Op{{Kind: OpAddNode, Key: "ab", Label: "Person"}}, ErrDuplicateKey},
+		{"unknown src", []Op{{Kind: OpAddEdge, Key: "zz", Src: "zebra", Dst: "a", Label: "Knows"}}, ErrUnknownNode},
+		{"unknown dst", []Op{{Kind: OpAddEdge, Key: "zz", Src: "a", Dst: "zebra", Label: "Knows"}}, ErrUnknownNode},
+		{"del unknown node", []Op{{Kind: OpDelNode, Key: "zebra"}}, ErrUnknownKey},
+		{"del unknown edge", []Op{{Kind: OpDelEdge, Key: "zebra"}}, ErrUnknownKey},
+		// A valid op before the failing one must not leak out of the batch.
+		{"atomic", []Op{
+			{Kind: OpAddNode, Key: "ghost", Label: "Person"},
+			{Kind: OpDelNode, Key: "zebra"},
+		}, ErrUnknownKey},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			if _, err := s.Apply(Batch{Ops: tc.ops}); !errors.Is(err, tc.want) {
+				t.Fatalf("err = %v, want %v", err, tc.want)
+			}
+		})
+	}
+	if s.Epoch() != 0 || s.Graph().LiveNodes() != 3 {
+		t.Fatalf("failed batches moved the store: epoch=%d nodes=%d", s.Epoch(), s.Graph().LiveNodes())
+	}
+	if _, ok := s.Graph().NodeByKey("ghost"); ok {
+		t.Fatal("prefix of a failed batch leaked into the store")
+	}
+}
+
+// TestBuilderTypedErrors: the Build/CSV validation errors are errors.Is-
+// able with the same sentinels the ingest endpoint maps to 422.
+func TestBuilderTypedErrors(t *testing.T) {
+	dup := NewBuilder()
+	dup.AddNode("a", "P", nil)
+	dup.AddNode("a", "P", nil)
+	if _, err := dup.Build(); !errors.Is(err, ErrDuplicateKey) {
+		t.Fatalf("duplicate node: err = %v, want ErrDuplicateKey", err)
+	}
+	unk := NewBuilder()
+	unk.AddNode("a", "P", nil)
+	unk.AddEdge("e", "a", "missing", "L", nil)
+	if _, err := unk.Build(); !errors.Is(err, ErrUnknownNode) {
+		t.Fatalf("unknown target: err = %v, want ErrUnknownNode", err)
+	}
+}
+
+// TestStoreCompactionEquivalence: compaction preserves the epoch number
+// and produces a graph whose rendered structure matches a from-scratch
+// build over the same live objects.
+func TestStoreCompactionEquivalence(t *testing.T) {
+	s := NewStore(seedGraph(t), StoreOptions{CompactThreshold: -1})
+	defer s.Close()
+
+	mustApply(t, s,
+		Op{Kind: OpAddNode, Key: "d", Label: "Person"},
+		Op{Kind: OpAddEdge, Key: "cd", Src: "c", Dst: "d", Label: "Knows"},
+	)
+	mustApply(t, s, Op{Kind: OpDelEdge, Key: "ab"})
+	live := s.Graph()
+	epoch := s.Epoch()
+
+	if err := s.Compact(); err != nil {
+		t.Fatalf("Compact: %v", err)
+	}
+	sealed := s.Graph()
+	if sealed.ov != nil {
+		t.Fatal("compaction left a delta view")
+	}
+	if s.Epoch() != epoch {
+		t.Fatalf("compaction changed the epoch: %d → %d", epoch, s.Epoch())
+	}
+
+	scratch := NewBuilder()
+	for _, n := range live.Nodes() {
+		scratch.AddNode(n.Key, n.Label, n.Props)
+	}
+	for _, e := range live.Edges() {
+		scratch.AddEdge(e.Key, live.Node(e.Src).Key, live.Node(e.Dst).Key, e.Label, e.Props)
+	}
+	want := scratch.MustBuild()
+
+	if got, w := renderAdjacency(sealed), renderAdjacency(want); got != w {
+		t.Fatalf("compacted adjacency differs from from-scratch build:\n got %s\nwant %s", got, w)
+	}
+	if got, w := renderAdjacency(live), renderAdjacency(want); got != w {
+		t.Fatalf("pre-compaction delta view differs from from-scratch build:\n got %s\nwant %s", got, w)
+	}
+}
+
+// renderAdjacency serializes a graph's live structure in key space:
+// nodes in key-sorted order with their per-label out-edge key lists.
+func renderAdjacency(g *Graph) string {
+	var sb strings.Builder
+	for _, n := range g.Nodes() {
+		fmt.Fprintf(&sb, "%s[%s]:", n.Key, n.Label)
+		for _, r := range g.OutRuns(n.ID) {
+			fmt.Fprintf(&sb, " %s(", g.SymbolName(r.Sym))
+			for _, e := range r.Edges {
+				fmt.Fprintf(&sb, "%s→%s,", g.Edge(e).Key, g.Node(g.Edge(e).Dst).Key)
+			}
+			sb.WriteString(")")
+		}
+		sb.WriteString("; ")
+	}
+	return sb.String()
+}
+
+// TestStoreNewLabelReseals: a batch introducing an unseen edge label
+// reseals inline — the published epoch is a sealed CSR that knows the
+// new symbol, and discovery order matches a from-scratch build.
+func TestStoreNewLabelReseals(t *testing.T) {
+	s := NewStore(seedGraph(t), StoreOptions{CompactThreshold: -1})
+	defer s.Close()
+
+	before := s.Compactions()
+	mustApply(t, s, Op{Kind: OpAddEdge, Key: "follows-ab", Src: "a", Dst: "b", Label: "Follows"})
+	g := s.Graph()
+	if g.ov != nil {
+		t.Fatal("new-label batch did not reseal")
+	}
+	if s.Compactions() != before+1 {
+		t.Fatalf("reseal not counted as compaction: %d → %d", before, s.Compactions())
+	}
+	if g.SymbolOf("Follows") == NoSymbol {
+		t.Fatal("new label has no symbol after reseal")
+	}
+	if got := outKeys(g, "a", "Follows"); !reflect.DeepEqual(got, []string{"follows-ab"}) {
+		t.Fatalf("out(a, Follows) = %v", got)
+	}
+}
+
+// TestStoreAutoCompaction: crossing the threshold with SyncCompact folds
+// the delta inline.
+func TestStoreAutoCompaction(t *testing.T) {
+	s := NewStore(seedGraph(t), StoreOptions{CompactThreshold: 3, SyncCompact: true})
+	defer s.Close()
+
+	mustApply(t, s, Op{Kind: OpAddNode, Key: "x1", Label: "Person"})
+	if s.Graph().ov == nil {
+		t.Fatal("compacted below threshold")
+	}
+	mustApply(t, s,
+		Op{Kind: OpAddNode, Key: "x2", Label: "Person"},
+		Op{Kind: OpAddEdge, Key: "xx", Src: "x1", Dst: "x2", Label: "Knows"},
+	)
+	if s.Graph().ov != nil {
+		t.Fatalf("delta size %d ≥ threshold 3 but no compaction", s.DeltaSize())
+	}
+	if s.DeltaSize() != 0 {
+		t.Fatalf("DeltaSize after compaction = %d", s.DeltaSize())
+	}
+}
+
+// TestStoreSnapshotPinning: a pinned snapshot's view survives later
+// batches and compactions untouched.
+func TestStoreSnapshotPinning(t *testing.T) {
+	s := NewStore(seedGraph(t), StoreOptions{CompactThreshold: -1})
+	defer s.Close()
+
+	mustApply(t, s, Op{Kind: OpAddNode, Key: "d", Label: "Person"})
+	sn := s.Snapshot()
+	defer sn.Release()
+	if sn.Epoch() != 1 {
+		t.Fatalf("snapshot epoch = %d, want 1", sn.Epoch())
+	}
+	wantAdj := renderAdjacency(sn.Graph())
+
+	mustApply(t, s, Op{Kind: OpDelNode, Key: "a"})
+	mustApply(t, s, Op{Kind: OpAddEdge, Key: "cd", Src: "c", Dst: "d", Label: "Knows"})
+	if err := s.Compact(); err != nil {
+		t.Fatalf("Compact: %v", err)
+	}
+
+	if got := renderAdjacency(sn.Graph()); got != wantAdj {
+		t.Fatalf("pinned view changed under writes:\n got %s\nwant %s", got, wantAdj)
+	}
+	if sn.Graph().LiveNodes() != 4 {
+		t.Fatalf("pinned LiveNodes = %d, want 4", sn.Graph().LiveNodes())
+	}
+	if states, pins := s.LiveEpochs(); states < 2 || pins != 1 {
+		t.Fatalf("LiveEpochs = %d states / %d pins, want ≥2 states and 1 pin", states, pins)
+	}
+	sn.Release()
+	sn.Release() // idempotent
+	if _, pins := s.LiveEpochs(); pins != 0 {
+		t.Fatalf("pins after release = %d, want 0", pins)
+	}
+}
+
+// TestStoreIncrementalStats: the live epoch's statistics equal a full
+// rebuild's, except the documented monotone upper bounds (Max*) after
+// deletions.
+func TestStoreIncrementalStats(t *testing.T) {
+	s := NewStore(seedGraph(t), StoreOptions{CompactThreshold: -1})
+	defer s.Close()
+
+	// Insert-only prefix: everything must match exactly.
+	mustApply(t, s,
+		Op{Kind: OpAddNode, Key: "d", Label: "Person"},
+		Op{Kind: OpAddNode, Key: "m1", Label: "Message"},
+		Op{Kind: OpAddEdge, Key: "cd", Src: "c", Dst: "d", Label: "Knows"},
+		Op{Kind: OpAddEdge, Key: "dm", Src: "d", Dst: "m1", Label: "Likes"},
+		Op{Kind: OpAddEdge, Key: "am", Src: "a", Dst: "m1", Label: "Likes"},
+	)
+	assertStatsMatch(t, s.Graph(), true)
+
+	// Deletions: exact except Max*, which may only over-estimate.
+	mustApply(t, s, Op{Kind: OpDelNode, Key: "a"}, Op{Kind: OpDelEdge, Key: "cd"})
+	assertStatsMatch(t, s.Graph(), false)
+}
+
+func assertStatsMatch(t *testing.T, live *Graph, exactMax bool) {
+	t.Helper()
+	rebuilt, err := live.Rebuild()
+	if err != nil {
+		t.Fatalf("Rebuild: %v", err)
+	}
+	got, want := live.Stats(), rebuilt.Stats()
+	if got.Nodes != want.Nodes || got.Edges != want.Edges {
+		t.Fatalf("counts: got %d/%d, want %d/%d", got.Nodes, got.Edges, want.Nodes, want.Edges)
+	}
+	if !reflect.DeepEqual(got.NodeLabels, want.NodeLabels) {
+		t.Fatalf("NodeLabels: got %v, want %v", got.NodeLabels, want.NodeLabels)
+	}
+	if !reflect.DeepEqual(got.EdgeLabels, want.EdgeLabels) {
+		t.Fatalf("EdgeLabels: got %v, want %v", got.EdgeLabels, want.EdgeLabels)
+	}
+	for sym := range want.Symbols {
+		g, w := got.Symbols[sym], want.Symbols[sym]
+		if g.Label != w.Label || g.Edges != w.Edges || g.DistinctSrc != w.DistinctSrc || g.DistinctDst != w.DistinctDst {
+			t.Fatalf("symbol %s: got %+v, want %+v", w.Label, g, w)
+		}
+		if g.OutHist != w.OutHist || g.InHist != w.InHist {
+			t.Fatalf("symbol %s histograms: got %v/%v, want %v/%v", w.Label, g.OutHist, g.InHist, w.OutHist, w.InHist)
+		}
+		if exactMax && (g.MaxOut != w.MaxOut || g.MaxIn != w.MaxIn) {
+			t.Fatalf("symbol %s max: got %d/%d, want %d/%d", w.Label, g.MaxOut, g.MaxIn, w.MaxOut, w.MaxIn)
+		}
+		if g.MaxOut < w.MaxOut || g.MaxIn < w.MaxIn {
+			t.Fatalf("symbol %s max under-estimates: got %d/%d, want ≥ %d/%d", w.Label, g.MaxOut, g.MaxIn, w.MaxOut, w.MaxIn)
+		}
+	}
+	ga, wa := got.Any, want.Any
+	if ga.Edges != wa.Edges || ga.DistinctSrc != wa.DistinctSrc || ga.DistinctDst != wa.DistinctDst || ga.OutHist != wa.OutHist || ga.InHist != wa.InHist {
+		t.Fatalf("Any: got %+v, want %+v", ga, wa)
+	}
+}
+
+// TestStoreValidAt: the label clock invalidates exactly the footprints a
+// batch's touched labels cover.
+func TestStoreValidAt(t *testing.T) {
+	s := NewStore(seedGraph(t), StoreOptions{CompactThreshold: -1})
+	defer s.Close()
+
+	knowsFp := Footprint{EdgeLabels: []string{"Knows"}}
+	likesFp := Footprint{EdgeLabels: []string{"Likes"}}
+	allEdgesFp := Footprint{AllEdges: true}
+	personFp := Footprint{NodeLabels: []string{"Person"}}
+
+	// Epoch 1 touches only Knows.
+	mustApply(t, s, Op{Kind: OpAddEdge, Key: "ba", Src: "b", Dst: "a", Label: "Knows"})
+	if s.ValidAt(knowsFp, 0) {
+		t.Fatal("Knows result from epoch 0 still valid after a Knows write")
+	}
+	if !s.ValidAt(likesFp, 0) {
+		t.Fatal("Likes result invalidated by a Knows-only write")
+	}
+	if s.ValidAt(allEdgesFp, 0) {
+		t.Fatal("AllEdges result survived an edge write")
+	}
+	if !s.ValidAt(personFp, 0) {
+		t.Fatal("node-label result invalidated by an edge-only write")
+	}
+	if !s.ValidAt(knowsFp, 1) {
+		t.Fatal("Knows result computed at epoch 1 reported stale")
+	}
+
+	// Epoch 2 deletes a Person node, cascading a Likes and Knows edge.
+	mustApply(t, s, Op{Kind: OpDelNode, Key: "a"})
+	if s.ValidAt(personFp, 1) || s.ValidAt(likesFp, 1) {
+		t.Fatal("node delete failed to invalidate touched footprints")
+	}
+
+	// Compaction must not invalidate anything: same epoch, same clock.
+	if err := s.Compact(); err != nil {
+		t.Fatalf("Compact: %v", err)
+	}
+	if !s.ValidAt(personFp, 2) || !s.ValidAt(allEdgesFp, 2) {
+		t.Fatal("compaction invalidated current-epoch results")
+	}
+}

@@ -66,6 +66,20 @@ func (c *Cache[K, V]) Put(k K, v V) {
 	c.entries[k] = c.order.PushFront(&entry[K, V]{key: k, val: v})
 }
 
+// Delete removes the entry under k, if present, and reports whether it
+// existed. Hit/miss counters are unaffected.
+func (c *Cache[K, V]) Delete(k K) bool {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	el, ok := c.entries[k]
+	if !ok {
+		return false
+	}
+	c.order.Remove(el)
+	delete(c.entries, k)
+	return true
+}
+
 // Len returns the number of cached entries.
 func (c *Cache[K, V]) Len() int {
 	c.mu.Lock()

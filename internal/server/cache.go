@@ -1,9 +1,21 @@
 package server
 
 import (
+	"pathalgebra/internal/graph"
 	"pathalgebra/internal/lru"
 	"pathalgebra/internal/pathset"
 )
+
+// cacheEntry is one cached query result: the materialized set, the graph
+// view its path IDs resolve against, the epoch it was computed at, and
+// the label footprint of the plan that produced it (which node/edge
+// labels the result can depend on).
+type cacheEntry struct {
+	set   *pathset.Set
+	g     *graph.Graph
+	epoch uint64
+	fp    graph.Footprint
+}
 
 // resultCache is an LRU (lru.Cache) of fully materialized query results,
 // keyed by the canonical rendering of the PLANNED physical plan plus the
@@ -12,32 +24,48 @@ import (
 // Cached sets are immutable and shared: hits page the same *pathset.Set
 // through a fresh cursor, so a hit costs no evaluation and no copying.
 //
-// Capacity is counted in entries. Explicit invalidation (the
-// /cache/invalidate endpoint) empties the cache; there is no implicit
-// invalidation because a Graph is immutable for the lifetime of a server.
+// Capacity is counted in entries. Invalidation is label-footprint-based:
+// every entry records the epoch it was computed at and the set of labels
+// its plan reads; a hit is valid only while no ingest batch since that
+// epoch has touched any of those labels (Store.ValidAt consults the
+// store's per-label modification clock). A delta touching only `knows`
+// therefore evicts entries whose plan reads `knows` and leaves the rest
+// servable. Explicit invalidation (the /cache/invalidate endpoint) still
+// empties the cache wholesale.
 type resultCache struct {
-	entries *lru.Cache[string, *pathset.Set]
+	entries *lru.Cache[string, *cacheEntry]
 }
 
 func newResultCache(capacity int) *resultCache {
-	return &resultCache{entries: lru.New[string, *pathset.Set](capacity)}
+	return &resultCache{entries: lru.New[string, *cacheEntry](capacity)}
 }
 
-// get returns the cached result for key, bumping its recency.
-func (c *resultCache) get(key string) (*pathset.Set, bool) {
+// get returns the cached result for key if it is still valid at the
+// store's current epoch, bumping its recency. Entries invalidated by a
+// later write to a label in their footprint are evicted on probe (and
+// counted as misses).
+func (c *resultCache) get(store *graph.Store, key string) (*cacheEntry, bool) {
 	if c == nil {
 		return nil, false
 	}
-	return c.entries.Get(key)
+	ent, ok := c.entries.Get(key)
+	if !ok {
+		return nil, false
+	}
+	if !store.ValidAt(ent.fp, ent.epoch) {
+		c.entries.Delete(key)
+		return nil, false
+	}
+	return ent, true
 }
 
 // put admits a completed result, evicting least-recently-used entries
 // beyond capacity.
-func (c *resultCache) put(key string, set *pathset.Set) {
+func (c *resultCache) put(key string, ent *cacheEntry) {
 	if c == nil {
 		return
 	}
-	c.entries.Put(key, set)
+	c.entries.Put(key, ent)
 }
 
 // invalidate empties the cache and returns how many entries it dropped.

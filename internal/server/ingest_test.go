@@ -1,0 +1,273 @@
+package server
+
+import (
+	"bytes"
+	"fmt"
+	"net/http"
+	"strings"
+	"testing"
+
+	"pathalgebra/internal/core"
+	"pathalgebra/internal/engine"
+	"pathalgebra/internal/ldbc"
+)
+
+func postBody(t *testing.T, url, contentType, body string) *http.Response {
+	t.Helper()
+	resp, err := http.Post(url, contentType, bytes.NewReader([]byte(body)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return resp
+}
+
+// drainCursor pages a freshly created cursor to completion and returns
+// the concatenated path lines.
+func drainCursor(t *testing.T, baseURL, id string) []pathJSON {
+	t.Helper()
+	var got []pathJSON
+	for {
+		resp, err := http.Get(fmt.Sprintf("%s/query/%s/next", baseURL, id))
+		if err != nil {
+			t.Fatal(err)
+		}
+		paths, trailer := readPage(t, resp)
+		got = append(got, paths...)
+		if trailer.Done {
+			return got
+		}
+	}
+}
+
+// TestIngestEndpoint: NDJSON and CSV batches apply through the HTTP
+// surface, the epoch advances, and subsequent queries see the new data.
+func TestIngestEndpoint(t *testing.T) {
+	_, ts := newTestServer(t, Config{Graph: ldbc.Figure1(), Engine: engine.Options{Limits: core.Limits{MaxLen: 4}}})
+
+	// Before: the Knows subgraph from n4 is empty (n4 has no out-Knows).
+	resp := postJSON(t, ts.URL+"/query", queryRequest{Query: `MATCH TRAIL p = (?x)-[:Knows+]->(?y) WHERE first.name = "Apu"`, NoCache: true})
+	qr := decodeBody[queryResponse](t, resp)
+	if before := drainCursor(t, ts.URL, qr.ID); len(before) != 0 {
+		t.Fatalf("pre-ingest paths from Apu = %d, want 0", len(before))
+	}
+
+	ing := postBody(t, ts.URL+"/ingest", "application/x-ndjson",
+		`{"op":"add_edge","key":"e-new","src":"n4","dst":"n1","label":"Knows"}`+"\n")
+	if ing.StatusCode != http.StatusOK {
+		t.Fatalf("ingest status = %d", ing.StatusCode)
+	}
+	ir := decodeBody[ingestResponse](t, ing)
+	if ir.Epoch != 1 || ir.Ops != 1 || ir.Edges != 12 {
+		t.Fatalf("ingest response = %+v", ir)
+	}
+
+	resp = postJSON(t, ts.URL+"/query", queryRequest{Query: `MATCH TRAIL p = (?x)-[:Knows+]->(?y) WHERE first.name = "Apu"`, NoCache: true})
+	qr = decodeBody[queryResponse](t, resp)
+	after := drainCursor(t, ts.URL, qr.ID)
+	if len(after) == 0 {
+		t.Fatal("post-ingest query does not see the new edge")
+	}
+	for _, p := range after {
+		if p.Nodes[0] != "n4" {
+			t.Fatalf("path starts at %s, want n4", p.Nodes[0])
+		}
+	}
+
+	// CSV form.
+	csvBody := "op,key,src,dst,label\ndel_edge,e-new,,,\n"
+	ing = postBody(t, ts.URL+"/ingest", "text/csv", csvBody)
+	if ing.StatusCode != http.StatusOK {
+		t.Fatalf("CSV ingest status = %d", ing.StatusCode)
+	}
+	if ir := decodeBody[ingestResponse](t, ing); ir.Epoch != 2 || ir.Edges != 11 {
+		t.Fatalf("CSV ingest response = %+v", ir)
+	}
+}
+
+// TestIngestErrors: parse failures are 400, validation failures are 422
+// kind "validation" (the typed-sentinel contract), and failed batches
+// apply nothing.
+func TestIngestErrors(t *testing.T) {
+	s, ts := newTestServer(t, Config{Graph: ldbc.Figure1()})
+
+	cases := []struct {
+		name, body string
+		status     int
+		kind       string
+	}{
+		{"malformed json", `{"op":`, http.StatusBadRequest, "bad_request"},
+		{"empty batch", "\n\n", http.StatusBadRequest, "bad_request"},
+		{"unknown op", `{"op":"upsert","key":"x"}`, http.StatusBadRequest, "bad_request"},
+		{"duplicate key", `{"op":"add_node","key":"n1","label":"Person"}`, http.StatusUnprocessableEntity, "validation"},
+		{"unknown endpoint", `{"op":"add_edge","key":"zz","src":"n1","dst":"nope","label":"Knows"}`, http.StatusUnprocessableEntity, "validation"},
+		{"unknown delete", `{"op":"del_node","key":"nope"}`, http.StatusUnprocessableEntity, "validation"},
+		{"atomic", "{\"op\":\"add_node\",\"key\":\"ghost\",\"label\":\"Person\"}\n{\"op\":\"del_node\",\"key\":\"nope\"}", http.StatusUnprocessableEntity, "validation"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			resp := postBody(t, ts.URL+"/ingest", "application/x-ndjson", tc.body)
+			er := decodeBody[errorResponse](t, resp)
+			if resp.StatusCode != tc.status || er.Kind != tc.kind {
+				t.Fatalf("status/kind = %d/%q (%s), want %d/%q", resp.StatusCode, er.Kind, er.Error, tc.status, tc.kind)
+			}
+		})
+	}
+	if s.store.Epoch() != 0 {
+		t.Fatalf("failed ingests advanced the epoch to %d", s.store.Epoch())
+	}
+	if _, ok := s.store.Graph().NodeByKey("ghost"); ok {
+		t.Fatal("prefix of a failed batch leaked into the store")
+	}
+}
+
+// TestIngestFootprintInvalidation: the result cache invalidates by label
+// footprint — a delta touching Likes evicts Likes-reading entries and
+// leaves Knows-only entries servable.
+func TestIngestFootprintInvalidation(t *testing.T) {
+	s, ts := newTestServer(t, Config{Graph: ldbc.Figure1(), Engine: engine.Options{Limits: core.Limits{MaxLen: 4}}})
+
+	knowsQ := `MATCH TRAIL p = (?x)-[:Knows+]->(?y)`
+	likesQ := `MATCH TRAIL p = (?x)-[:Likes]->(?y)`
+
+	// Populate both cache entries (cursor must complete for admission).
+	for _, q := range []string{knowsQ, likesQ} {
+		resp := postJSON(t, ts.URL+"/query", queryRequest{Query: q})
+		qr := decodeBody[queryResponse](t, resp)
+		drainCursor(t, ts.URL, qr.ID)
+	}
+	// Both hit now.
+	for _, q := range []string{knowsQ, likesQ} {
+		resp := postJSON(t, ts.URL+"/query", queryRequest{Query: q})
+		qr := decodeBody[queryResponse](t, resp)
+		if !qr.Cached {
+			t.Fatalf("%s not cached after completion", q)
+		}
+		drainCursor(t, ts.URL, qr.ID)
+	}
+
+	// A Likes-only delta: n2 likes message n7.
+	ing := postBody(t, ts.URL+"/ingest", "application/x-ndjson",
+		`{"op":"add_edge","key":"likes-new","src":"n2","dst":"n7","label":"Likes"}`+"\n")
+	if ing.StatusCode != http.StatusOK {
+		t.Fatalf("ingest status = %d", ing.StatusCode)
+	}
+
+	// Knows entry survives (its footprint does not read Likes)...
+	resp := postJSON(t, ts.URL+"/query", queryRequest{Query: knowsQ})
+	qr := decodeBody[queryResponse](t, resp)
+	if !qr.Cached {
+		t.Fatal("Knows entry evicted by a Likes-only delta")
+	}
+	drainCursor(t, ts.URL, qr.ID)
+
+	// ...and the Likes entry recomputes against the new epoch.
+	resp = postJSON(t, ts.URL+"/query", queryRequest{Query: likesQ})
+	qr = decodeBody[queryResponse](t, resp)
+	if qr.Cached {
+		t.Fatal("stale Likes entry served after a Likes delta")
+	}
+	likesPaths := drainCursor(t, ts.URL, qr.ID)
+	found := false
+	for _, p := range likesPaths {
+		if len(p.Edges) == 1 && p.Edges[0] == "likes-new" {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatal("recomputed Likes result misses the ingested edge")
+	}
+
+	// Deleting a node (touches node labels + cascaded edge labels)
+	// invalidates the Knows entry too.
+	ing = postBody(t, ts.URL+"/ingest", "application/x-ndjson",
+		`{"op":"del_node","key":"n2"}`+"\n")
+	if ing.StatusCode != http.StatusOK {
+		t.Fatalf("ingest status = %d", ing.StatusCode)
+	}
+	resp = postJSON(t, ts.URL+"/query", queryRequest{Query: knowsQ})
+	qr = decodeBody[queryResponse](t, resp)
+	if qr.Cached {
+		t.Fatal("stale Knows entry served after deleting a Knows endpoint")
+	}
+	for _, p := range drainCursor(t, ts.URL, qr.ID) {
+		for _, n := range p.Nodes {
+			if n == "n2" {
+				t.Fatal("recomputed result contains the deleted node")
+			}
+		}
+	}
+	_ = s
+}
+
+// TestStatsStoreSection: /stats surfaces epoch, delta and compaction
+// counters.
+func TestStatsStoreSection(t *testing.T) {
+	_, ts := newTestServer(t, Config{Graph: ldbc.Figure1()})
+	postBody(t, ts.URL+"/ingest", "application/x-ndjson",
+		`{"op":"add_node","key":"extra","label":"Person"}`+"\n").Body.Close()
+
+	resp, err := http.Get(ts.URL + "/stats")
+	if err != nil {
+		t.Fatal(err)
+	}
+	st := decodeBody[statsResponse](t, resp)
+	if st.Store.Epoch != 1 || st.Store.DeltaNodes != 1 || st.Store.Ingests != 1 || st.Store.IngestedOps != 1 {
+		t.Fatalf("store stats = %+v", st.Store)
+	}
+	if st.Graph.Nodes != 8 {
+		t.Fatalf("graph nodes = %d, want 8 (live count)", st.Graph.Nodes)
+	}
+}
+
+// TestCursorSurvivesIngestAndCompaction: a cursor opened pre-ingest
+// pages its pinned epoch's bytes even after the store mutates and
+// compacts under it.
+func TestCursorSurvivesIngestAndCompaction(t *testing.T) {
+	s, ts := newTestServer(t, Config{Graph: ldbc.Figure1(), Engine: engine.Options{Limits: core.Limits{MaxLen: 4}}})
+
+	resp := postJSON(t, ts.URL+"/query", queryRequest{Query: `MATCH TRAIL p = (?x)-[:Knows+]->(?y)`, ChunkSize: 2, NoCache: true})
+	qr := decodeBody[queryResponse](t, resp)
+
+	// Read one page, then mutate the Knows subgraph and compact.
+	first, err := http.Get(fmt.Sprintf("%s/query/%s/next", ts.URL, qr.ID))
+	if err != nil {
+		t.Fatal(err)
+	}
+	paths, trailer := readPage(t, first)
+	if trailer.Done {
+		t.Fatalf("result exhausted on first page (total %d)", trailer.Total)
+	}
+	ing := postBody(t, ts.URL+"/ingest", "application/x-ndjson",
+		strings.Join([]string{
+			`{"op":"del_edge","key":"e2"}`,
+			`{"op":"add_edge","key":"e2x","src":"n2","dst":"n1","label":"Knows"}`,
+		}, "\n"))
+	if ing.StatusCode != http.StatusOK {
+		t.Fatalf("ingest = %d", ing.StatusCode)
+	}
+	if err := s.store.Compact(); err != nil {
+		t.Fatal(err)
+	}
+
+	got := append([]pathJSON(nil), paths...)
+	got = append(got, drainCursor(t, ts.URL, qr.ID)...)
+	// Every path must be a pre-ingest Knows path: e2x never appears, e2
+	// still does (the cursor's epoch predates the delete).
+	sawE2 := false
+	for _, p := range got {
+		for _, e := range p.Edges {
+			if e == "e2x" {
+				t.Fatal("cursor leaked a post-ingest edge")
+			}
+			if e == "e2" {
+				sawE2 = true
+			}
+		}
+	}
+	if !sawE2 {
+		t.Fatal("cursor lost the deleted edge its epoch still contains")
+	}
+	if len(got) != trailer.Total {
+		t.Fatalf("paged %d paths, trailer total %d", len(got), trailer.Total)
+	}
+}

@@ -47,8 +47,18 @@ var ErrDraining = errors.New("server: draining, query aborted")
 // Config parameterizes a Server. The zero value of every field selects a
 // sensible default; Graph is the only required field.
 type Config struct {
-	// Graph is the (immutable) graph served. Required.
+	// Graph is the initial graph served. Required unless Store is set.
+	// The server always serves through a graph.Store — when only Graph is
+	// given, it wraps it in a store of its own (epoch 0) so POST /ingest
+	// works out of the box.
 	Graph *graph.Graph
+	// Store, when set, is the live store to serve (Graph is ignored).
+	// The caller keeps ownership: Server.Close will not close it.
+	Store *graph.Store
+	// CompactThreshold configures the server-owned store created when
+	// Store is nil: delta records before background compaction
+	// (graph.StoreOptions.CompactThreshold semantics).
+	CompactThreshold int
 	// Engine is the base engine configuration. Engine.Limits acts as the
 	// per-query default; requests may override MaxLen/MaxPaths/MaxWork.
 	Engine engine.Options
@@ -145,15 +155,24 @@ type serverCounters struct {
 	cancelled atomic.Int64 // DELETEs and sweeper evictions
 	paths     atomic.Int64 // path lines delivered
 	pages     atomic.Int64 // pages served
+
+	ingests     atomic.Int64 // batches applied via POST /ingest
+	ingestedOps atomic.Int64 // ops across those batches
 }
 
 // Server is the query service. It implements http.Handler; wire it into
 // an http.Server (cmd/pathalgebrad does) or call its handlers in-process
 // through httptest. All methods are safe for concurrent use.
 type Server struct {
-	cfg  Config
-	g    *graph.Graph
-	base *engine.Engine
+	cfg Config
+	// store is the live graph: every query pins an epoch for its own
+	// lifetime (cursors render against their pinned view), and /ingest
+	// applies batches to it.
+	store *graph.Store
+	// ownStore records whether the server created the store itself (and
+	// must close its compactor on Close).
+	ownStore bool
+	base     *engine.Engine
 	// engines pools one engine per distinct per-query Limits so plan
 	// caches stay warm across requests that share limits; the map is
 	// bounded — beyond enginePoolMax distinct limit combinations the
@@ -179,16 +198,24 @@ type Server struct {
 // enginePoolMax bounds the per-limits engine pool.
 const enginePoolMax = 64
 
-// New returns a Server over cfg.Graph.
+// New returns a Server over cfg.Store (or a server-owned store wrapping
+// cfg.Graph).
 func New(cfg Config) (*Server, error) {
-	if cfg.Graph == nil {
-		return nil, fmt.Errorf("server: Config.Graph is required")
+	store := cfg.Store
+	own := false
+	if store == nil {
+		if cfg.Graph == nil {
+			return nil, fmt.Errorf("server: Config.Graph or Config.Store is required")
+		}
+		store = graph.NewStore(cfg.Graph, graph.StoreOptions{CompactThreshold: cfg.CompactThreshold})
+		own = true
 	}
 	baseCtx, baseCancel := context.WithCancelCause(context.Background())
 	s := &Server{
 		cfg:        cfg,
-		g:          cfg.Graph,
-		base:       engine.New(cfg.Graph, cfg.Engine),
+		store:      store,
+		ownStore:   own,
+		base:       engine.NewWithStore(store, cfg.Engine),
 		engines:    make(map[core.Limits]*engine.Engine),
 		cursors:    newCursorTable(cfg.maxCursors()),
 		baseCtx:    baseCtx,
@@ -203,6 +230,7 @@ func New(cfg Config) (*Server, error) {
 	s.mux.HandleFunc("POST /query", s.handleQuery)
 	s.mux.HandleFunc("GET /query/{id}/next", s.handleNext)
 	s.mux.HandleFunc("DELETE /query/{id}", s.handleCancel)
+	s.mux.HandleFunc("POST /ingest", s.handleIngest)
 	s.mux.HandleFunc("GET /stats", s.handleStats)
 	s.mux.HandleFunc("POST /explain", s.handleExplain)
 	s.mux.HandleFunc("POST /cache/invalidate", s.handleInvalidate)
@@ -229,7 +257,11 @@ func (s *Server) Close() {
 		close(s.sweepStop)
 		for _, c := range s.cursors.drainAll() {
 			c.cancel()
+			c.stream.Close()
 			s.counters.cancelled.Add(1)
+		}
+		if s.ownStore {
+			s.store.Close()
 		}
 	})
 }
@@ -245,6 +277,7 @@ func (s *Server) sweepLoop(ttl time.Duration) {
 		case now := <-tick.C:
 			for _, c := range s.cursors.sweepIdle(now, ttl) {
 				c.cancel()
+				c.stream.Close()
 				s.counters.cancelled.Add(1)
 			}
 		}
@@ -261,7 +294,7 @@ func (s *Server) engineFor(lim core.Limits) *engine.Engine {
 	if eng, ok := s.engines[lim]; ok {
 		return eng
 	}
-	eng := engine.New(s.g, opts)
+	eng := engine.NewWithStore(s.store, opts)
 	if len(s.engines) < enginePoolMax {
 		s.engines[lim] = eng
 	}
@@ -414,16 +447,18 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 	}
 
 	if !req.NoCache {
-		if set, ok := s.cache.get(key); ok {
+		if ent, ok := s.cache.get(s.store, key); ok {
 			cur.cached = true
 			cur.cancel = func() {}
-			cur.stream = engine.StreamOf(set, cur.chunk)
+			// The cached set's path IDs belong to the epoch it was computed
+			// at; render against that epoch's graph, not the current one.
+			cur.stream = engine.StreamOf(ent.g, ent.set, cur.chunk)
 			if !s.cursors.add(cur) {
 				s.counters.rejected.Add(1)
 				writeError(w, http.StatusTooManyRequests, "over_capacity", "cursor table full (%d live cursors)", s.cursors.len())
 				return
 			}
-			total := set.Len()
+			total := ent.set.Len()
 			writeJSON(w, http.StatusCreated, queryResponse{ID: id, Cached: true, Total: &total})
 			return
 		}
@@ -458,7 +493,8 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 	s.counters.started.Add(1)
 
 	// Completion watcher: release the admission slot, admit successful
-	// results into the result cache.
+	// results into the result cache — tagged with the epoch and graph view
+	// the stream pinned, plus the plan's label footprint for invalidation.
 	go func() {
 		<-cur.stream.Done()
 		s.inflight.Add(-1)
@@ -472,7 +508,13 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 		}
 		s.counters.completed.Add(1)
 		if !req.NoCache {
-			s.cache.put(key, set)
+			fp := engine.PlanFootprint(plan)
+			s.cache.put(key, &cacheEntry{
+				set:   set,
+				g:     cur.stream.Graph(),
+				epoch: cur.stream.Epoch(),
+				fp:    fp,
+			})
 		}
 	}()
 
@@ -483,6 +525,7 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 		// as a started+failed query in /stats.
 		cur.discarded.Store(true)
 		qcancel()
+		go cur.stream.Close() // async: Close waits for the aborted evaluation
 		s.counters.started.Add(-1)
 		s.counters.rejected.Add(1)
 		writeError(w, http.StatusTooManyRequests, "over_capacity", "cursor table full (%d live cursors)", s.cursors.len())
@@ -535,6 +578,7 @@ func (s *Server) handleNext(w http.ResponseWriter, r *http.Request) {
 		// evaluation is already finished, so cancel only cleans up.
 		s.cursors.remove(id)
 		cur.cancel()
+		cur.stream.Close()
 		writeEvalError(w, err)
 		return
 	}
@@ -548,17 +592,24 @@ func (s *Server) handleNext(w http.ResponseWriter, r *http.Request) {
 	if done {
 		// Exhausted: the cursor is gone after this page (a re-POST of the
 		// same query hits the result cache), and its per-query context —
-		// a deadline timer parented on baseCtx — is released.
+		// a deadline timer parented on baseCtx — is released. The epoch
+		// pin is NOT released before this page renders below; Close runs
+		// after the response is written.
 		s.cursors.remove(id)
 		cur.cancel()
+		defer cur.stream.Close()
 	}
 	s.counters.paths.Add(int64(returned))
 	s.counters.pages.Add(1)
 
 	w.Header().Set("Content-Type", "application/x-ndjson")
 	if chunk != nil {
+		// Render with the stream's pinned graph view: the path IDs were
+		// minted at that epoch, and compaction may have remapped IDs in
+		// the current one.
+		g := cur.stream.Graph()
 		for _, p := range chunk.Paths() {
-			if err := writeNDJSON(w, encodePath(s.g, p)); err != nil {
+			if err := writeNDJSON(w, encodePath(g, p)); err != nil {
 				return
 			}
 		}
@@ -580,7 +631,7 @@ func (s *Server) handleCancel(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	cur.cancel()
-	cur.stream.Cancel()
+	cur.stream.Close()
 	s.counters.cancelled.Add(1)
 	writeJSON(w, http.StatusOK, map[string]any{"id": id, "cancelled": true})
 }
@@ -609,6 +660,19 @@ type statsResponse struct {
 		Edges   int `json:"edges"`
 		Symbols int `json:"symbols"`
 	} `json:"graph"`
+	Store struct {
+		Epoch       uint64 `json:"epoch"`
+		DeltaSize   int    `json:"delta_size"`
+		DeltaNodes  int    `json:"delta_nodes"` // appended nodes in the overlay
+		DeltaEdges  int    `json:"delta_edges"` // appended edges in the overlay
+		DeadNodes   int    `json:"dead_nodes"`  // tombstoned nodes
+		DeadEdges   int    `json:"dead_edges"`  // tombstoned edges
+		Compactions uint64 `json:"compactions"`
+		LiveEpochs  int    `json:"live_epochs"`
+		Pinned      int64  `json:"pinned_snapshots"`
+		Ingests     int64  `json:"ingests"`
+		IngestedOps int64  `json:"ingested_ops"`
+	} `json:"store"`
 }
 
 // handleStats snapshots engine stats (aggregated across the per-limits
@@ -640,9 +704,17 @@ func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 	resp.Server.Paths = s.counters.paths.Load()
 	resp.Server.Pages = s.counters.pages.Load()
 	resp.ResultCache.Entries, resp.ResultCache.Hits, resp.ResultCache.Misses = s.cache.snapshot()
-	resp.Graph.Nodes = s.g.NumNodes()
-	resp.Graph.Edges = s.g.NumEdges()
-	resp.Graph.Symbols = s.g.NumSymbols()
+	g := s.store.Graph()
+	resp.Graph.Nodes = g.LiveNodes()
+	resp.Graph.Edges = g.LiveEdges()
+	resp.Graph.Symbols = g.NumSymbols()
+	resp.Store.Epoch = s.store.Epoch()
+	resp.Store.DeltaSize = s.store.DeltaSize()
+	resp.Store.DeltaNodes, resp.Store.DeltaEdges, resp.Store.DeadNodes, resp.Store.DeadEdges = s.store.DeltaCounts()
+	resp.Store.Compactions = s.store.Compactions()
+	resp.Store.LiveEpochs, resp.Store.Pinned = s.store.LiveEpochs()
+	resp.Store.Ingests = s.counters.ingests.Load()
+	resp.Store.IngestedOps = s.counters.ingestedOps.Load()
 	writeJSON(w, http.StatusOK, resp)
 }
 

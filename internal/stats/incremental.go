@@ -1,0 +1,111 @@
+package stats
+
+// Incremental maintenance: the live-graph store (internal/graph.Store)
+// keeps a per-epoch Stats clone in sync with its delta overlay so the
+// cost-based planner re-costs against the live epoch instead of the
+// sealed seed. The planner is only consulted in order-insensitive
+// contexts, so approximate statistics may change plan choice but never
+// results — which lets Max* degrees stay monotone upper bounds (a delete
+// never lowers them; compaction recomputes them exactly).
+
+// Remove cancels one earlier Observe of the given degree. Removing a
+// degree that was never observed leaves the histogram unchanged rather
+// than going negative.
+func (h *Hist) Remove(degree int) {
+	if degree < 1 {
+		return
+	}
+	if b := bucketOf(degree); h[b] > 0 {
+		h[b]--
+	}
+}
+
+// Clone returns a deep copy of the statistics bundle that can be adjusted
+// without disturbing the original — each store epoch owns its own clone.
+func (st *Stats) Clone() *Stats {
+	cp := &Stats{
+		Nodes:      st.Nodes,
+		Edges:      st.Edges,
+		NodeLabels: make(map[string]int, len(st.NodeLabels)),
+		EdgeLabels: make(map[string]int, len(st.EdgeLabels)),
+		Symbols:    make([]Symbol, len(st.Symbols)),
+		Any:        st.Any, // Symbol is a value type (Hist is an array)
+	}
+	for l, n := range st.NodeLabels {
+		cp.NodeLabels[l] = n
+	}
+	for l, n := range st.EdgeLabels {
+		cp.EdgeLabels[l] = n
+	}
+	copy(cp.Symbols, st.Symbols)
+	return cp
+}
+
+// SetCounts overwrites the global node/edge counts.
+func (st *Stats) SetCounts(nodes, edges int) {
+	st.Nodes = nodes
+	st.Edges = edges
+}
+
+// AdjustNodeLabel shifts the count of nodes labelled l by delta.
+func (st *Stats) AdjustNodeLabel(l string, delta int) {
+	if n := st.NodeLabels[l] + delta; n > 0 {
+		st.NodeLabels[l] = n
+	} else {
+		delete(st.NodeLabels, l)
+	}
+}
+
+// AdjustEdgeLabel shifts the count of edges labelled l by delta.
+func (st *Stats) AdjustEdgeLabel(l string, delta int) {
+	if n := st.EdgeLabels[l] + delta; n > 0 {
+		st.EdgeLabels[l] = n
+	} else {
+		delete(st.EdgeLabels, l)
+	}
+}
+
+// updateSide moves one node's degree for one (symbol, direction) from
+// oldDeg to newDeg, keeping the histogram, distinct-endpoint count and
+// monotone max in sync.
+func updateSide(hist *Hist, distinct *int, max *int, oldDeg, newDeg int) {
+	if oldDeg >= 1 {
+		hist.Remove(oldDeg)
+		*distinct--
+	}
+	if newDeg >= 1 {
+		hist.Observe(newDeg)
+		*distinct++
+		if newDeg > *max {
+			*max = newDeg
+		}
+	}
+}
+
+// UpdateOutDegree records that one node's out-degree for symbol sym
+// changed from oldDeg to newDeg. Per-symbol edge totals are maintained on
+// the out side only (mirroring Builder.ObserveOut).
+func (st *Stats) UpdateOutDegree(sym, oldDeg, newDeg int) {
+	s := &st.Symbols[sym]
+	s.Edges += newDeg - oldDeg
+	updateSide(&s.OutHist, &s.DistinctSrc, &s.MaxOut, oldDeg, newDeg)
+}
+
+// UpdateInDegree records that one node's in-degree for symbol sym changed.
+func (st *Stats) UpdateInDegree(sym, oldDeg, newDeg int) {
+	s := &st.Symbols[sym]
+	updateSide(&s.InHist, &s.DistinctDst, &s.MaxIn, oldDeg, newDeg)
+}
+
+// UpdateAnyOut records that one node's total out-degree changed.
+func (st *Stats) UpdateAnyOut(oldDeg, newDeg int) {
+	a := &st.Any
+	a.Edges += newDeg - oldDeg
+	updateSide(&a.OutHist, &a.DistinctSrc, &a.MaxOut, oldDeg, newDeg)
+}
+
+// UpdateAnyIn records that one node's total in-degree changed.
+func (st *Stats) UpdateAnyIn(oldDeg, newDeg int) {
+	a := &st.Any
+	updateSide(&a.InHist, &a.DistinctDst, &a.MaxIn, oldDeg, newDeg)
+}

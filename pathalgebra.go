@@ -168,6 +168,68 @@ var ErrBudgetExceeded = core.ErrBudgetExceeded
 // NewEngine returns an engine over g.
 func NewEngine(g *Graph, opts EngineOptions) *Engine { return engine.New(g, opts) }
 
+// Live-graph types: a Store is an updatable graph — an epoch sequence of
+// immutable snapshots. Apply ingests a Batch of mutations atomically and
+// publishes a new epoch; Snapshot pins an epoch for reading; a background
+// compactor folds accumulated deltas into fresh sealed CSR epochs.
+type (
+	// Store is the epoch-based live graph store.
+	Store = graph.Store
+	// StoreOptions configures compaction behavior.
+	StoreOptions = graph.StoreOptions
+	// Snapshot is a pinned, immutable epoch handle.
+	Snapshot = graph.Snapshot
+	// Batch is an ordered, atomic group of graph mutations.
+	Batch = graph.Batch
+	// Op is one mutation: add/delete of a node or edge.
+	Op = graph.Op
+	// OpKind enumerates the mutation kinds.
+	OpKind = graph.OpKind
+	// Footprint is the set of labels a plan reads — the unit of epoch-
+	// aware result invalidation.
+	Footprint = graph.Footprint
+)
+
+// Mutation kinds for Batch ops.
+const (
+	OpAddNode = graph.OpAddNode
+	OpAddEdge = graph.OpAddEdge
+	OpDelNode = graph.OpDelNode
+	OpDelEdge = graph.OpDelEdge
+)
+
+// Typed, errors.Is-able validation errors returned by Store.Apply and the
+// graph builders/loaders.
+var (
+	// ErrDuplicateKey reports a node or edge key that already names a live
+	// object.
+	ErrDuplicateKey = graph.ErrDuplicateKey
+	// ErrUnknownNode reports an edge referencing a missing endpoint.
+	ErrUnknownNode = graph.ErrUnknownNode
+	// ErrUnknownKey reports a delete of a key that names nothing.
+	ErrUnknownKey = graph.ErrUnknownKey
+)
+
+// NewStore wraps a sealed graph in a live store.
+func NewStore(g *Graph, opts StoreOptions) *Store { return graph.NewStore(g, opts) }
+
+// NewEngineWithStore returns an engine over a live store: every Run/
+// Stream/Explain pins the store's current epoch for its own duration, so
+// concurrent ingest and compaction never disturb a running query.
+func NewEngineWithStore(s *Store, opts EngineOptions) *Engine {
+	return engine.NewWithStore(s, opts)
+}
+
+// ReadBatchNDJSON parses a mutation batch from NDJSON (one op per line).
+func ReadBatchNDJSON(r io.Reader) (Batch, error) { return graph.ReadBatchNDJSON(r) }
+
+// ReadBatchCSV parses a mutation batch from CSV (header op,key,src,dst,label).
+func ReadBatchCSV(r io.Reader) (Batch, error) { return graph.ReadBatchCSV(r) }
+
+// PlanFootprint computes the label footprint of a plan — which node and
+// edge labels its result can depend on.
+func PlanFootprint(plan PathExpr) Footprint { return engine.PlanFootprint(plan) }
+
 // GraphStats returns the statistics bundle computed for g at build time —
 // the input of the cost-based planner.
 func GraphStats(g *Graph) *stats.Stats { return g.Stats() }

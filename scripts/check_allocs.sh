@@ -72,3 +72,22 @@ if [ "$extra" -gt "$STREAM_THRESHOLD" ]; then
     exit 1
 fi
 echo "check_allocs: streaming delivery allocates $extra allocs/op over batch ($stream vs $batch, threshold $STREAM_THRESHOLD)"
+
+# Live-store gate: a store whose delta is empty (post-compaction, ov ==
+# nil) must evaluate with EXACTLY the allocation profile of a from-scratch
+# sealed CSR — the overlay is a nil-check on the read path, nothing more.
+# Any drift means epoch plumbing started taxing sealed reads.
+out=$(go test -run xxx -bench 'BenchmarkSnapshotOverlayRead/(sealed|empty-delta)' -benchtime 5x -benchmem . 2>&1)
+printf '%s\n' "$out"
+
+sealed=$(printf '%s\n' "$out" | awk '/^BenchmarkSnapshotOverlayRead\/sealed/ { for (i = 1; i < NF; i++) if ($(i+1) == "allocs/op") print $i }')
+empty=$(printf '%s\n' "$out" | awk '/^BenchmarkSnapshotOverlayRead\/empty-delta/ { for (i = 1; i < NF; i++) if ($(i+1) == "allocs/op") print $i }')
+if [ -z "$sealed" ] || [ -z "$empty" ]; then
+    echo "check_allocs: could not find BenchmarkSnapshotOverlayRead allocs/op in benchmark output" >&2
+    exit 1
+fi
+if [ "$empty" -ne "$sealed" ]; then
+    echo "check_allocs: empty-delta read path allocates $empty allocs/op vs sealed $sealed — overlay is no longer free when the delta is empty" >&2
+    exit 1
+fi
+echo "check_allocs: empty-delta read path at sealed parity ($empty allocs/op)"
