@@ -1,0 +1,70 @@
+// Command pathalgebravet is pathalgebra's invariant checker: a
+// multichecker over the internal/lint analyzer suite (budgetcharge,
+// detorder, epochpin, errsentinel, hotpathalloc).
+//
+// It runs two ways:
+//
+//	pathalgebravet ./...              # standalone: load, check, report
+//	go vet -vettool=pathalgebravet    # vet mode: cmd/go drives it per
+//	                                  # package with cached results
+//
+// Vet mode is detected from the invocation (cmd/go passes -V=full,
+// -flags, or a single *.cfg argument); anything else is treated as a
+// list of package patterns for the standalone loader. `pathalgebravet
+// help` describes every analyzer.
+//
+// Exit status: 0 clean, 1 failure to load or analyze, 2 findings.
+package main
+
+import (
+	"fmt"
+	"os"
+
+	"pathalgebra/internal/lint"
+)
+
+func main() {
+	os.Exit(run(os.Args[1:]))
+}
+
+func run(args []string) int {
+	analyzers := lint.All()
+	if code, handled := lint.VetMain(args, analyzers); handled {
+		return code
+	}
+	if len(args) == 1 && (args[0] == "help" || args[0] == "-h" || args[0] == "--help") {
+		fmt.Println("pathalgebravet checks pathalgebra's engine invariants.")
+		fmt.Println()
+		for _, a := range analyzers {
+			fmt.Printf("%s:\n    %s\n", a.Name, a.Doc)
+		}
+		fmt.Println("\nusage: pathalgebravet [packages]   (or: go vet -vettool=pathalgebravet [packages])")
+		return 0
+	}
+	patterns := args
+	if len(patterns) == 0 {
+		patterns = []string{"./..."}
+	}
+	pkgs, err := lint.Load(".", patterns...)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "pathalgebravet:", err)
+		return 1
+	}
+	findings := 0
+	for _, pkg := range pkgs {
+		diags, err := lint.Run(pkg, analyzers)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "pathalgebravet:", err)
+			return 1
+		}
+		for _, d := range diags {
+			fmt.Println(d)
+			findings++
+		}
+	}
+	if findings > 0 {
+		fmt.Fprintf(os.Stderr, "pathalgebravet: %d finding(s)\n", findings)
+		return 2
+	}
+	return 0
+}

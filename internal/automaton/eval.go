@@ -86,6 +86,8 @@ type EvalOptions struct {
 }
 
 // seedAt resolves the i-th seed: the identity when no seed list is given.
+//
+//pathalgebra:hotpath
 func seedAt(seeds []graph.NodeID, i int) graph.NodeID {
 	if seeds == nil {
 		return graph.NodeID(i)
@@ -179,6 +181,8 @@ type symbolScan struct {
 // the node has runs, else iterate the state's symbol set with a
 // binary-search lookup per symbol. Both drivers enumerate the same
 // intersection in the same order, so the choice never affects results.
+//
+//pathalgebra:hotpath
 func scanRuns(dst []symbolScan, g *graph.Graph, c *CompiledNFA, n graph.NodeID, s StateID, back bool) []symbolScan {
 	dst = dst[:0]
 	var runs []graph.SymbolRun
@@ -196,6 +200,7 @@ func scanRuns(dst []symbolScan, g *graph.Graph, c *CompiledNFA, n graph.NodeID, 
 		}
 		return dst
 	}
+	//lint:ignore budgetcharge pure adjacency helper: callers charge per extension drawn from the returned scans
 	for _, sym := range syms {
 		var edges []graph.EdgeID
 		if back {
@@ -212,6 +217,8 @@ func scanRuns(dst []symbolScan, g *graph.Graph, c *CompiledNFA, n graph.NodeID, 
 
 // stepNode returns the node a product-search step lands on after reading
 // edge eid: the edge's head forward, its tail backward.
+//
+//pathalgebra:hotpath
 func stepNode(g *graph.Graph, eid graph.EdgeID, back bool) graph.NodeID {
 	src, dst := g.Endpoints(eid)
 	if back {
@@ -435,6 +442,8 @@ func mergeShards(shards []*shard) (*pathset.Set, error) {
 // reversed acyclic path acyclic, and Simple's closing-node exception maps
 // first↔last, which is exactly the dst == First(r) test on the reversed
 // chain).
+//
+//pathalgebra:hotpath
 func classifyExtend(sem core.Semantics, a *path.Arena, r path.Ref, e graph.EdgeID, dst graph.NodeID) (extend, admitOK bool) {
 	switch sem {
 	case core.Walk:

@@ -63,6 +63,8 @@ func NewBudget(lim Limits) *Budget {
 // ChargePath accounts one admitted result path of edge length n and
 // reports whether the budget still holds and the evaluation is not
 // cancelled.
+//
+//pathalgebra:hotpath
 func (b *Budget) ChargePath(n int) bool {
 	p := b.paths.Add(1)
 	w := b.work.Add(int64(n) + 1)
@@ -72,6 +74,8 @@ func (b *Budget) ChargePath(n int) bool {
 // ChargeWork accounts the materialization of one auxiliary search state of
 // edge length n (n+1 node slots) and reports whether the work budget still
 // holds and the evaluation is not cancelled.
+//
+//pathalgebra:hotpath
 func (b *Budget) ChargeWork(n int) bool {
 	return b.work.Add(int64(n)+1) <= b.maxWork.Load()
 }
@@ -98,6 +102,8 @@ const minInt64 = -1 << 63
 // Cancelled reports whether Cancel ran. Evaluator inner loops may poll it
 // between charges (one atomic load) to abort promptly even while doing
 // work that charges nothing.
+//
+//pathalgebra:hotpath
 func (b *Budget) Cancelled() bool { return b.cancel.Load() != nil }
 
 // Err returns the error a failed charge stands for: the cancellation cause

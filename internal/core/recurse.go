@@ -127,6 +127,11 @@ func EvalRecurseBudget(sem Semantics, base *pathset.Set, lim Limits, bud *Budget
 	arena := path.NewArena(2 * len(basePaths))
 	frontier := make([]path.Ref, 0, len(basePaths))
 	for _, p := range basePaths {
+		// Seeding materializes a search state per base path; charge it as
+		// work so MaxWork bounds the arena even before any extension.
+		if !bud.ChargeWork(p.Len()) {
+			return result, budgetErr(bud)
+		}
 		frontier = append(frontier, arena.FromPath(p))
 	}
 	// next reuses its storage across rounds via the swap below.
@@ -256,6 +261,11 @@ func evalShortest(base *pathset.Set, lim Limits, bud *Budget) (*pathset.Set, err
 	visited := pathset.New(base.Len())
 	for _, p := range base.Paths() {
 		if lim.withinLen(p) && visited.Add(p) {
+			// Each queued path is a materialized search state: charge it
+			// as work so MaxWork bounds heap + visited-set growth.
+			if !bud.ChargeWork(p.Len()) {
+				return result, budgetErr(bud)
+			}
 			heap.Push(h, p)
 		}
 	}
@@ -277,6 +287,11 @@ func evalShortest(base *pathset.Set, lim Limits, bud *Budget) (*pathset.Set, err
 		for _, bi := range byFirst[p.Last()] {
 			q := p.Concat(basePaths[bi])
 			if lim.withinLen(q) && visited.Add(q) {
+				// Concat materialized q and visited retains it; uncharged,
+				// a cyclic closure could grow both past MaxWork unchecked.
+				if !bud.ChargeWork(q.Len()) {
+					return result, budgetErr(bud)
+				}
 				heap.Push(h, q)
 			}
 		}

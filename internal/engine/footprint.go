@@ -1,6 +1,8 @@
 package engine
 
 import (
+	"sort"
+
 	"pathalgebra/internal/cond"
 	"pathalgebra/internal/core"
 	"pathalgebra/internal/graph"
@@ -28,14 +30,28 @@ import (
 func PlanFootprint(x core.PathExpr) graph.Footprint {
 	var a fpAcc
 	a.path(x)
-	fp := graph.Footprint{AllNodes: a.allNodes, AllEdges: a.allEdges}
-	for l := range a.nodeLabels {
-		fp.NodeLabels = append(fp.NodeLabels, l)
-	}
-	for l := range a.edgeLabels {
-		fp.EdgeLabels = append(fp.EdgeLabels, l)
+	fp := graph.Footprint{
+		AllNodes:   a.allNodes,
+		AllEdges:   a.allEdges,
+		NodeLabels: sortedKeys(a.nodeLabels),
+		EdgeLabels: sortedKeys(a.edgeLabels),
 	}
 	return fp.Normalize()
+}
+
+// sortedKeys returns the keys of set in sorted order, nil when empty.
+// Footprints are compared and rendered downstream, so their label lists
+// must not depend on map iteration order.
+func sortedKeys(set map[string]struct{}) []string {
+	if len(set) == 0 {
+		return nil
+	}
+	keys := make([]string, 0, len(set))
+	for k := range set {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
 }
 
 type fpAcc struct {

@@ -1,6 +1,7 @@
 package graph
 
 import (
+	"errors"
 	"strings"
 	"testing"
 )
@@ -35,6 +36,10 @@ func TestReadBatchNDJSON(t *testing.T) {
 	}
 }
 
+// TestReadBatchNDJSONErrors asserts parse-error messages by substring:
+// wire-format errors carry positions ("line 2") and op names but no
+// typed sentinels — nothing programmatic branches on them, unlike the
+// store's validation errors (see TestBatchApplySentinels).
 func TestReadBatchNDJSONErrors(t *testing.T) {
 	cases := []struct {
 		name, in, wantSub string
@@ -102,5 +107,33 @@ func TestBatchRoundTripThroughStore(t *testing.T) {
 	}
 	if s.Graph().LiveNodes() != 4 || s.Graph().LiveEdges() != 4 {
 		t.Fatalf("live = %d/%d", s.Graph().LiveNodes(), s.Graph().LiveEdges())
+	}
+}
+
+// TestBatchApplySentinels: store validation failures surface through
+// batch application as errors.Is-able sentinels — the contract the
+// /ingest endpoint's 422 mapping relies on.
+func TestBatchApplySentinels(t *testing.T) {
+	cases := []struct {
+		name, in string
+		want     error
+	}{
+		{"duplicate key", `{"op":"add_node","key":"a","label":"P"}`, ErrDuplicateKey},
+		{"unknown endpoint", `{"op":"add_edge","key":"e9","src":"a","dst":"nope","label":"L"}`, ErrUnknownNode},
+		{"unknown delete", `{"op":"del_node","key":"nope"}`, ErrUnknownKey},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			b, err := ReadBatchNDJSON(strings.NewReader(tc.in))
+			if err != nil {
+				t.Fatal(err)
+			}
+			s := NewStore(seedGraph(t), StoreOptions{CompactThreshold: -1})
+			defer s.Close()
+			_, err = s.Apply(b)
+			if !errors.Is(err, tc.want) {
+				t.Errorf("Apply error %q is not %q", err, tc.want)
+			}
+		})
 	}
 }

@@ -138,6 +138,8 @@ func (g *Graph) LiveEdges() int {
 // NodeAlive reports whether id is a live node of this view — always true
 // on a sealed graph, false for tombstoned IDs on a delta view. Evaluators
 // iterating the dense ID space must skip dead IDs.
+//
+//pathalgebra:hotpath
 func (g *Graph) NodeAlive(id NodeID) bool {
 	if g.ov != nil {
 		_, dead := g.ov.deadNodes[id]
@@ -147,6 +149,8 @@ func (g *Graph) NodeAlive(id NodeID) bool {
 }
 
 // EdgeAlive is NodeAlive for edges.
+//
+//pathalgebra:hotpath
 func (g *Graph) EdgeAlive(id EdgeID) bool {
 	if g.ov != nil {
 		_, dead := g.ov.deadEdges[id]
@@ -217,6 +221,8 @@ func (g *Graph) Edges() []Edge {
 // Out returns the IDs of live edges leaving n in the CSR order: ascending
 // by (label symbol, edge ID). The slice aliases shared storage; do not
 // modify.
+//
+//pathalgebra:hotpath
 func (g *Graph) Out(n NodeID) []EdgeID {
 	if g.ov != nil {
 		return g.ov.out(n)
@@ -226,6 +232,8 @@ func (g *Graph) Out(n NodeID) []EdgeID {
 
 // In returns the IDs of live edges entering n in (label symbol, edge ID)
 // order.
+//
+//pathalgebra:hotpath
 func (g *Graph) In(n NodeID) []EdgeID {
 	if g.ov != nil {
 		return g.ov.in(n)
@@ -235,6 +243,8 @@ func (g *Graph) In(n NodeID) []EdgeID {
 
 // OutRuns returns n's outgoing adjacency partitioned into label-homogeneous
 // runs, symbols ascending. The slice is shared; do not modify.
+//
+//pathalgebra:hotpath
 func (g *Graph) OutRuns(n NodeID) []SymbolRun {
 	if g.ov != nil {
 		return g.ov.outRuns(n)
@@ -244,6 +254,8 @@ func (g *Graph) OutRuns(n NodeID) []SymbolRun {
 
 // InRuns returns n's incoming adjacency partitioned into label-homogeneous
 // runs, symbols ascending.
+//
+//pathalgebra:hotpath
 func (g *Graph) InRuns(n NodeID) []SymbolRun {
 	if g.ov != nil {
 		return g.ov.inRuns(n)
@@ -255,6 +267,8 @@ func (g *Graph) InRuns(n NodeID) []SymbolRun {
 // symbol, ascending by edge ID — the product search's inner-loop lookup.
 // It binary-searches n's runs (symbols are ascending), so the cost is
 // O(log runs(n)) and no non-matching edge is ever touched.
+//
+//pathalgebra:hotpath
 func (g *Graph) OutWithSymbol(n NodeID, sym SymbolID) []EdgeID {
 	if g.ov != nil {
 		return findRun(g.ov.outRuns(n), sym)
@@ -263,6 +277,8 @@ func (g *Graph) OutWithSymbol(n NodeID, sym SymbolID) []EdgeID {
 }
 
 // InWithSymbol is OutWithSymbol for incoming edges.
+//
+//pathalgebra:hotpath
 func (g *Graph) InWithSymbol(n NodeID, sym SymbolID) []EdgeID {
 	if g.ov != nil {
 		return findRun(g.ov.inRuns(n), sym)
@@ -270,6 +286,7 @@ func (g *Graph) InWithSymbol(n NodeID, sym SymbolID) []EdgeID {
 	return findRun(g.inRuns[g.inRunOff[n]:g.inRunOff[n+1]], sym)
 }
 
+//pathalgebra:hotpath
 func findRun(runs []SymbolRun, sym SymbolID) []EdgeID {
 	lo, hi := 0, len(runs)
 	for lo < hi {
@@ -322,6 +339,8 @@ func (g *Graph) SymbolOf(label string) SymbolID {
 }
 
 // EdgeSymbol returns the interned label symbol of edge e.
+//
+//pathalgebra:hotpath
 func (g *Graph) EdgeSymbol(e EdgeID) SymbolID {
 	if g.ov != nil {
 		return g.ov.edgeSymbol(e)
@@ -378,6 +397,8 @@ func (g *Graph) EdgeProp(id EdgeID, prop string) Value {
 }
 
 // Endpoints implements ρ.
+//
+//pathalgebra:hotpath
 func (g *Graph) Endpoints(id EdgeID) (src, dst NodeID) {
 	if g.ov != nil {
 		e := g.ov.edge(id)

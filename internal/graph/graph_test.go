@@ -2,6 +2,7 @@ package graph
 
 import (
 	"bytes"
+	"errors"
 	"strings"
 	"testing"
 )
@@ -203,7 +204,7 @@ func TestBuilderErrors(t *testing.T) {
 	tests := []struct {
 		name  string
 		build func(b *Builder)
-		want  string
+		want  error
 	}{
 		{
 			name: "duplicate node key",
@@ -211,7 +212,7 @@ func TestBuilderErrors(t *testing.T) {
 				b.AddNode("x", "", nil)
 				b.AddNode("x", "", nil)
 			},
-			want: "duplicate node key",
+			want: ErrDuplicateKey,
 		},
 		{
 			name: "duplicate edge key",
@@ -221,7 +222,7 @@ func TestBuilderErrors(t *testing.T) {
 				b.AddEdge("e", "a", "b", "", nil)
 				b.AddEdge("e", "a", "b", "", nil)
 			},
-			want: "duplicate edge key",
+			want: ErrDuplicateKey,
 		},
 		{
 			name: "unknown source",
@@ -229,7 +230,7 @@ func TestBuilderErrors(t *testing.T) {
 				b.AddNode("a", "", nil)
 				b.AddEdge("e", "missing", "a", "", nil)
 			},
-			want: "unknown source",
+			want: ErrUnknownNode,
 		},
 		{
 			name: "unknown target",
@@ -237,7 +238,7 @@ func TestBuilderErrors(t *testing.T) {
 				b.AddNode("a", "", nil)
 				b.AddEdge("e", "a", "missing", "", nil)
 			},
-			want: "unknown target",
+			want: ErrUnknownNode,
 		},
 		{
 			name: "node/edge key clash",
@@ -246,7 +247,7 @@ func TestBuilderErrors(t *testing.T) {
 				b.AddNode("b", "", nil)
 				b.AddEdge("a", "a", "b", "", nil)
 			},
-			want: "both a node and an edge",
+			want: ErrDuplicateKey,
 		},
 	}
 	for _, tc := range tests {
@@ -257,8 +258,8 @@ func TestBuilderErrors(t *testing.T) {
 			if err == nil {
 				t.Fatal("Build succeeded, want error")
 			}
-			if !strings.Contains(err.Error(), tc.want) {
-				t.Errorf("error %q does not mention %q", err, tc.want)
+			if !errors.Is(err, tc.want) {
+				t.Errorf("error %q is not %q", err, tc.want)
 			}
 		})
 	}

@@ -1,0 +1,13 @@
+package lint
+
+// All returns the full pathalgebravet analyzer suite, in reporting
+// order.
+func All() []*Analyzer {
+	return []*Analyzer{
+		BudgetCharge,
+		DetOrder,
+		EpochPin,
+		ErrSentinel,
+		HotPathAlloc,
+	}
+}

@@ -1,0 +1,240 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// DetOrder checks deterministic-output discipline: the engine's contract
+// is byte-identical results at every worker count, which a `range` over
+// a Go map silently breaks — map iteration order is randomized per run.
+//
+// The analyzer flags a map range whose body feeds order-sensitive
+// output: appending to a slice, writing to an io.Writer / strings.Builder
+// / bytes.Buffer (Write*, Fprint*, Encode), building a string by
+// concatenation, or sending on a channel. Bodies that only fold the
+// entries order-insensitively — counting, summing, set membership,
+// writing into another map — are permitted: those are exactly the
+// aggregations where iteration order cannot be observed.
+//
+// Two canonical deterministic idioms are recognized and allowed:
+//
+//   - collect-then-sort: the appended-to slice is passed to a sort. or
+//     slices. call after the loop in the same function;
+//   - keyed writes: append into a slot indexed by the range key
+//     (m2[k] = append(m2[k], ...)) — each key owns its slot, so the
+//     visit order is unobservable.
+//
+// The fix is the repo's standard pattern: collect the keys, sort them,
+// range over the sorted slice. Where order-insensitivity holds for a
+// non-obvious reason, suppress with //lint:ignore detorder <why>.
+var DetOrder = &Analyzer{
+	Name: "detorder",
+	Doc: "no unsorted map iteration in code that feeds deterministic output " +
+		"(merge order, rendering, NDJSON encoding, footprint construction)",
+	Run: runDetOrder,
+}
+
+// orderSinkMethods are method names whose call inside a map-range body
+// makes iteration order observable in output.
+var orderSinkMethods = map[string]bool{
+	"Write": true, "WriteString": true, "WriteByte": true, "WriteRune": true,
+	"Encode": true,
+}
+
+// orderSinkFmtFuncs are fmt functions that emit directly to a writer.
+var orderSinkFmtFuncs = map[string]bool{
+	"Fprint": true, "Fprintf": true, "Fprintln": true,
+	"Print": true, "Printf": true, "Println": true,
+}
+
+func runDetOrder(pass *Pass) error {
+	for _, f := range pass.Files {
+		for _, decl := range f.Decls {
+			fn, ok := decl.(*ast.FuncDecl)
+			if !ok || fn.Body == nil {
+				continue
+			}
+			ast.Inspect(fn.Body, func(n ast.Node) bool {
+				rng, ok := n.(*ast.RangeStmt)
+				if !ok {
+					return true
+				}
+				t := pass.TypeOf(rng.X)
+				if t == nil {
+					return true
+				}
+				if _, isMap := t.Underlying().(*types.Map); !isMap {
+					return true
+				}
+				if sink := orderSensitiveSink(pass, fn, rng); sink != "" {
+					pass.Reportf(rng.Pos(), "map iteration order is randomized but this loop %s; range over sorted keys for deterministic output", sink)
+				}
+				return true
+			})
+		}
+	}
+	return nil
+}
+
+// orderSensitiveSink reports how the loop body observes iteration
+// order; "" when every statement is order-insensitive.
+func orderSensitiveSink(pass *Pass, fn *ast.FuncDecl, rng *ast.RangeStmt) string {
+	keyObj := rangeKeyObject(pass, rng)
+	sink := ""
+	isString := func(e ast.Expr) bool {
+		t := pass.TypeOf(e)
+		if t == nil {
+			return false
+		}
+		b, ok := t.Underlying().(*types.Basic)
+		return ok && b.Info()&types.IsString != 0
+	}
+	ast.Inspect(rng.Body, func(n ast.Node) bool {
+		if sink != "" {
+			return false
+		}
+		switch n := n.(type) {
+		case *ast.AssignStmt:
+			if n.Tok == token.ADD_ASSIGN && len(n.Lhs) == 1 && isString(n.Lhs[0]) {
+				sink = "concatenates into a string"
+				return false
+			}
+			// Appends via assignment: x = append(x, ...). Keyed writes
+			// (x[k] = append(x[k], ...) with k the range key) own their
+			// slot per key and are order-insensitive.
+			for i, r := range n.Rhs {
+				call, ok := r.(*ast.CallExpr)
+				if !ok || !isBuiltinAppend(pass, call) {
+					continue
+				}
+				if i < len(n.Lhs) && isKeyedSlot(pass, n.Lhs[i], keyObj) {
+					continue
+				}
+				if len(call.Args) > 0 && sortedAfter(pass, fn, rng, call.Args[0]) {
+					continue
+				}
+				sink = "appends to a slice"
+				return false
+			}
+		case *ast.CallExpr:
+			if isBuiltinAppend(pass, n) {
+				// append in non-assignment position (argument, return...):
+				// conservatively a sink unless the target is sorted later.
+				if parentAssignsAppend(fn, n) {
+					return true // handled by the AssignStmt case
+				}
+				if len(n.Args) > 0 && sortedAfter(pass, fn, rng, n.Args[0]) {
+					return true
+				}
+				sink = "appends to a slice"
+				return false
+			}
+			if _, m, ok := methodCall(pass.Info, n); ok && orderSinkMethods[m] {
+				sink = "writes to an output sink (" + m + ")"
+				return false
+			}
+			if name, ok := pkgFuncCall(pass.Info, n, "fmt"); ok && orderSinkFmtFuncs[name] {
+				sink = "prints via fmt." + name
+				return false
+			}
+		case *ast.SendStmt:
+			sink = "sends on a channel"
+			return false
+		}
+		return true
+	})
+	return sink
+}
+
+// rangeKeyObject resolves the object of the range statement's key
+// variable, nil when absent or blank.
+func rangeKeyObject(pass *Pass, rng *ast.RangeStmt) types.Object {
+	id, ok := rng.Key.(*ast.Ident)
+	if !ok || id.Name == "_" {
+		return nil
+	}
+	if obj := pass.Info.Defs[id]; obj != nil {
+		return obj
+	}
+	return pass.Info.Uses[id]
+}
+
+// isBuiltinAppend reports whether call is the append builtin.
+func isBuiltinAppend(pass *Pass, call *ast.CallExpr) bool {
+	id, ok := call.Fun.(*ast.Ident)
+	if !ok || id.Name != "append" {
+		return false
+	}
+	obj := pass.Info.Uses[id]
+	_, isBuiltin := obj.(*types.Builtin)
+	return isBuiltin
+}
+
+// isKeyedSlot reports whether lhs is an index expression whose index
+// uses the range key — a per-key slot write.
+func isKeyedSlot(pass *Pass, lhs ast.Expr, keyObj types.Object) bool {
+	if keyObj == nil {
+		return false
+	}
+	ix, ok := lhs.(*ast.IndexExpr)
+	if !ok {
+		return false
+	}
+	uses := false
+	ast.Inspect(ix.Index, func(n ast.Node) bool {
+		if id, ok := n.(*ast.Ident); ok && pass.Info.Uses[id] == keyObj {
+			uses = true
+		}
+		return !uses
+	})
+	return uses
+}
+
+// parentAssignsAppend reports whether the append call is the direct RHS
+// of an assignment somewhere in fn (the usual x = append(x, ...) form),
+// so the AssignStmt case owns its classification.
+func parentAssignsAppend(fn *ast.FuncDecl, call *ast.CallExpr) bool {
+	found := false
+	ast.Inspect(fn.Body, func(n ast.Node) bool {
+		as, ok := n.(*ast.AssignStmt)
+		if !ok {
+			return true
+		}
+		for _, r := range as.Rhs {
+			if r == call {
+				found = true
+			}
+		}
+		return !found
+	})
+	return found
+}
+
+// sortedAfter reports whether expr (the appended-to slice) is passed to
+// a sort. or slices. call after the range loop in the same function —
+// the collect-then-sort idiom, whose result is order-independent.
+func sortedAfter(pass *Pass, fn *ast.FuncDecl, rng *ast.RangeStmt, target ast.Expr) bool {
+	want := types.ExprString(target)
+	found := false
+	ast.Inspect(fn.Body, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok || call.Pos() < rng.End() {
+			return true
+		}
+		name, ok := pkgFuncCall(pass.Info, call, "sort")
+		if !ok {
+			name, ok = pkgFuncCall(pass.Info, call, "slices")
+		}
+		if !ok || len(call.Args) == 0 {
+			return true
+		}
+		_ = name
+		if types.ExprString(call.Args[0]) == want {
+			found = true
+		}
+		return !found
+	})
+	return found
+}

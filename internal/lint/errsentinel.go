@@ -1,0 +1,95 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// ErrSentinel enforces the typed-error contract established in PR 5/6:
+// production code never matches error message text — budget exhaustion,
+// cancellation, draining and the store's validation failures are all
+// errors.Is-able sentinels (core.ErrBudgetExceeded, graph.ErrUnknownNode,
+// ...), and message text is allowed to change without breaking callers.
+//
+// Flagged in non-test code:
+//
+//   - err.Error() == "..." / != comparisons (either operand);
+//   - strings.Contains / HasPrefix / HasSuffix / EqualFold applied to an
+//     err.Error() result.
+//
+// Test files are exempt (the runner never analyzes them): parse-error
+// message assertions without a sentinel legitimately live in tests.
+var ErrSentinel = &Analyzer{
+	Name: "errsentinel",
+	Doc: "non-test code must compare errors with errors.Is/errors.As against typed " +
+		"sentinels, never by matching message strings",
+	Run: runErrSentinel,
+}
+
+// errStringFuncs are the strings-package matchers that indicate message
+// sniffing when applied to err.Error().
+var errStringFuncs = map[string]bool{
+	"Contains": true, "HasPrefix": true, "HasSuffix": true, "EqualFold": true,
+}
+
+func runErrSentinel(pass *Pass) error {
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.BinaryExpr:
+				if (n.Op == token.EQL || n.Op == token.NEQ) &&
+					(isErrorTextCall(pass, n.X) || isErrorTextCall(pass, n.Y)) {
+					pass.Reportf(n.OpPos, "comparing error message text; use errors.Is (or errors.As) against a typed sentinel")
+				}
+			case *ast.CallExpr:
+				name, ok := pkgFuncCall(pass.Info, n, "strings")
+				if !ok || !errStringFuncs[name] {
+					return true
+				}
+				for _, arg := range n.Args {
+					if isErrorTextCall(pass, arg) {
+						pass.Reportf(n.Pos(), "matching error message text with strings.%s; use errors.Is (or errors.As) against a typed sentinel", name)
+						break
+					}
+				}
+			}
+			return true
+		})
+	}
+	return nil
+}
+
+// isErrorTextCall reports whether e is a call of Error() on an
+// error-typed value.
+func isErrorTextCall(pass *Pass, e ast.Expr) bool {
+	call, ok := e.(*ast.CallExpr)
+	if !ok || len(call.Args) != 0 {
+		return false
+	}
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok || sel.Sel.Name != "Error" {
+		return false
+	}
+	t := pass.TypeOf(sel.X)
+	if t == nil {
+		return false
+	}
+	return types.Implements(t, errorInterface()) ||
+		(t.Underlying() != nil && isErrorInterfaceType(t))
+}
+
+// errorIfaceCache caches the universe error interface.
+var errorIfaceCached *types.Interface
+
+func errorInterface() *types.Interface {
+	if errorIfaceCached == nil {
+		errorIfaceCached = types.Universe.Lookup("error").Type().Underlying().(*types.Interface)
+	}
+	return errorIfaceCached
+}
+
+func isErrorInterfaceType(t types.Type) bool {
+	n, ok := t.(*types.Named)
+	return ok && n.Obj().Name() == "error" && n.Obj().Pkg() == nil
+}

@@ -1,0 +1,201 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// HotPathAlloc statically enforces the allocation discipline of
+// functions annotated `//pathalgebra:hotpath`: the evaluation inner
+// loops' leaf helpers (CSR accessors, arena ops, budget charges,
+// transition scans) must not introduce per-call heap allocations — the
+// property scripts/check_allocs.sh gates dynamically, made reviewable
+// at the call-site level.
+//
+// Flagged constructs inside annotated functions:
+//
+//   - string concatenation (+ / += on strings) — builds a new string;
+//   - calls into package fmt — allocate for formatting and box their
+//     variadic arguments;
+//   - map and slice composite literals, make, and new;
+//   - function literals — closures capture by reference and escape;
+//   - interface boxing: passing, assigning or returning a concrete
+//     non-pointer-shaped value where an interface is expected (pointer,
+//     map, chan and func values fit an interface word without
+//     allocating and are allowed).
+//
+// append is deliberately NOT flagged: the hot paths append into reused
+// scratch buffers (arena entries, frontier slices), which is the
+// architecture's amortized-zero pattern, not a per-call allocation.
+var HotPathAlloc = &Analyzer{
+	Name: "hotpathalloc",
+	Doc: "functions annotated //pathalgebra:hotpath must not allocate: no string concat, " +
+		"fmt calls, map/slice literals, make/new, closures or interface boxing",
+	Run: runHotPathAlloc,
+}
+
+func runHotPathAlloc(pass *Pass) error {
+	for _, f := range pass.Files {
+		for _, decl := range f.Decls {
+			fn, ok := decl.(*ast.FuncDecl)
+			if !ok || fn.Body == nil || !HasHotpathDirective(fn) {
+				continue
+			}
+			checkHotFunc(pass, fn)
+		}
+	}
+	return nil
+}
+
+func checkHotFunc(pass *Pass, fn *ast.FuncDecl) {
+	info := pass.Info
+	isString := func(e ast.Expr) bool {
+		t := pass.TypeOf(e)
+		if t == nil {
+			return false
+		}
+		b, ok := t.Underlying().(*types.Basic)
+		return ok && b.Info()&types.IsString != 0
+	}
+	ast.Inspect(fn.Body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.BinaryExpr:
+			if n.Op == token.ADD && isString(n.X) {
+				pass.Reportf(n.OpPos, "string concatenation allocates in hot path %s", fn.Name.Name)
+			}
+		case *ast.AssignStmt:
+			if n.Tok == token.ADD_ASSIGN && len(n.Lhs) == 1 && isString(n.Lhs[0]) {
+				pass.Reportf(n.TokPos, "string concatenation allocates in hot path %s", fn.Name.Name)
+			}
+			checkBoxingAssign(pass, fn, n)
+		case *ast.CallExpr:
+			checkHotCall(pass, fn, n)
+		case *ast.CompositeLit:
+			t := pass.TypeOf(n)
+			if t == nil {
+				return true
+			}
+			switch t.Underlying().(type) {
+			case *types.Map:
+				pass.Reportf(n.Pos(), "map literal allocates in hot path %s", fn.Name.Name)
+			case *types.Slice:
+				pass.Reportf(n.Pos(), "slice literal allocates in hot path %s", fn.Name.Name)
+			}
+		case *ast.FuncLit:
+			pass.Reportf(n.Pos(), "function literal allocates (closure) in hot path %s", fn.Name.Name)
+			return false
+		case *ast.ReturnStmt:
+			checkBoxingReturn(pass, fn, n)
+		}
+		return true
+	})
+	_ = info
+}
+
+// checkHotCall flags fmt calls, make/new, and boxing call arguments.
+func checkHotCall(pass *Pass, fn *ast.FuncDecl, call *ast.CallExpr) {
+	if name, ok := pkgFuncCall(pass.Info, call, "fmt"); ok {
+		pass.Reportf(call.Pos(), "fmt.%s allocates in hot path %s", name, fn.Name.Name)
+		return
+	}
+	if id, ok := call.Fun.(*ast.Ident); ok {
+		if obj := pass.Info.Uses[id]; obj != nil {
+			if b, isBuiltin := obj.(*types.Builtin); isBuiltin {
+				switch b.Name() {
+				case "make":
+					pass.Reportf(call.Pos(), "make allocates in hot path %s", fn.Name.Name)
+				case "new":
+					pass.Reportf(call.Pos(), "new allocates in hot path %s", fn.Name.Name)
+				}
+				return
+			}
+		}
+	}
+	sig, ok := pass.TypeOf(call.Fun).(*types.Signature)
+	if !ok {
+		return // type conversion or untyped
+	}
+	params := sig.Params()
+	for i, arg := range call.Args {
+		var pt types.Type
+		switch {
+		case sig.Variadic() && i >= params.Len()-1:
+			if call.Ellipsis != token.NoPos {
+				continue // s... passes the slice through
+			}
+			pt = params.At(params.Len() - 1).Type().(*types.Slice).Elem()
+		case i < params.Len():
+			pt = params.At(i).Type()
+		}
+		if boxes(pass.TypeOf(arg), pt) {
+			pass.Reportf(arg.Pos(), "argument boxes a concrete value into interface %s in hot path %s", pt.String(), fn.Name.Name)
+		}
+	}
+}
+
+// checkBoxingAssign flags assignments that box into interface-typed
+// destinations.
+func checkBoxingAssign(pass *Pass, fn *ast.FuncDecl, as *ast.AssignStmt) {
+	if len(as.Lhs) != len(as.Rhs) {
+		return
+	}
+	for i := range as.Lhs {
+		var lt types.Type
+		if as.Tok == token.DEFINE {
+			continue // := infers the concrete type, no interface involved
+		}
+		lt = pass.TypeOf(as.Lhs[i])
+		if boxes(pass.TypeOf(as.Rhs[i]), lt) {
+			pass.Reportf(as.Rhs[i].Pos(), "assignment boxes a concrete value into interface %s in hot path %s", lt.String(), fn.Name.Name)
+		}
+	}
+}
+
+// checkBoxingReturn flags returns that box into interface results.
+func checkBoxingReturn(pass *Pass, fn *ast.FuncDecl, ret *ast.ReturnStmt) {
+	if fn.Type.Results == nil {
+		return
+	}
+	sig, ok := pass.TypeOf(fn.Name).(*types.Signature)
+	if !ok {
+		if obj := pass.Info.Defs[fn.Name]; obj != nil {
+			sig, ok = obj.Type().(*types.Signature)
+		}
+		if !ok {
+			return
+		}
+	}
+	res := sig.Results()
+	if len(ret.Results) != res.Len() {
+		return
+	}
+	for i, r := range ret.Results {
+		if boxes(pass.TypeOf(r), res.At(i).Type()) {
+			pass.Reportf(r.Pos(), "return boxes a concrete value into interface %s in hot path %s", res.At(i).Type().String(), fn.Name.Name)
+		}
+	}
+}
+
+// boxes reports whether storing a value of type src into a destination
+// of type dst converts a concrete, non-pointer-shaped value into an
+// interface — the conversion that heap-allocates the value's copy.
+func boxes(src, dst types.Type) bool {
+	if src == nil || dst == nil {
+		return false
+	}
+	if _, isIface := dst.Underlying().(*types.Interface); !isIface {
+		return false
+	}
+	switch u := src.Underlying().(type) {
+	case *types.Interface:
+		return false // interface-to-interface carries the existing box
+	case *types.Pointer, *types.Map, *types.Chan, *types.Signature:
+		return false // pointer-shaped: fits the interface word
+	case *types.Basic:
+		if u.Kind() == types.UntypedNil || u.Kind() == types.UnsafePointer {
+			return false
+		}
+	}
+	return true
+}

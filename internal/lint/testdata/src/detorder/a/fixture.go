@@ -1,0 +1,73 @@
+// Package a is a detorder fixture: map ranges feeding order-sensitive
+// output are flagged; order-insensitive folds and the two blessed
+// deterministic idioms (collect-then-sort, keyed writes) are not.
+package a
+
+import (
+	"fmt"
+	"sort"
+)
+
+// True positive: appended order leaks map iteration order.
+func bad(m map[string]int) []string {
+	var out []string
+	for k := range m { // want `appends to a slice`
+		out = append(out, k)
+	}
+	return out
+}
+
+// Clean: collect-then-sort — the slice is sorted after the loop.
+func collectThenSort(m map[string]int) []string {
+	var out []string
+	for k := range m {
+		out = append(out, k)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Clean: keyed writes — each key owns its slot, visit order is
+// unobservable.
+func keyed(m map[string][]int) map[string][]int {
+	out := make(map[string][]int)
+	for k, vs := range m {
+		out[k] = append(out[k], vs...)
+	}
+	return out
+}
+
+// Clean: an order-insensitive fold.
+func fold(m map[string]int) int {
+	total := 0
+	for _, v := range m {
+		total += v
+	}
+	return total
+}
+
+// True positive: printed order leaks map iteration order.
+func prints(m map[string]int) {
+	for k := range m { // want `prints via fmt.Println`
+		fmt.Println(k)
+	}
+}
+
+// True positive: concatenation order leaks map iteration order.
+func concat(m map[string]int) string {
+	s := ""
+	for k := range m { // want `concatenates into a string`
+		s += k
+	}
+	return s
+}
+
+// Suppressed: order-insensitivity holds for an out-of-band reason.
+func suppressed(m map[string]int) []string {
+	var out []string
+	//lint:ignore detorder the collected values are all cancelled; order unobservable
+	for k := range m {
+		out = append(out, k)
+	}
+	return out
+}

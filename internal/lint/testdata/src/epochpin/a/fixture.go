@@ -1,0 +1,65 @@
+// Package a is an epochpin fixture: Store/Snapshot mirror the graph
+// store's pinning API.
+package a
+
+type Graph struct{}
+
+type Snapshot struct{}
+
+func (s *Snapshot) Release()      {}
+func (s *Snapshot) Graph() *Graph { return nil }
+
+type Store struct{}
+
+func (s *Store) Snapshot() *Snapshot { return &Snapshot{} }
+
+func use(g *Graph)       {}
+func count(g *Graph) int { return 0 }
+
+// True positive: the handle is dropped on the floor.
+func dropped(st *Store) {
+	st.Snapshot() // want `handle is dropped`
+}
+
+// True positive: the pin is never released.
+func neverReleased(st *Store) *Graph {
+	sn := st.Snapshot() // want `never released`
+	return sn.Graph()
+}
+
+// True positive: released, but not deferred — an early return or panic
+// between Snapshot and Release leaks the epoch.
+func plainRelease(st *Store) {
+	sn := st.Snapshot() // want `released without defer`
+	use(sn.Graph())
+	sn.Release()
+}
+
+// Clean: the canonical scoped pin.
+func scoped(st *Store) int {
+	sn := st.Snapshot()
+	defer sn.Release()
+	return count(sn.Graph())
+}
+
+// Clean: ownership transfer — the caller receives the release
+// capability (the engine's pin() pattern).
+func pinned(st *Store) (*Graph, func()) {
+	sn := st.Snapshot()
+	return sn.Graph(), sn.Release
+}
+
+// True positive: the graph outlives its function-scoped pin.
+func escape(st *Store) *Graph {
+	sn := st.Snapshot()
+	defer sn.Release()
+	g := sn.Graph()
+	return g // want `escapes its pin scope`
+}
+
+// Suppressed: leak acknowledged with a reason.
+func suppressed(st *Store) *Graph {
+	//lint:ignore epochpin fixture demonstrates an acknowledged leak
+	sn := st.Snapshot()
+	return sn.Graph()
+}

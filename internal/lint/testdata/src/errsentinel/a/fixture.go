@@ -1,0 +1,41 @@
+// Package a is an errsentinel fixture: matching error message text is
+// flagged; errors.Is against a sentinel is the blessed form.
+package a
+
+import (
+	"errors"
+	"strings"
+)
+
+var errBoom = errors.New("boom")
+
+// True positive: equality on message text.
+func byText(err error) bool {
+	return err.Error() == "boom" // want `comparing error message text`
+}
+
+// True positive: substring match on message text.
+func byContains(err error) bool {
+	return strings.Contains(err.Error(), "boom") // want `matching error message text with strings.Contains`
+}
+
+// True positive either way around.
+func byTextReversed(err error) bool {
+	return "boom" != err.Error() // want `comparing error message text`
+}
+
+// Clean: the typed-sentinel form.
+func byIs(err error) bool {
+	return errors.Is(err, errBoom)
+}
+
+// Clean: strings.Contains on non-error text.
+func plainContains(s string) bool {
+	return strings.Contains(s, "boom")
+}
+
+// Suppressed: a third-party error with no sentinel to match.
+func suppressed(err error) bool {
+	//lint:ignore errsentinel upstream library exposes no sentinel for this failure
+	return err.Error() == "boom"
+}

@@ -1,0 +1,78 @@
+// Package a is a hotpathalloc fixture: allocation constructs inside
+// //pathalgebra:hotpath functions are flagged; unannotated functions
+// and the amortized append pattern are not.
+package a
+
+import "fmt"
+
+func sink(v any) {}
+
+//pathalgebra:hotpath
+func concat(a, b string) string {
+	return a + b // want `string concatenation allocates`
+}
+
+//pathalgebra:hotpath
+func format(n int) string {
+	return fmt.Sprintf("%d", n) // want `fmt.Sprintf allocates`
+}
+
+//pathalgebra:hotpath
+func sliceLit(n int) []int {
+	return []int{n} // want `slice literal allocates`
+}
+
+//pathalgebra:hotpath
+func mapLit() map[string]int {
+	return map[string]int{} // want `map literal allocates`
+}
+
+//pathalgebra:hotpath
+func grow(n int) []int {
+	return make([]int, n) // want `make allocates`
+}
+
+//pathalgebra:hotpath
+func closure(n int) func() int {
+	return func() int { return n } // want `function literal allocates`
+}
+
+//pathalgebra:hotpath
+func box(n int) {
+	sink(n) // want `boxes a concrete value into interface`
+}
+
+// Clean: indexing, arithmetic and comparisons allocate nothing.
+//
+//pathalgebra:hotpath
+func index(xs []int, i int) int {
+	return xs[i] + 1
+}
+
+// Clean: append into caller-owned scratch is the amortized-zero
+// pattern, deliberately exempt.
+//
+//pathalgebra:hotpath
+func push(xs []int, v int) []int {
+	return append(xs, v)
+}
+
+// Clean: pointers fit the interface word without boxing.
+//
+//pathalgebra:hotpath
+func passPointer(g *int) {
+	sink(g)
+}
+
+// Clean: no directive, no allocation ban.
+func coldAlloc(n int) []int {
+	return make([]int, n)
+}
+
+// Suppressed: a cold fallback inside a hot function, with the reason.
+//
+//pathalgebra:hotpath
+func suppressed(n int) []int {
+	//lint:ignore hotpathalloc cold fallback: runs once per process
+	return make([]int, n)
+}

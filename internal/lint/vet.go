@@ -1,0 +1,164 @@
+package lint
+
+import (
+	"crypto/sha256"
+	"encoding/json"
+	"fmt"
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"io"
+	"os"
+	"strings"
+)
+
+// The `go vet -vettool` driver: a stdlib reimplementation of the
+// x/tools unitchecker protocol, so CI can run
+//
+//	go vet -vettool=$(which pathalgebravet) ./...
+//
+// and get build-cached, per-package incremental analysis. cmd/go probes
+// the tool three ways and then invokes it once per package:
+//
+//   - `tool -V=full`      → print "name version ... buildID=<hash>"
+//     (content-addressed so rebuilding the tool invalidates vet caches);
+//   - `tool -flags`       → print a JSON array of supported flags;
+//   - `tool <pkg>.cfg`    → analyze one package described by the JSON
+//     config: file list, import map, and compiled export data for every
+//     dependency. Diagnostics go to stderr; exit status 2 reports
+//     findings, 1 reports tool failure, 0 success.
+//
+// Dependencies are visited first with VetxOnly=true to produce analysis
+// facts; this suite uses no cross-package facts, so those invocations
+// just write an empty facts file and return.
+
+// vetConfig mirrors the JSON config cmd/go writes for vet tools.
+type vetConfig struct {
+	ID                        string
+	Compiler                  string
+	Dir                       string
+	ImportPath                string
+	GoVersion                 string
+	GoFiles                   []string
+	NonGoFiles                []string
+	IgnoredFiles              []string
+	ImportMap                 map[string]string
+	PackageFile               map[string]string
+	Standard                  map[string]bool
+	PackageVetx               map[string]string
+	VetxOnly                  bool
+	VetxOutput                string
+	SucceedOnTypecheckFailure bool
+}
+
+// VetMain implements the vettool protocol for args (os.Args[1:]). It
+// returns the process exit code; handled==false means args do not look
+// like a vettool invocation and the caller should run standalone mode.
+func VetMain(args []string, analyzers []*Analyzer) (code int, handled bool) {
+	for _, a := range args {
+		switch {
+		case a == "-V=full" || a == "--V=full":
+			fmt.Printf("%s version devel comments-go-here buildID=%s\n", progName(), selfID())
+			return 0, true
+		case a == "-flags" || a == "--flags":
+			fmt.Println("[]")
+			return 0, true
+		}
+	}
+	if len(args) == 1 && strings.HasSuffix(args[0], ".cfg") {
+		return vetCheck(args[0], analyzers), true
+	}
+	return 0, false
+}
+
+func progName() string {
+	name := os.Args[0]
+	if i := strings.LastIndexByte(name, '/'); i >= 0 {
+		name = name[i+1:]
+	}
+	return strings.TrimSuffix(name, ".exe")
+}
+
+// selfID hashes the executable, giving cmd/go a content-based tool
+// identity for its vet result cache.
+func selfID() string {
+	exe, err := os.Executable()
+	if err != nil {
+		return "unknown"
+	}
+	f, err := os.Open(exe)
+	if err != nil {
+		return "unknown"
+	}
+	defer f.Close()
+	h := sha256.New()
+	if _, err := io.Copy(h, f); err != nil {
+		return "unknown"
+	}
+	return fmt.Sprintf("%x", h.Sum(nil)[:16])
+}
+
+func vetCheck(cfgPath string, analyzers []*Analyzer) int {
+	data, err := os.ReadFile(cfgPath)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "%s: reading config: %v\n", progName(), err)
+		return 1
+	}
+	var cfg vetConfig
+	if err := json.Unmarshal(data, &cfg); err != nil {
+		fmt.Fprintf(os.Stderr, "%s: parsing %s: %v\n", progName(), cfgPath, err)
+		return 1
+	}
+	// Always produce the facts output cmd/go expects, even when empty:
+	// it is the cached artifact that marks this package as vetted.
+	if cfg.VetxOutput != "" {
+		if err := os.WriteFile(cfg.VetxOutput, []byte{}, 0o666); err != nil {
+			fmt.Fprintf(os.Stderr, "%s: writing facts: %v\n", progName(), err)
+			return 1
+		}
+	}
+	if cfg.VetxOnly {
+		return 0 // dependency visit: no facts to compute, nothing to report
+	}
+
+	fset := token.NewFileSet()
+	var files []*ast.File
+	for _, name := range cfg.GoFiles {
+		f, err := parser.ParseFile(fset, name, nil, parser.ParseComments)
+		if err != nil {
+			if cfg.SucceedOnTypecheckFailure {
+				return 0
+			}
+			fmt.Fprintf(os.Stderr, "%s: %v\n", progName(), err)
+			return 1
+		}
+		files = append(files, f)
+	}
+	imp := NewExportImporter(fset, func(path string) (string, bool) {
+		if canonical, ok := cfg.ImportMap[path]; ok {
+			path = canonical
+		}
+		f, ok := cfg.PackageFile[path]
+		return f, ok
+	})
+	tpkg, info, err := Typecheck(fset, cfg.ImportPath, cfg.GoVersion, files, imp)
+	if err != nil || tpkg == nil {
+		if cfg.SucceedOnTypecheckFailure {
+			return 0
+		}
+		fmt.Fprintf(os.Stderr, "%s: type-checking %s: %v\n", progName(), cfg.ImportPath, err)
+		return 1
+	}
+	diags, err := Run(&Package{Path: cfg.ImportPath, Fset: fset, Files: files, Types: tpkg, Info: info}, analyzers)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "%s: %v\n", progName(), err)
+		return 1
+	}
+	for _, d := range diags {
+		fmt.Fprintln(os.Stderr, d)
+	}
+	if len(diags) > 0 {
+		return 2
+	}
+	return 0
+}

@@ -57,9 +57,13 @@ func (a *Arena) Reset() { a.entries = a.entries[:0] }
 // entries appended since. Callers use it to reclaim speculative extensions
 // that ended up neither admitted nor retained. Refs at or beyond n become
 // invalid; refs below n are untouched.
+//
+//pathalgebra:hotpath
 func (a *Arena) TruncateTo(n int) { a.entries = a.entries[:n] }
 
 // Leaf appends the length-zero path (n) and returns its ref.
+//
+//pathalgebra:hotpath
 func (a *Arena) Leaf(n graph.NodeID) Ref {
 	a.entries = append(a.entries, arenaEntry{fp: fpStart(uint64(n)), last: n})
 	return Ref(len(a.entries) - 1)
@@ -68,6 +72,8 @@ func (a *Arena) Leaf(n graph.NodeID) Ref {
 // Extend appends the path r extended by edge e ending at dst, sharing r as
 // prefix. It is the hot O(1) counterpart of Path.Extend; the caller
 // supplies dst (= the edge's head) so no graph lookup happens here.
+//
+//pathalgebra:hotpath
 func (a *Arena) Extend(r Ref, e graph.EdgeID, dst graph.NodeID) Ref {
 	p := &a.entries[r]
 	a.entries = append(a.entries, arenaEntry{
@@ -93,15 +99,23 @@ func (a *Arena) FromPath(p Path) Ref {
 
 // Fingerprint returns the structural hash of the path at r; it equals
 // Arena.Path(r).Fingerprint() without materializing.
+//
+//pathalgebra:hotpath
 func (a *Arena) Fingerprint(r Ref) uint64 { return a.entries[r].fp }
 
 // PathLen returns the edge length of the path at r.
+//
+//pathalgebra:hotpath
 func (a *Arena) PathLen(r Ref) int { return int(a.entries[r].len) }
 
 // Last returns the last node of the path at r.
+//
+//pathalgebra:hotpath
 func (a *Arena) Last(r Ref) graph.NodeID { return a.entries[r].last }
 
 // First returns the first node of the path at r by walking to its leaf.
+//
+//pathalgebra:hotpath
 func (a *Arena) First(r Ref) graph.NodeID {
 	for a.entries[r].len > 0 {
 		r = a.entries[r].parent
@@ -113,6 +127,8 @@ func (a *Arena) First(r Ref) graph.NodeID {
 // It walks the parent chain once — no map, no allocation — which is what
 // makes the incremental restrictor checks of the product search free of
 // the per-candidate map builds of Path.IsAcyclic/IsSimple.
+//
+//pathalgebra:hotpath
 func (a *Arena) ContainsNode(r Ref, n graph.NodeID) bool {
 	for {
 		e := &a.entries[r]
@@ -127,6 +143,8 @@ func (a *Arena) ContainsNode(r Ref, n graph.NodeID) bool {
 }
 
 // ContainsEdge reports whether edge e occurs in the path at r.
+//
+//pathalgebra:hotpath
 func (a *Arena) ContainsEdge(r Ref, e graph.EdgeID) bool {
 	for {
 		ent := &a.entries[r]
@@ -362,6 +380,8 @@ func (s *RefSet) Len() int { return s.size }
 
 // Add records the path at r and reports whether it was new. The ref is
 // retained: callers must not truncate it out of the arena afterwards.
+//
+//pathalgebra:hotpath
 func (s *RefSet) Add(r Ref) bool {
 	fp := s.a.Fingerprint(r)
 	if i, taken := s.index[fp]; taken {
@@ -375,6 +395,7 @@ func (s *RefSet) Add(r Ref) bool {
 		}
 		arenaCollisionCount.Add(1)
 		if s.overflow == nil {
+			//lint:ignore hotpathalloc first-collision path: runs at most once per 64-bit fingerprint collision
 			s.overflow = make(map[uint64][]Ref)
 		}
 		s.overflow[fp] = append(s.overflow[fp], r)

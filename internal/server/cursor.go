@@ -94,6 +94,7 @@ func (t *cursorTable) drainAll() []*cursor {
 	t.mu.Lock()
 	defer t.mu.Unlock()
 	out := make([]*cursor, 0, len(t.cursors))
+	//lint:ignore detorder every collected cursor is cancelled; cancellation order is unobservable
 	for id, c := range t.cursors {
 		out = append(out, c)
 		delete(t.cursors, id)
@@ -107,6 +108,7 @@ func (t *cursorTable) sweepIdle(now time.Time, ttl time.Duration) []*cursor {
 	t.mu.Lock()
 	defer t.mu.Unlock()
 	var out []*cursor
+	//lint:ignore detorder every swept cursor is cancelled; cancellation order is unobservable
 	for id, c := range t.cursors {
 		c.mu.Lock()
 		last := c.lastRead
