@@ -81,6 +81,16 @@ func run(args []string, ready chan<- net.Addr) error {
 
 		compactThreshold = fs.Int("compact-threshold", 0,
 			"delta ops before background compaction folds the overlay into a fresh CSR (0 = 4096, negative disables)")
+
+		dataDir = fs.String("data-dir", "",
+			"durable data directory: ingested batches are WAL-logged (fsync before acknowledge) and replayed over the graph source on restart; compactions checkpoint into a snapshot")
+
+		readHeaderTimeout = fs.Duration("read-header-timeout", 10*time.Second,
+			"close connections whose request headers take longer than this (slow-loris guard; negative disables)")
+		writeTimeout = fs.Duration("write-timeout", 2*time.Minute,
+			"per-request response write deadline; must exceed query-timeout or long polls break (negative disables)")
+		idleTimeout = fs.Duration("idle-timeout", 2*time.Minute,
+			"close keep-alive connections idle longer than this (negative disables)")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -91,8 +101,24 @@ func run(args []string, ready chan<- net.Addr) error {
 		return err
 	}
 
+	// With -data-dir the daemon owns a WAL-durable store: the graph source
+	// is the seed, logged batches replay over it on restart (a checkpoint
+	// snapshot supersedes the seed entirely), and every /ingest is fsync'd
+	// before it is acknowledged.
+	var store *graph.Store
+	if *dataDir != "" {
+		store, err = graph.OpenDurable(*dataDir, g, graph.StoreOptions{CompactThreshold: *compactThreshold})
+		if err != nil {
+			return err
+		}
+		defer store.Close()
+		g = store.Graph()
+		desc = fmt.Sprintf("%s (durable: %s)", desc, *dataDir)
+	}
+
 	svc, err := server.New(server.Config{
 		Graph: g,
+		Store: store,
 		Engine: pathalgebra.EngineOptions{
 			Limits:      pathalgebra.Limits{MaxLen: *maxLen, MaxPaths: *maxPaths, MaxWork: *maxWork},
 			Parallelism: *parallel,
@@ -115,7 +141,16 @@ func run(args []string, ready chan<- net.Addr) error {
 	if err != nil {
 		return err
 	}
-	httpSrv := &http.Server{Handler: svc}
+	// Connection hygiene against slow or stalled clients: a peer that
+	// trickles headers, never reads its response, or parks an idle
+	// keep-alive connection is bounded by these deadlines instead of
+	// holding a server goroutine (and its cursor admission slot) forever.
+	httpSrv := &http.Server{
+		Handler:           svc,
+		ReadHeaderTimeout: max(*readHeaderTimeout, 0),
+		WriteTimeout:      max(*writeTimeout, 0),
+		IdleTimeout:       max(*idleTimeout, 0),
+	}
 	log.Printf("pathalgebrad: serving %s on %s (nodes=%d edges=%d symbols=%d)",
 		desc, ln.Addr(), g.NumNodes(), g.NumEdges(), g.NumSymbols())
 	if ready != nil {

@@ -207,6 +207,107 @@ func TestDaemonIngestSmoke(t *testing.T) {
 	}
 }
 
+// TestDaemonSlowClient: a client that dribbles its request headers is a
+// slot leak (slow-loris); the daemon's ReadHeaderTimeout must close the
+// connection instead of waiting forever.
+func TestDaemonSlowClient(t *testing.T) {
+	base, exit := startDaemon(t, "-figure1", "-read-header-timeout", "200ms")
+	conn, err := net.Dial("tcp", base[len("http://"):])
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer conn.Close()
+	// Start a request but never finish the headers.
+	if _, err := conn.Write([]byte("GET /stats HTTP/1.1\r\nHost: x\r\nX-Slow:")); err != nil {
+		t.Fatal(err)
+	}
+	conn.SetReadDeadline(time.Now().Add(5 * time.Second))
+	start := time.Now()
+	if _, err := conn.Read(make([]byte, 1)); err == nil {
+		t.Fatal("server responded to an unfinished request")
+	} else if ne, ok := err.(net.Error); ok && ne.Timeout() {
+		t.Fatal("server did not close the slow connection within 5s")
+	}
+	if since := time.Since(start); since > 3*time.Second {
+		t.Errorf("slow connection closed after %v, want ~200ms", since)
+	}
+	// A well-behaved client is unaffected.
+	resp, err := http.Get(base + "/healthz")
+	if err != nil || resp.StatusCode != http.StatusOK {
+		t.Fatalf("GET /healthz after slow client: %v %v", resp, err)
+	}
+	resp.Body.Close()
+
+	if err := syscall.Kill(syscall.Getpid(), syscall.SIGTERM); err != nil {
+		t.Fatal(err)
+	}
+	if err := <-exit; err != nil {
+		t.Fatalf("daemon exit error: %v", err)
+	}
+}
+
+// TestDaemonDurableRestart: with -data-dir, an acknowledged /ingest
+// survives a drain and restart — the WAL replays it over the seed graph.
+func TestDaemonDurableRestart(t *testing.T) {
+	dir := t.TempDir()
+	base, exit := startDaemon(t, "-figure1", "-data-dir", dir)
+	body := `{"op":"add_node","key":"n8","label":"Person"}
+{"op":"add_edge","key":"e12","src":"n4","dst":"n8","label":"Knows"}
+`
+	resp, err := http.Post(base+"/ingest", "application/x-ndjson", bytes.NewReader([]byte(body)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("POST /ingest = %d", resp.StatusCode)
+	}
+	if err := syscall.Kill(syscall.Getpid(), syscall.SIGTERM); err != nil {
+		t.Fatal(err)
+	}
+	if err := <-exit; err != nil {
+		t.Fatalf("daemon exit error: %v", err)
+	}
+
+	base2, exit2 := startDaemon(t, "-figure1", "-data-dir", dir)
+	stResp, err := http.Get(base2 + "/stats")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var st map[string]any
+	if err := json.NewDecoder(stResp.Body).Decode(&st); err != nil {
+		t.Fatal(err)
+	}
+	stResp.Body.Close()
+	store, _ := st["store"].(map[string]any)
+	if store == nil || store["durable"] != true || store["epoch"] != float64(1) {
+		t.Fatalf("/stats store section after restart = %v", store)
+	}
+	_, qr := post(t, base2+"/query", `{"query": "MATCH TRAIL p = (?x {name:\"Apu\"})-[:Knows]->(?y)", "max_len": 2}`)
+	id, _ := qr["id"].(string)
+	page, err := http.Get(fmt.Sprintf("%s/query/%s/next", base2, id))
+	if err != nil {
+		t.Fatal(err)
+	}
+	saw := false
+	sc := bufio.NewScanner(page.Body)
+	for sc.Scan() {
+		if bytes.Contains(sc.Bytes(), []byte(`"e12"`)) {
+			saw = true
+		}
+	}
+	page.Body.Close()
+	if !saw {
+		t.Fatal("replayed edge e12 not visible after restart")
+	}
+	if err := syscall.Kill(syscall.Getpid(), syscall.SIGTERM); err != nil {
+		t.Fatal(err)
+	}
+	if err := <-exit2; err != nil {
+		t.Fatalf("second daemon exit error: %v", err)
+	}
+}
+
 // TestLoadGraphFlags covers the graph-source precedence.
 func TestLoadGraphFlags(t *testing.T) {
 	g, desc, err := loadGraph("", "", "", true, 0)

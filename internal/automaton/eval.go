@@ -8,6 +8,7 @@ import (
 	"sync/atomic"
 
 	"pathalgebra/internal/core"
+	"pathalgebra/internal/fault"
 	"pathalgebra/internal/graph"
 	"pathalgebra/internal/path"
 	"pathalgebra/internal/pathset"
@@ -135,15 +136,39 @@ func normalizeWorkers(workers, sources int) int {
 // a shared atomic cursor (work stealing, so uneven per-source costs
 // balance). run returning false stops the whole pool early — remaining
 // sources are skipped, which only happens after a budget error.
-func runSharded[S any](n, workers int, newScratch func() S, run func(sc S, src int) bool) {
+//
+// Panic isolation: a panic inside run stops the pool the same way and is
+// returned as a typed error (errors.Is core.ErrInternal) instead of
+// unwinding a worker goroutine and killing the process. The panicking
+// shard's scratch is simply abandoned — scratch arenas are pool-private,
+// so nothing shared is left poisoned and the other workers drain cleanly
+// before runSharded returns.
+func runSharded[S any](n, workers int, newScratch func() S, run func(sc S, src int) bool) error {
 	var cursor atomic.Int64
 	var failed atomic.Bool
+	var panicErr atomic.Pointer[error]
+	// record files the first recovered panic as the pool's error and stops
+	// the remaining workers; concurrent later panics lose the race and are
+	// dropped (one cause is enough to fail the evaluation).
+	record := func(r any) {
+		if r == nil {
+			return
+		}
+		err := core.Recovered(r)
+		panicErr.CompareAndSwap(nil, &err)
+		failed.Store(true)
+	}
 	work := func() {
 		sc := newScratch()
 		for !failed.Load() {
 			src := int(cursor.Add(1)) - 1
 			if src >= n {
 				return
+			}
+			// Injected worker faults surface as panics so the chaos tests
+			// exercise the same recovery path as a real evaluator bug.
+			if err := fault.Hit("automaton.worker"); err != nil {
+				panic(err)
 			}
 			if !run(sc, src) {
 				failed.Store(true)
@@ -152,18 +177,26 @@ func runSharded[S any](n, workers int, newScratch func() S, run func(sc S, src i
 		}
 	}
 	if workers <= 1 {
-		work()
-		return
-	}
-	var wg sync.WaitGroup
-	for w := 0; w < workers; w++ {
-		wg.Add(1)
-		go func() {
-			defer wg.Done()
+		func() {
+			defer func() { record(recover()) }()
 			work()
 		}()
+	} else {
+		var wg sync.WaitGroup
+		for w := 0; w < workers; w++ {
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				defer func() { record(recover()) }()
+				work()
+			}()
+		}
+		wg.Wait()
 	}
-	wg.Wait()
+	if p := panicErr.Load(); p != nil {
+		return *p
+	}
+	return nil
 }
 
 // symbolScan is one (matching edges, target states) pair produced by
@@ -280,13 +313,16 @@ type shard struct {
 
 func evalSearch(g *graph.Graph, c *CompiledNFA, sem core.Semantics, lim core.Limits, bud *core.Budget, workers int, seeds []graph.NodeID, count int, back bool) (*pathset.Set, error) {
 	shards := make([]*shard, count)
-	runSharded(count, workers,
+	perr := runSharded(count, workers,
 		func() *evalScratch { return newEvalScratch(c.nfa.NumStates()) },
 		func(sc *evalScratch, i int) bool {
 			sh := evalSource(g, c, sem, lim, seedAt(seeds, i), bud, sc, back)
 			shards[i] = sh
 			return sh.err == nil
 		})
+	if perr != nil {
+		return nil, fmt.Errorf("automaton: %w", perr)
+	}
 	out, err := mergeShards(shards)
 	if err != nil {
 		return out, fmt.Errorf("automaton: %w", err)
@@ -476,7 +512,7 @@ func evalShortest(g *graph.Graph, c *CompiledNFA, lim core.Limits, bud *core.Bud
 	n := g.NumNodes()
 	sets := make([]*pathset.Set, count)
 	errs := make([]error, count)
-	runSharded(count, workers,
+	perr := runSharded(count, workers,
 		func() *shortestScratch {
 			return &shortestScratch{
 				arena:  path.NewArena(0),
@@ -490,6 +526,9 @@ func evalShortest(g *graph.Graph, c *CompiledNFA, lim core.Limits, bud *core.Bud
 			sets[i], errs[i] = out, err
 			return err == nil
 		})
+	if perr != nil {
+		return nil, fmt.Errorf("automaton: %w", perr)
+	}
 	// Per-source shards are disjoint and deduped; concatenating them in
 	// source order is the sequential insertion order.
 	groups := make([][]path.Path, 0, len(sets))

@@ -82,6 +82,15 @@ func (e *Engine) RunStream(ctx context.Context, x core.PathExpr, o StreamOptions
 	go func() {
 		defer close(s.done)
 		defer cancel()
+		// Last line of defense above the evaluators' own recovery: a panic
+		// in engine-level operators becomes this stream's typed error (the
+		// deferred close/cancel/unpin chain then runs normally) instead of
+		// killing the process.
+		defer func() {
+			if r := recover(); r != nil {
+				s.err = core.Recovered(r)
+			}
+		}()
 		s.set, s.err = b.evalPathsCtx(ctx, plan)
 	}()
 	return s

@@ -1,0 +1,30 @@
+package fault
+
+import "testing"
+
+// BenchmarkDisarmedHit is the allocation-parity gate for disarmed fault
+// points (scripts/check_allocs.sh pins it at exactly 0 allocs/op): the
+// production cost of every fault.Hit seam must stay one atomic load plus
+// a nil check, like PR 6's empty-delta overlay read.
+func BenchmarkDisarmedHit(b *testing.B) {
+	Disarm()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if err := Hit("wal.fsync"); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkArmedMiss measures an armed schedule whose rules target other
+// sites — the worst realistic armed cost on a non-targeted seam.
+func BenchmarkArmedMiss(b *testing.B) {
+	restore := Arm(Schedule{Rules: []Rule{{Site: "other", Nth: 1}}})
+	defer restore()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if err := Hit("wal.fsync"); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -2,8 +2,12 @@ package graph
 
 import (
 	"fmt"
+	"runtime/debug"
 	"sync"
 	"sync/atomic"
+	"time"
+
+	"pathalgebra/internal/fault"
 )
 
 // Store is the mutable home of a live graph: a sequence of immutable
@@ -29,6 +33,21 @@ type Store struct {
 	reg   map[*epochState]struct{}
 
 	compactions atomic.Uint64
+
+	// Durability: when wal is non-nil (OpenDurable), Apply logs and
+	// fsyncs every batch before publishing its epoch, and the compactor
+	// checkpoints (snapshot + WAL reset) after each fold. Both fields
+	// are guarded by mu.
+	wal          *WAL
+	snapshotPath string
+	checkpoints  atomic.Uint64
+
+	// Compaction failures are survivable — the store keeps serving from
+	// the un-compacted overlay — so they surface as counters plus a
+	// last-error detail instead of dying silently.
+	compactionErrs atomic.Uint64
+	lastErrMu      sync.Mutex
+	lastCompactErr string
 
 	compactCh chan struct{}
 	stopOnce  sync.Once
@@ -65,6 +84,12 @@ type epochState struct {
 // NewStore wraps a sealed graph as epoch 0 of a live store. The graph
 // must not be mutated afterwards (graphs built by Build never are).
 func NewStore(g *Graph, opts StoreOptions) *Store {
+	return newStoreAt(g, 0, opts)
+}
+
+// newStoreAt is NewStore starting at an arbitrary epoch — WAL recovery
+// resumes numbering where the checkpoint left off.
+func newStoreAt(g *Graph, epoch uint64, opts StoreOptions) *Store {
 	if opts.CompactThreshold == 0 {
 		opts.CompactThreshold = DefaultCompactThreshold
 	}
@@ -74,7 +99,7 @@ func NewStore(g *Graph, opts StoreOptions) *Store {
 		stopCh: make(chan struct{}),
 		doneCh: make(chan struct{}),
 	}
-	st := &epochState{epoch: 0, g: g, clock: newLabelClock()}
+	st := &epochState{epoch: epoch, g: g, clock: newLabelClock()}
 	s.cur.Store(st)
 	s.reg[st] = struct{}{}
 	if opts.CompactThreshold > 0 && !opts.SyncCompact {
@@ -86,25 +111,140 @@ func NewStore(g *Graph, opts StoreOptions) *Store {
 	return s
 }
 
-// Close stops the background compactor. Snapshots stay usable.
+// Close stops the background compactor and closes the WAL (if any).
+// Snapshots stay usable.
 func (s *Store) Close() {
 	s.stopOnce.Do(func() { close(s.stopCh) })
 	<-s.doneCh
+	s.mu.Lock()
+	if s.wal != nil {
+		s.wal.Close()
+	}
+	s.mu.Unlock()
 }
+
+// Compaction retry backoff bounds: a failed fold retries on a doubling
+// timer instead of giving up, while reads keep serving the overlay.
+const (
+	compactRetryBase = 25 * time.Millisecond
+	compactRetryMax  = 5 * time.Second
+)
 
 func (s *Store) compactor() {
 	defer close(s.doneCh)
+	// Last-resort isolation: a panic escaping an attempt (each attempt
+	// recovers its own — see compactOnce) must not kill the process via
+	// an unrecovered goroutine.
+	defer func() {
+		if r := recover(); r != nil {
+			s.noteCompactionError(fmt.Errorf("graph: compactor loop panic: %v", r))
+		}
+	}()
+	backoff := compactRetryBase
+	var timer *time.Timer
+	var retryCh <-chan time.Time
 	for {
 		select {
 		case <-s.stopCh:
+			if timer != nil {
+				timer.Stop()
+			}
 			return
 		case <-s.compactCh:
-			// Ignore the (never-expected) rebuild error: the overlay it
-			// folds was itself validated at Apply time, and leaving the
-			// delta in place is always safe.
-			_ = s.Compact()
+		case <-retryCh:
+			retryCh = nil
+		}
+		if err := s.compactOnce(); err != nil {
+			s.noteCompactionError(err)
+			if timer == nil {
+				timer = time.NewTimer(backoff)
+			} else {
+				timer.Reset(backoff)
+			}
+			retryCh = timer.C
+			backoff = min(backoff*2, compactRetryMax)
+		} else {
+			backoff = compactRetryBase
 		}
 	}
+}
+
+// compactOnce is one compaction attempt (plus checkpoint when the store
+// is durable), with panics contained to the attempt: a poisoned overlay
+// surfaces as a counted error and a retry, not a dead process — and
+// never a dead compactor, so the store keeps serving the overlay and
+// keeps trying.
+func (s *Store) compactOnce() (err error) {
+	defer func() {
+		if r := recover(); r != nil {
+			err = fmt.Errorf("graph: compaction panic: %v\n%s", r, debug.Stack())
+		}
+	}()
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if err := s.compactLocked(); err != nil {
+		return err
+	}
+	return s.checkpointLocked()
+}
+
+// noteCompactionError records a failed compaction attempt for /stats.
+func (s *Store) noteCompactionError(err error) {
+	s.compactionErrs.Add(1)
+	s.lastErrMu.Lock()
+	s.lastCompactErr = err.Error()
+	s.lastErrMu.Unlock()
+}
+
+// CompactionErrors returns the failed-attempt count and the most recent
+// failure detail ("" when none) — advisory metrics for /stats.
+func (s *Store) CompactionErrors() (uint64, string) {
+	s.lastErrMu.Lock()
+	last := s.lastCompactErr
+	s.lastErrMu.Unlock()
+	return s.compactionErrs.Load(), last
+}
+
+// Checkpoints returns the number of completed checkpoints (snapshot
+// written + WAL reset); always 0 on a non-durable store.
+func (s *Store) Checkpoints() uint64 { return s.checkpoints.Load() }
+
+// WALStats reports the live WAL's record count and byte size; ok is
+// false on a non-durable store.
+func (s *Store) WALStats() (records int, bytes int64, ok bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.wal == nil {
+		return 0, 0, false
+	}
+	return s.wal.Records(), s.wal.Size(), true
+}
+
+// Checkpoint folds the delta into a sealed CSR, writes it as the
+// snapshot file, and resets the WAL under the current epoch. No-op on a
+// non-durable store (Compact still runs).
+func (s *Store) Checkpoint() error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if err := s.compactLocked(); err != nil {
+		return err
+	}
+	return s.checkpointLocked()
+}
+
+func (s *Store) checkpointLocked() error {
+	if s.wal == nil {
+		return nil
+	}
+	cur := s.cur.Load()
+	if err := writeSnapshot(s.snapshotPath, cur.epoch, cur.g); err != nil {
+		return err
+	}
+	if err := s.wal.Reset(cur.epoch); err != nil {
+		return err
+	}
+	s.checkpoints.Add(1)
+	return nil
 }
 
 // Snapshot pins the current epoch and returns a handle to it. The caller
@@ -225,6 +365,9 @@ func (s *Store) compactLocked() error {
 	if err != nil {
 		return err
 	}
+	if err := fault.Hit("compact.swap"); err != nil {
+		return fmt.Errorf("graph: compaction: %w", err)
+	}
 	s.publishLocked(&epochState{epoch: cur.epoch, g: g, clock: cur.clock})
 	s.compactions.Add(1)
 	return nil
@@ -249,6 +392,15 @@ func (s *Store) Apply(b Batch) (uint64, error) {
 	if err != nil {
 		return cur.epoch, err
 	}
+	// Durability point: the validated batch is logged and fsync'd BEFORE
+	// its epoch publishes, so an acknowledged Apply survives a crash. On
+	// a WAL failure nothing publishes — the caller sees a typed error
+	// and the store still serves the previous epoch.
+	if s.wal != nil {
+		if err := s.wal.Append(b); err != nil {
+			return cur.epoch, err
+		}
+	}
 	epoch := cur.epoch + 1
 	clock := cur.clock.advance(eff, epoch)
 
@@ -270,6 +422,9 @@ func (s *Store) Apply(b Batch) (uint64, error) {
 	if g.ov != nil && s.opts.CompactThreshold > 0 && g.ov.deltaSize() >= s.opts.CompactThreshold {
 		if s.opts.SyncCompact {
 			if err := s.compactLocked(); err != nil {
+				return epoch, err
+			}
+			if err := s.checkpointLocked(); err != nil {
 				return epoch, err
 			}
 		} else if s.compactCh != nil {

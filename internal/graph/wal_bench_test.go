@@ -1,0 +1,44 @@
+package graph
+
+import (
+	"fmt"
+	"testing"
+)
+
+// BenchmarkApplyDurability prices the WAL: one Apply of a two-op batch
+// (node + edge) against an in-memory store vs a durable one. The durable
+// number is fsync-bound — it is the cost of the "acked means on disk"
+// guarantee, and the EXPERIMENTS.md WAL-throughput entry cites this
+// pair. NewStore keeps auto-compaction off (threshold -1) on both sides
+// so the comparison is pure append cost.
+func BenchmarkApplyDurability(b *testing.B) {
+	run := func(b *testing.B, open func(b *testing.B) *Store) {
+		s := open(b)
+		defer s.Close()
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			_, err := s.Apply(Batch{Ops: []Op{
+				{Kind: OpAddNode, Key: fmt.Sprintf("bn%d", i), Label: "Person"},
+				{Kind: OpAddEdge, Key: fmt.Sprintf("be%d", i), Src: "a", Dst: fmt.Sprintf("bn%d", i), Label: "Knows"},
+			}})
+			if err != nil {
+				b.Fatal(err)
+			}
+		}
+	}
+	b.Run("memory", func(b *testing.B) {
+		run(b, func(b *testing.B) *Store {
+			return NewStore(seedGraph(b), durableOpts)
+		})
+	})
+	b.Run("wal", func(b *testing.B) {
+		run(b, func(b *testing.B) *Store {
+			s, err := OpenDurable(b.TempDir(), seedGraph(b), durableOpts)
+			if err != nil {
+				b.Fatal(err)
+			}
+			return s
+		})
+	})
+}

@@ -9,5 +9,6 @@ func All() []*Analyzer {
 		EpochPin,
 		ErrSentinel,
 		HotPathAlloc,
+		RecoverGuard,
 	}
 }

@@ -163,6 +163,7 @@ func TestDetOrder(t *testing.T)     { runFixture(t, DetOrder, "detorder/a") }
 func TestEpochPin(t *testing.T)     { runFixture(t, EpochPin, "epochpin/a") }
 func TestErrSentinel(t *testing.T)  { runFixture(t, ErrSentinel, "errsentinel/a") }
 func TestHotPathAlloc(t *testing.T) { runFixture(t, HotPathAlloc, "hotpathalloc/a") }
+func TestRecoverGuard(t *testing.T) { runFixture(t, RecoverGuard, "recoverguard/server") }
 
 // TestRepoClean runs the full suite over the whole module, pinning the
 // zero-findings invariant CI enforces: any new violation (or analyzer

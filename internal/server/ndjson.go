@@ -4,6 +4,7 @@ import (
 	"encoding/json"
 	"io"
 
+	"pathalgebra/internal/fault"
 	"pathalgebra/internal/graph"
 	"pathalgebra/internal/path"
 )
@@ -46,8 +47,13 @@ func encodePath(g *graph.Graph, p path.Path) pathJSON {
 	return pathJSON{Nodes: nodes, Edges: edges, Len: p.Len()}
 }
 
-// writeNDJSON encodes one value as a single NDJSON line.
+// writeNDJSON encodes one value as a single NDJSON line. The fault site
+// stands in for a client connection dying mid-page: the page loop must
+// abort cleanly (cursor intact, no partial-line corruption on retry).
 func writeNDJSON(w io.Writer, v any) error {
+	if err := fault.Hit("server.write"); err != nil {
+		return err
+	}
 	enc := json.NewEncoder(w) // Encode appends the newline
 	return enc.Encode(v)
 }

@@ -26,6 +26,7 @@ import (
 	"encoding/json"
 	"errors"
 	"fmt"
+	"log"
 	"net/http"
 	"runtime"
 	"sync"
@@ -34,6 +35,7 @@ import (
 
 	"pathalgebra/internal/core"
 	"pathalgebra/internal/engine"
+	"pathalgebra/internal/fault"
 	"pathalgebra/internal/gql"
 	"pathalgebra/internal/graph"
 )
@@ -158,6 +160,8 @@ type serverCounters struct {
 
 	ingests     atomic.Int64 // batches applied via POST /ingest
 	ingestedOps atomic.Int64 // ops across those batches
+
+	panics atomic.Int64 // panics recovered in handlers and background goroutines
 }
 
 // Server is the query service. It implements http.Handler; wire it into
@@ -241,9 +245,57 @@ func New(cfg Config) (*Server, error) {
 	return s, nil
 }
 
-// ServeHTTP dispatches to the service endpoints.
+// ServeHTTP dispatches to the service endpoints. A panic escaping a
+// handler is recovered into an HTTP 500 with kind "internal" (stack to
+// the daemon log, never the client) — one poisoned request cannot take
+// the connection's server goroutine down with uncounted state behind it.
+// http.ErrAbortHandler keeps its net/http meaning and re-panics.
 func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) {
+	defer func() {
+		rec := recover()
+		if rec == nil {
+			return
+		}
+		if rec == http.ErrAbortHandler {
+			panic(rec)
+		}
+		err := core.Recovered(rec)
+		s.notePanic(err)
+		// Best effort: if the handler already wrote headers this is a
+		// no-op beyond a log line, and the truncated body tells the
+		// client the response is dead.
+		writeError(w, http.StatusInternalServerError, "internal", "%v", err)
+	}()
+	// Chaos seam: error mode fails the request before dispatch, panic
+	// mode exercises the recovery middleware above.
+	if err := fault.Hit("server.handler"); err != nil {
+		writeError(w, http.StatusInternalServerError, "internal", "%v", err)
+		return
+	}
 	s.mux.ServeHTTP(w, r)
+}
+
+// notePanic counts a recovered panic and logs it with its stack — the
+// one place panic stacks become visible, since clients only ever see the
+// typed "internal" error.
+func (s *Server) notePanic(err error) {
+	s.counters.panics.Add(1)
+	var pe *core.PanicError
+	if errors.As(err, &pe) {
+		log.Printf("server: recovered panic: %v\n%s", pe.Val, pe.Stack)
+	} else {
+		log.Printf("server: recovered panic: %v", err)
+	}
+}
+
+// recovered is the deferred recovery hook for server-owned background
+// goroutines (completion watchers, cursor teardown): the goroutine ends,
+// the panic is counted and logged, the process lives on.
+func (s *Server) recovered(r any) {
+	if r == nil {
+		return
+	}
+	s.notePanic(core.Recovered(r))
 }
 
 // Close aborts every running evaluation (cause ErrDraining), cancels and
@@ -268,6 +320,9 @@ func (s *Server) Close() {
 
 // sweepLoop evicts idle cursors every ttl/4.
 func (s *Server) sweepLoop(ttl time.Duration) {
+	// A sweeper panic must not kill the daemon; TTL eviction stops (leak
+	// bounded by MaxCursors) and the panic is counted and logged.
+	defer func() { s.recovered(recover()) }()
 	tick := time.NewTicker(ttl / 4)
 	defer tick.Stop()
 	for {
@@ -496,6 +551,7 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 	// results into the result cache — tagged with the epoch and graph view
 	// the stream pinned, plus the plan's label footprint for invalidation.
 	go func() {
+		defer func() { s.recovered(recover()) }()
 		<-cur.stream.Done()
 		s.inflight.Add(-1)
 		if cur.discarded.Load() {
@@ -525,7 +581,10 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 		// as a started+failed query in /stats.
 		cur.discarded.Store(true)
 		qcancel()
-		go cur.stream.Close() // async: Close waits for the aborted evaluation
+		go func() { // async: Close waits for the aborted evaluation
+			defer func() { s.recovered(recover()) }()
+			cur.stream.Close()
+		}()
 		s.counters.started.Add(-1)
 		s.counters.rejected.Add(1)
 		writeError(w, http.StatusTooManyRequests, "over_capacity", "cursor table full (%d live cursors)", s.cursors.len())
@@ -649,6 +708,7 @@ type statsResponse struct {
 		Cancelled   int64 `json:"queries_cancelled"`
 		Paths       int64 `json:"paths_delivered"`
 		Pages       int64 `json:"pages_served"`
+		Panics      int64 `json:"panics_recovered"`
 	} `json:"server"`
 	ResultCache struct {
 		Entries int   `json:"entries"`
@@ -672,6 +732,19 @@ type statsResponse struct {
 		Pinned      int64  `json:"pinned_snapshots"`
 		Ingests     int64  `json:"ingests"`
 		IngestedOps int64  `json:"ingested_ops"`
+
+		// Fault-tolerance counters (PR 8). A non-zero CompactionErrors
+		// with the store still serving means the compactor is degraded
+		// (retrying with backoff, reads come off the overlay) — alertable
+		// without being fatal.
+		CompactionErrors    uint64 `json:"compaction_errors"`
+		LastCompactionError string `json:"last_compaction_error,omitempty"`
+		Checkpoints         uint64 `json:"checkpoints"`
+		// Durable reports whether the store runs with a WAL; the WAL
+		// fields are meaningful only when true.
+		Durable    bool  `json:"durable"`
+		WALRecords int   `json:"wal_records"`
+		WALBytes   int64 `json:"wal_bytes"`
 	} `json:"store"`
 }
 
@@ -715,6 +788,10 @@ func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 	resp.Store.LiveEpochs, resp.Store.Pinned = s.store.LiveEpochs()
 	resp.Store.Ingests = s.counters.ingests.Load()
 	resp.Store.IngestedOps = s.counters.ingestedOps.Load()
+	resp.Server.Panics = s.counters.panics.Load()
+	resp.Store.CompactionErrors, resp.Store.LastCompactionError = s.store.CompactionErrors()
+	resp.Store.Checkpoints = s.store.Checkpoints()
+	resp.Store.WALRecords, resp.Store.WALBytes, resp.Store.Durable = s.store.WALStats()
 	writeJSON(w, http.StatusOK, resp)
 }
 

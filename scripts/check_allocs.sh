@@ -91,3 +91,22 @@ if [ "$empty" -ne "$sealed" ]; then
     exit 1
 fi
 echo "check_allocs: empty-delta read path at sealed parity ($empty allocs/op)"
+
+# Fault-registry gate: a disarmed fault point (the production state of
+# every fault.Hit seam — WAL appends, fsyncs, compaction swaps, worker
+# loops, HTTP writes) must cost exactly one atomic load plus a nil
+# check: ZERO allocations, no tolerance. Any drift means the injection
+# registry started taxing paths it exists to instrument.
+out=$(go test -run xxx -bench 'BenchmarkDisarmedHit' -benchtime 100000x -benchmem ./internal/fault 2>&1)
+printf '%s\n' "$out"
+
+disarmed=$(printf '%s\n' "$out" | awk '/^BenchmarkDisarmedHit/ { for (i = 1; i < NF; i++) if ($(i+1) == "allocs/op") print $i }')
+if [ -z "$disarmed" ]; then
+    echo "check_allocs: could not find BenchmarkDisarmedHit allocs/op in benchmark output" >&2
+    exit 1
+fi
+if [ "$disarmed" -ne 0 ]; then
+    echo "check_allocs: disarmed fault point allocates $disarmed allocs/op — fault.Hit must be free when no schedule is armed" >&2
+    exit 1
+fi
+echo "check_allocs: disarmed fault points at zero-alloc parity ($disarmed allocs/op)"
