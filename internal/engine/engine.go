@@ -132,6 +132,11 @@ type Stats struct {
 	// BackwardRecursions counts product searches the planner ran
 	// backward (reversed automaton over the in-adjacency).
 	BackwardRecursions int64
+	// ReachKernelRuns counts Reach calls answered by the bitset
+	// reachability kernel; ReachFallbacks counts Reach calls that
+	// enumerated instead (ineligible plan or infeasible bitset index).
+	ReachKernelRuns int64
+	ReachFallbacks  int64
 	// PlanCacheHits / PlanCacheMisses count Plan calls answered from /
 	// added to the LRU plan cache.
 	PlanCacheHits   int64
@@ -321,6 +326,8 @@ func (e *Engine) Stats() Stats {
 		ExpandedRecursions:    atomic.LoadInt64(&e.stats.ExpandedRecursions),
 		SeededRecursions:      atomic.LoadInt64(&e.stats.SeededRecursions),
 		BackwardRecursions:    atomic.LoadInt64(&e.stats.BackwardRecursions),
+		ReachKernelRuns:       atomic.LoadInt64(&e.stats.ReachKernelRuns),
+		ReachFallbacks:        atomic.LoadInt64(&e.stats.ReachFallbacks),
 		PlanCacheHits:         atomic.LoadInt64(&e.stats.PlanCacheHits),
 		PlanCacheMisses:       atomic.LoadInt64(&e.stats.PlanCacheMisses),
 		FingerprintCollisions: fingerprintCollisions() - e.collisionBase,

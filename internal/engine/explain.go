@@ -21,11 +21,16 @@ type ExplainLine struct {
 
 // Explain is the result of Engine.Explain: the chosen physical plan, the
 // planner rules that shaped it, whether it came out of the plan cache,
-// and the per-operator estimated vs. actual cardinalities.
+// and the per-operator estimated vs. actual cardinalities. Kernel reports
+// the route a path-free Reach call on this plan would take:
+// "reach-bitset" when the plan is kernel-eligible and the graph's bitset
+// index is feasible, "enumeration" otherwise. (Run always enumerates —
+// it returns paths.)
 type Explain struct {
 	Plan     core.PathExpr
 	Applied  []string
 	CacheHit bool
+	Kernel   string
 	Lines    []ExplainLine
 	Result   *pathset.Set
 }
@@ -55,6 +60,7 @@ func (e *Engine) explainCtx(ctx context.Context, x core.PathExpr) (*Explain, err
 		Plan:     plan,
 		Applied:  applied,
 		CacheHit: atomic.LoadInt64(&e.stats.PlanCacheHits) > hitsBefore,
+		Kernel:   e.reachRoute(plan),
 	}
 	out, err := e.explainPath(ctx, plan, 0, ex)
 	if err != nil {
@@ -168,6 +174,9 @@ func (ex *Explain) Format() string {
 		fmt.Fprintf(&sb, "rules fired: %s\n", strings.Join(ex.Applied, ", "))
 	}
 	fmt.Fprintf(&sb, "plan cache: %s\n", map[bool]string{true: "hit", false: "miss"}[ex.CacheHit])
+	if ex.Kernel != "" {
+		fmt.Fprintf(&sb, "reach kernel: %s\n", ex.Kernel)
+	}
 	sb.WriteString("operators (estimated vs actual):\n")
 	for _, l := range ex.Lines {
 		indent := strings.Repeat("  ", l.Depth)

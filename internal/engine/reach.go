@@ -1,0 +1,172 @@
+package engine
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sort"
+
+	"pathalgebra/internal/automaton"
+	"pathalgebra/internal/core"
+	"pathalgebra/internal/graph"
+	"pathalgebra/internal/opt"
+	"pathalgebra/internal/pathset"
+	"pathalgebra/internal/reach"
+	"pathalgebra/internal/rpq"
+)
+
+// ReachResult is a path-free answer: a property of the plan's result set
+// that does not depend on path bodies (see opt.ReachMode). Pairs are
+// ascending by (Src, Dst); Lengths, when present, is parallel to Pairs.
+// Kernel reports which evaluation route produced the answer — true for
+// the bitset reachability kernel, false for plan enumeration followed by
+// body erasure. Both routes return identical data.
+type ReachResult struct {
+	Mode opt.ReachMode
+	// Exists is always populated: whether the result set is non-empty.
+	Exists bool
+	// Count is the distinct endpoint-pair count for ReachCountPairs and
+	// the path count for ReachCountPaths; len(Pairs) otherwise.
+	Count int
+	// Pairs holds the distinct endpoint pairs for ReachPairs and
+	// ReachShortestLengths; nil for the scalar modes.
+	Pairs []reach.Pair
+	// Lengths is the per-pair minimal path length (ReachShortestLengths).
+	Lengths []int32
+	// Kernel is true when the bitset kernel produced the answer.
+	Kernel bool
+	// Graph and Epoch report the pinned evaluation view (like
+	// Stream.Graph/Epoch): Pairs' node IDs were minted at this view and
+	// must be rendered against it — compaction may remap IDs in later
+	// epochs.
+	Graph *graph.Graph
+	Epoch uint64
+}
+
+// Reach plans x like Run and answers the path-free question mode about
+// its result set. Eligible plans (opt.AnalyzeReach) route to the bitset
+// reachability kernel — no path is ever materialized; everything else,
+// and any graph whose bitset index exceeds graph.MaxBitsetBytes, falls
+// back to full enumeration with the answer derived by erasing bodies.
+func (e *Engine) Reach(x core.PathExpr, mode opt.ReachMode) (*ReachResult, error) {
+	return e.ReachCtx(context.Background(), x, mode)
+}
+
+// ReachCtx is Reach with cooperative cancellation (see RunCtx). On a live
+// engine the plan, the eligibility analysis and the evaluation all run
+// against one pinned epoch.
+func (e *Engine) ReachCtx(ctx context.Context, x core.PathExpr, mode opt.ReachMode) (*ReachResult, error) {
+	b, release := e.pin()
+	defer release()
+	plan, _ := b.plan(x)
+	if rp, ok := opt.AnalyzeReach(plan, mode); ok {
+		res, err := b.reachKernel(ctx, rp, mode)
+		switch {
+		case err == nil:
+			addStat(&e.stats.ReachKernelRuns, 1)
+			res.Graph, res.Epoch = b.g, b.epoch
+			return res, nil
+		case !errors.Is(err, reach.ErrInfeasible):
+			return nil, fmt.Errorf("engine: reach %s: %w", mode, err)
+		}
+		// Bitset index infeasible: enumerate like an ineligible plan.
+	}
+	addStat(&e.stats.ReachFallbacks, 1)
+	set, err := b.evalPathsCtx(ctx, plan)
+	if err != nil {
+		return nil, err
+	}
+	res := reachFromSet(set, mode)
+	res.Graph, res.Epoch = b.g, b.epoch
+	return res, nil
+}
+
+// reachRoute names the evaluation route a path-free Reach call would
+// take for this physical plan — explain output. ReachPairs is the
+// representative mode: every kernel-admitted mode shares its eligibility.
+func (e *Engine) reachRoute(plan core.PathExpr) string {
+	rp, ok := opt.AnalyzeReach(plan, opt.ReachPairs)
+	if !ok {
+		return "enumeration"
+	}
+	if _, feasible := reach.NewEvaluator(e.g, automaton.Build(rpq.Plus{In: rp.Pattern})); !feasible {
+		return "enumeration"
+	}
+	return "reach-bitset"
+}
+
+// reachKernel runs an eligible plan on the bitset kernel: seeds and
+// targets come from the endpoint conjuncts' node sets, the automaton from
+// the recursion pattern. The engine's limits bound the BFS exactly as
+// they bound enumeration (shared MaxLen, work and answer budgets).
+func (e *Engine) reachKernel(ctx context.Context, rp opt.ReachPlan, mode opt.ReachMode) (*ReachResult, error) {
+	seeds := e.seedNodes(rp.SeedConds)
+	if len(rp.SeedConds) > 0 && seeds == nil {
+		seeds = []graph.NodeID{} // non-nil: zero seeds, not all nodes
+	}
+	targets := e.seedNodes(rp.TargetConds)
+	if len(rp.TargetConds) > 0 && targets == nil {
+		targets = []graph.NodeID{} // non-nil: zero targets, not all nodes
+	}
+	q := reach.Query{
+		NFA:         automaton.Build(rpq.Plus{In: rp.Pattern}),
+		Seeds:       seeds,
+		Targets:     targets,
+		NeedLengths: mode == opt.ReachShortestLengths,
+		Workers:     e.opts.parallelism(),
+	}
+	res, err := reach.Eval(ctx, e.g, q, e.opts.Limits)
+	if err != nil {
+		return nil, err
+	}
+	out := &ReachResult{Mode: mode, Kernel: true, Exists: len(res.Pairs) > 0, Count: len(res.Pairs)}
+	switch mode {
+	case opt.ReachPairs:
+		out.Pairs = res.Pairs
+	case opt.ReachShortestLengths:
+		out.Pairs = res.Pairs
+		out.Lengths = res.Lengths
+	}
+	return out, nil
+}
+
+// reachFromSet derives the path-free answer from an enumerated result by
+// erasing path bodies: pairs dedup to the kernel's ascending (Src, Dst)
+// order, lengths take the per-pair minimum.
+func reachFromSet(set *pathset.Set, mode opt.ReachMode) *ReachResult {
+	out := &ReachResult{Mode: mode, Exists: set.Len() > 0}
+	if mode == opt.ReachCountPaths {
+		out.Count = set.Len()
+		return out
+	}
+	minLen := make(map[reach.Pair]int32, set.Len())
+	for _, p := range set.Paths() {
+		k := reach.Pair{Src: p.First(), Dst: p.Last()}
+		l := int32(p.Len())
+		if old, ok := minLen[k]; !ok || l < old {
+			minLen[k] = l
+		}
+	}
+	pairs := make([]reach.Pair, 0, len(minLen))
+	for k := range minLen {
+		pairs = append(pairs, k)
+	}
+	sort.Slice(pairs, func(i, j int) bool {
+		if pairs[i].Src != pairs[j].Src {
+			return pairs[i].Src < pairs[j].Src
+		}
+		return pairs[i].Dst < pairs[j].Dst
+	})
+	out.Count = len(pairs)
+	switch mode {
+	case opt.ReachPairs:
+		out.Pairs = pairs
+	case opt.ReachShortestLengths:
+		out.Pairs = pairs
+		out.Lengths = make([]int32, len(pairs))
+		for i, k := range pairs {
+			out.Lengths[i] = minLen[k]
+		}
+	}
+	return out
+}

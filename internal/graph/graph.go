@@ -12,6 +12,7 @@ package graph
 import (
 	"fmt"
 	"sort"
+	"sync/atomic"
 
 	"pathalgebra/internal/stats"
 )
@@ -91,6 +92,12 @@ type Graph struct {
 	// stats is the one-pass statistics bundle computed at Build from the
 	// CSR runs; the cost-based planner reads it through Stats().
 	stats *stats.Stats
+
+	// bitsets lazily caches this graph value's bitset successor index
+	// (bitset.go). Every Apply/compaction publishes a fresh *Graph, so
+	// the cache's lifetime equals the adjacency's — it can never serve
+	// stale rows (see the bitset.go package comment).
+	bitsets atomic.Pointer[bitsetCell]
 
 	// ov, when non-nil, makes this Graph a delta view: an immutable
 	// overlay of appended nodes/edges, tombstones and per-node adjacency

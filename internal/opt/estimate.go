@@ -1,6 +1,8 @@
 package opt
 
 import (
+	"math"
+
 	"pathalgebra/internal/cond"
 	"pathalgebra/internal/core"
 	"pathalgebra/internal/stats"
@@ -32,8 +34,14 @@ const (
 	maxCard = 1e15
 )
 
+// capCard saturates an estimate into [0, maxCard]. NaN maps to maxCard:
+// a poisoned estimate (0·Inf and friends, reachable when inflated
+// post-delete Max* upper bounds push intermediate products past the
+// float range) must compare as "expensive", never leak into min/max
+// plan comparisons where every NaN comparison is false and the planner's
+// choice turns on operand order.
 func capCard(c float64) float64 {
-	if c > maxCard {
+	if math.IsNaN(c) || c > maxCard {
 		return maxCard
 	}
 	if c < 0 {
@@ -148,16 +156,20 @@ func (cm *CostModel) recurseCard(x core.Recurse, m *estMemo) float64 {
 		dFirst = 1
 	}
 	r := base / dFirst
-	sum := base
-	term := base
-	for i := 1; i < cm.depthHorizon(); i++ {
-		term *= r
-		sum += term
-		if sum >= maxCard {
-			sum = maxCard
-			break
-		}
+	// Closed-form geometric sum Σ_{i=0}^{h-1} base·rⁱ. The former
+	// term-by-term loop ran depthHorizon()-1 rounds whenever r <= 1
+	// (the saturation break never fired), so a plan with a huge
+	// Limits.MaxLen stalled the planner for ~MaxLen iterations; the
+	// closed form is O(1) at any horizon. Overflow to +Inf (r > 1 at a
+	// deep horizon) and the 0·Inf NaN are absorbed by capCard.
+	h := float64(cm.depthHorizon())
+	var sum float64
+	if r == 1 {
+		sum = base * h
+	} else {
+		sum = base * (math.Pow(r, h) - 1) / (r - 1)
 	}
+	sum = capCard(sum)
 	if x.Sem == core.Shortest {
 		pairs := cm.distinctM(x.In, false, m) * cm.distinctM(x.In, true, m)
 		if pairs < sum {

@@ -1,0 +1,88 @@
+package opt
+
+import (
+	"fmt"
+	"math"
+	"testing"
+	"time"
+
+	"pathalgebra/internal/cond"
+	"pathalgebra/internal/core"
+	"pathalgebra/internal/graph"
+)
+
+// TestCapCardSaturatesNaN pins the NaN seam of the ϕ estimates: every
+// cost comparison in the planner treats NaN as "not less", so a NaN
+// leaking out of capCard would make plan choice depend on operand
+// order. NaN must saturate to maxCard (expensive), never pass through.
+func TestCapCardSaturatesNaN(t *testing.T) {
+	if got := capCard(math.NaN()); got != maxCard {
+		t.Fatalf("capCard(NaN) = %v, want maxCard", got)
+	}
+	if got := capCard(math.Inf(1)); got != maxCard {
+		t.Fatalf("capCard(+Inf) = %v, want maxCard", got)
+	}
+	if got := capCard(math.Inf(-1)); got != 0 {
+		t.Fatalf("capCard(-Inf) = %v, want 0", got)
+	}
+}
+
+// TestRecurseCardDeepHorizonPostDelete is the post-delete deep-chain
+// regression: stats Max* degrees are monotone upper bounds (deletes
+// never lower them), and a huge Limits.MaxLen used to drive the ϕ
+// estimate's term-by-term geometric loop for ~MaxLen iterations when
+// the fan-out ratio was <= 1 — an effective hang. The closed form must
+// return promptly with a finite, saturated estimate.
+func TestRecurseCardDeepHorizonPostDelete(t *testing.T) {
+	// A 64-node "knows" chain; then delete every other edge so the live
+	// fan-out drops below 1 while the Max* upper bounds stay inflated.
+	b := graph.NewBuilder()
+	for i := 0; i < 64; i++ {
+		b.AddNode(fmt.Sprintf("p%d", i), "Person", nil)
+	}
+	for i := 0; i < 63; i++ {
+		b.AddEdge(fmt.Sprintf("k%d", i), fmt.Sprintf("p%d", i), fmt.Sprintf("p%d", i+1), "knows", nil)
+	}
+	s := graph.NewStore(b.MustBuild(), graph.StoreOptions{CompactThreshold: -1})
+	defer s.Close()
+	var ops []graph.Op
+	for i := 0; i < 63; i += 2 {
+		ops = append(ops, graph.Op{Kind: graph.OpDelEdge, Key: fmt.Sprintf("k%d", i)})
+	}
+	if _, err := s.Apply(graph.Batch{Ops: ops}); err != nil {
+		t.Fatalf("Apply: %v", err)
+	}
+
+	knowsChain := core.Recurse{Sem: core.Walk, In: core.Select{
+		Cond: cond.Label(cond.EdgeAt(1), "knows"), In: core.Edges{},
+	}}
+	for _, maxLen := range []int{6, 1 << 20, 1 << 30, math.MaxInt} {
+		cm := &CostModel{Stats: s.Graph().Stats(), Limits: core.Limits{MaxLen: maxLen}}
+		start := time.Now()
+		card := cm.Card(knowsChain)
+		if d := time.Since(start); d > time.Second {
+			t.Fatalf("Card with MaxLen=%d took %v — horizon loop is back", maxLen, d)
+		}
+		if math.IsNaN(card) || math.IsInf(card, 0) || card < 0 || card > maxCard {
+			t.Fatalf("Card with MaxLen=%d = %v, want finite in [0, maxCard]", maxLen, card)
+		}
+	}
+
+	// A fan-out ratio > 1 at a deep horizon overflows Pow to +Inf; the
+	// estimate must saturate at maxCard, not poison comparisons.
+	b2 := graph.NewBuilder()
+	b2.AddNode("h", "Hub", nil)
+	b2.AddNode("t", "Hub", nil)
+	for i := 0; i < 8; i++ {
+		b2.AddEdge(fmt.Sprintf("l%d", i), "h", "t", "loops", nil)
+		b2.AddEdge(fmt.Sprintf("r%d", i), "t", "h", "loops", nil)
+	}
+	g2 := b2.MustBuild()
+	cm := &CostModel{Stats: g2.Stats(), Limits: core.Limits{MaxLen: 1 << 30}}
+	card := cm.Card(core.Recurse{Sem: core.Walk, In: core.Select{
+		Cond: cond.Label(cond.EdgeAt(1), "loops"), In: core.Edges{},
+	}})
+	if card != maxCard {
+		t.Fatalf("explosive recursion at deep horizon = %v, want saturation at maxCard", card)
+	}
+}

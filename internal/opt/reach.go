@@ -1,0 +1,254 @@
+package opt
+
+import (
+	"pathalgebra/internal/cond"
+	"pathalgebra/internal/core"
+	"pathalgebra/internal/rpq"
+)
+
+// ReachMode names the path-free answer a caller wants from a plan: a
+// property of the result's endpoint pairs rather than of its path bodies.
+// The bitset reachability kernel (internal/reach) computes endpoint pairs
+// and minimal accepted-walk lengths without materializing any path, so a
+// plan may route to it exactly when the requested answer is invariant
+// under erasing path bodies — AnalyzeReach decides that.
+type ReachMode uint8
+
+const (
+	// ReachExists asks whether the result set is non-empty.
+	ReachExists ReachMode = iota
+	// ReachPairs asks for the set of distinct (source, target) endpoint
+	// pairs of the result's paths.
+	ReachPairs
+	// ReachCountPairs asks for the number of distinct endpoint pairs —
+	// the γST partition count.
+	ReachCountPairs
+	// ReachCountPaths asks for the number of paths. Path counts are NOT
+	// invariant under body erasure (two parallel edges are two paths with
+	// one endpoint pair), so this mode is never kernel-eligible;
+	// AnalyzeReach always rejects it and callers must enumerate.
+	ReachCountPaths
+	// ReachShortestLengths asks, per endpoint pair, for the minimal path
+	// length in the result.
+	ReachShortestLengths
+)
+
+// String names the mode for explain output and cache keys.
+func (m ReachMode) String() string {
+	switch m {
+	case ReachExists:
+		return "exists"
+	case ReachPairs:
+		return "pairs"
+	case ReachCountPairs:
+		return "count-pairs"
+	case ReachCountPaths:
+		return "count-paths"
+	case ReachShortestLengths:
+		return "shortest-lengths"
+	default:
+		return "ReachMode(?)"
+	}
+}
+
+// ReachPlan is the kernel-shaped residue of an eligible plan: the kernel
+// evaluates (Pattern)+ from the nodes satisfying SeedConds towards the
+// nodes satisfying TargetConds and reports endpoint pairs (with minimal
+// lengths). Nil cond slices mean unrestricted.
+type ReachPlan struct {
+	// Pattern is the recursion base as a regular path expression; the
+	// kernel's automaton is built over (Pattern)+.
+	Pattern rpq.Expr
+	// Sem is the recursion's path semantics (Walk or Shortest — the two
+	// the analysis admits). It does not change the kernel's answer (both
+	// share endpoint pairs and minimal lengths under a common MaxLen);
+	// it is kept for reporting.
+	Sem core.Semantics
+	// SeedConds are the first-endpoint conjuncts restricting sources.
+	SeedConds []cond.Cond
+	// TargetConds are the last-endpoint conjuncts restricting targets.
+	TargetConds []cond.Cond
+}
+
+// AnalyzeReach decides whether a physical plan may be answered by the
+// reachability kernel for the given mode, and extracts the kernel plan if
+// so. The analysis is deliberately conservative — it recognizes exactly
+// the shapes whose mode-answer is provably invariant under erasing path
+// bodies, and rejects everything else (the engine then enumerates):
+//
+//   - ϕSem(pattern) with Sem ∈ {Walk, Shortest}: the recursion is the RPQ
+//     (pattern)+; its endpoint pairs and per-pair minimal lengths are
+//     exactly the kernel's BFS answer under the shared MaxLen.
+//   - σc(ϕSem(pattern)) where every conjunct of c touches a single
+//     endpoint: first-node conjuncts restrict seeds, last-node conjuncts
+//     restrict targets. A conjunct over interior nodes or edges would
+//     depend on path bodies, so any such residue rejects the plan.
+//   - π(*,*,*)(τ…(γψ(X))) over an eligible X: an all-bounds projection
+//     returns every path of X regardless of grouping and ordering, so the
+//     pipeline is the identity on the path set.
+//   - π(*,*,1)(τ…A…(γST(X))) over an eligible X — the ANY SHORTEST shape:
+//     grouping by (source, target) and projecting one path per group in
+//     ascending length order keeps exactly one minimal-length path per
+//     endpoint pair. Pairs, pair counts, existence and minimal lengths
+//     all survive the truncation. The path bound must be ascending and
+//     some order-by in the chain must rank paths by length (OrderPath);
+//     otherwise the kept path is rank-arbitrary, not shortest — rejected.
+//
+// ReachCountPaths is rejected for every shape: even the recursion alone
+// distinguishes parallel multigraph edges the kernel cannot see.
+func AnalyzeReach(plan core.PathExpr, mode ReachMode) (ReachPlan, bool) {
+	if mode > ReachShortestLengths || mode == ReachCountPaths {
+		return ReachPlan{}, false
+	}
+	switch x := plan.(type) {
+	case core.Recurse, core.Select:
+		return analyzeReachCore(plan)
+	case core.Project:
+		inner, ok := analyzeReachProject(x)
+		if !ok {
+			return ReachPlan{}, false
+		}
+		return analyzeReachCore(inner)
+	default:
+		return ReachPlan{}, false
+	}
+}
+
+// analyzeReachCore recognizes the recursion core: ϕ over a label pattern,
+// optionally under an endpoint-only selection.
+func analyzeReachCore(x core.PathExpr) (ReachPlan, bool) {
+	switch x := x.(type) {
+	case core.Recurse:
+		return analyzeRecurse(x)
+	case core.Select:
+		rec, ok := x.In.(core.Recurse)
+		if !ok {
+			return ReachPlan{}, false
+		}
+		first, last, rest := SplitByEndpoint(x.Cond)
+		if len(rest) > 0 {
+			// A conjunct over interior nodes or edges reads path bodies.
+			return ReachPlan{}, false
+		}
+		rp, ok := analyzeRecurse(rec)
+		if !ok {
+			return ReachPlan{}, false
+		}
+		rp.SeedConds = first
+		rp.TargetConds = last
+		return rp, true
+	default:
+		return ReachPlan{}, false
+	}
+}
+
+// analyzeRecurse accepts ϕSem(pattern) for Walk and Shortest semantics.
+// Trail, Acyclic and Simple are rejected: although their endpoint pairs
+// coincide with Walk's in the uncapped case (a minimal walk repeats no
+// node), the interaction with MaxPaths-truncated enumeration fallbacks
+// has not been pinned down, and conservatism is the contract here.
+func analyzeRecurse(rec core.Recurse) (ReachPlan, bool) {
+	if rec.Sem != core.Walk && rec.Sem != core.Shortest {
+		return ReachPlan{}, false
+	}
+	re, ok := LabelPattern(rec.In)
+	if !ok {
+		return ReachPlan{}, false
+	}
+	return ReachPlan{Pattern: re, Sem: rec.Sem}, true
+}
+
+// analyzeReachProject classifies a projection pipeline as the identity
+// (all-bounds) or the ANY SHORTEST truncation, returning the GroupBy
+// input. Both preserve pairs, pair counts, existence and minimal
+// lengths — everything the admitted modes read.
+func analyzeReachProject(p core.Project) (core.PathExpr, bool) {
+	if !p.Parts.All || p.Parts.Desc || !p.Groups.All || p.Groups.Desc {
+		return nil, false
+	}
+	gb, ok := core.BottomGroupBy(p.In)
+	if !ok {
+		return nil, false
+	}
+	switch {
+	case p.Paths.All && !p.Paths.Desc:
+		// π(*,*,*): identity on the path set, any group key.
+		return gb.In, true
+	case !p.Paths.All && p.Paths.N == 1 && !p.Paths.Desc:
+		// π(*,*,1): one path per group. Kernel-shaped only when the
+		// partitions are exactly the endpoint pairs and paths are ranked
+		// by length somewhere in the order-by chain — otherwise the kept
+		// path is rank-arbitrary, not shortest.
+		if gb.Key != core.GroupSource|core.GroupTarget {
+			return nil, false
+		}
+		if !orderChainRanksPaths(p.In) {
+			return nil, false
+		}
+		return gb.In, true
+	default:
+		return nil, false
+	}
+}
+
+// orderChainRanksPaths reports whether some τ in the chain above the
+// bottom GroupBy carries the OrderPath component. Order-by composition
+// makes this sufficient: every OrderPath application sets path rank to
+// Len(p) (idempotent), and applications without OrderPath leave path
+// ranks untouched, so one occurrence anywhere pins rank = length.
+func orderChainRanksPaths(e core.SpaceExpr) bool {
+	for {
+		ord, ok := e.(core.OrderBy)
+		if !ok {
+			return false
+		}
+		if ord.Key&core.OrderPath != 0 {
+			return true
+		}
+		e = ord.In
+	}
+}
+
+// LabelPattern converts a base expression built from label-equality
+// selections over Edges(G), joins and unions into the equivalent regular
+// path expression: Edges(G) ↦ any-label, σ[label(edge(1))=L](Edges) ↦ L,
+// ⋈ ↦ concatenation, ∪ ↦ alternation. ok is false for any other shape.
+// It is the planner-side mirror of the engine's pattern recognizer, so
+// eligibility here agrees with what the enumeration fast path accepts.
+func LabelPattern(x core.PathExpr) (rpq.Expr, bool) {
+	switch x := x.(type) {
+	case core.Edges:
+		return rpq.AnyLabel{}, true
+	case core.Select:
+		lc, ok := x.Cond.(cond.LabelCmp)
+		if !ok || lc.Op != cond.EQ || lc.Target.Kind != cond.TargetEdge || lc.Target.Pos != 1 {
+			return nil, false
+		}
+		if _, ok := x.In.(core.Edges); !ok {
+			return nil, false
+		}
+		return rpq.Label{Name: lc.Value}, true
+	case core.Join:
+		l, ok := LabelPattern(x.L)
+		if !ok {
+			return nil, false
+		}
+		r, ok := LabelPattern(x.R)
+		if !ok {
+			return nil, false
+		}
+		return rpq.Concat{L: l, R: r}, true
+	case core.Union:
+		l, ok := LabelPattern(x.L)
+		if !ok {
+			return nil, false
+		}
+		r, ok := LabelPattern(x.R)
+		if !ok {
+			return nil, false
+		}
+		return rpq.Alt{L: l, R: r}, true
+	default:
+		return nil, false
+	}
+}

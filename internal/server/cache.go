@@ -84,3 +84,67 @@ func (c *resultCache) snapshot() (entries int, hits, misses int64) {
 	hits, misses = c.entries.Counters()
 	return c.entries.Len(), hits, misses
 }
+
+// reachEntry is one cached POST /reach answer: the fully rendered
+// response (node keys resolved against the evaluation view, so no graph
+// needs to be retained), the epoch it was computed at and the plan's
+// label footprint for invalidation.
+type reachEntry struct {
+	resp  reachResponse
+	epoch uint64
+	fp    graph.Footprint
+}
+
+// reachCache is the POST /reach result LRU. It is a SEPARATE cache from
+// resultCache on purpose: reach answers are path-free (pairs, counts,
+// lengths) while query results are path sets, and the two evaluation
+// routes must never alias — a kernel answer under a key an enumeration
+// could hit (or vice versa) would be a correctness bug, not a cache
+// policy choice. Keys carry a "reach:<mode>:" prefix on top of the
+// structural separation, so even a future merged store could not
+// collide them. Invalidation follows the same label-footprint scheme as
+// resultCache.
+type reachCache struct {
+	entries *lru.Cache[string, *reachEntry]
+}
+
+func newReachCache(capacity int) *reachCache {
+	return &reachCache{entries: lru.New[string, *reachEntry](capacity)}
+}
+
+func (c *reachCache) get(store *graph.Store, key string) (*reachEntry, bool) {
+	if c == nil {
+		return nil, false
+	}
+	ent, ok := c.entries.Get(key)
+	if !ok {
+		return nil, false
+	}
+	if !store.ValidAt(ent.fp, ent.epoch) {
+		c.entries.Delete(key)
+		return nil, false
+	}
+	return ent, true
+}
+
+func (c *reachCache) put(key string, ent *reachEntry) {
+	if c == nil {
+		return
+	}
+	c.entries.Put(key, ent)
+}
+
+func (c *reachCache) invalidate() int {
+	if c == nil {
+		return 0
+	}
+	return c.entries.Clear()
+}
+
+func (c *reachCache) snapshot() (entries int, hits, misses int64) {
+	if c == nil {
+		return 0, 0, 0
+	}
+	hits, misses = c.entries.Counters()
+	return c.entries.Len(), hits, misses
+}

@@ -1,0 +1,234 @@
+package server
+
+import (
+	"net/http"
+	"strings"
+	"testing"
+
+	"pathalgebra/internal/core"
+	"pathalgebra/internal/engine"
+	"pathalgebra/internal/gql"
+	"pathalgebra/internal/ldbc"
+	"pathalgebra/internal/opt"
+)
+
+const knowsWalk = `MATCH WALK p = (?x)-[:Knows+]->(?y)`
+
+// reachReference computes the expected rendered response for a query and
+// mode through the library path (engine.Reach + key resolution), so the
+// HTTP tests don't hardcode Figure 1's transitive closure.
+func reachReference(t *testing.T, query string, mode opt.ReachMode, lim core.Limits) reachResponse {
+	t.Helper()
+	g := ldbc.Figure1()
+	eng := engine.New(g, engine.Options{Limits: lim})
+	res, err := eng.Reach(gql.MustCompile(query), mode)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return renderReach(res)
+}
+
+func sameReach(a, b reachResponse) bool {
+	if a.Mode != b.Mode || a.Kernel != b.Kernel || a.Exists != b.Exists || a.Count != b.Count || len(a.Pairs) != len(b.Pairs) {
+		return false
+	}
+	for i := range a.Pairs {
+		if a.Pairs[i].Src != b.Pairs[i].Src || a.Pairs[i].Dst != b.Pairs[i].Dst {
+			return false
+		}
+		al, bl := a.Pairs[i].Len, b.Pairs[i].Len
+		if (al == nil) != (bl == nil) || (al != nil && *al != *bl) {
+			return false
+		}
+	}
+	return true
+}
+
+// TestReachEndpoint exercises POST /reach across every mode against the
+// library-path reference: the kernel modes report kernel=true with
+// identical data, count-paths falls back to enumeration, and the scalar
+// modes carry no pairs.
+func TestReachEndpoint(t *testing.T) {
+	lim := core.Limits{MaxLen: 4}
+	_, ts := newTestServer(t, Config{Graph: ldbc.Figure1(), Engine: engine.Options{Limits: lim}})
+
+	for _, tc := range []struct {
+		mode       opt.ReachMode
+		wantKernel bool
+	}{
+		{opt.ReachExists, true},
+		{opt.ReachPairs, true},
+		{opt.ReachCountPairs, true},
+		{opt.ReachShortestLengths, true},
+		{opt.ReachCountPaths, false},
+	} {
+		want := reachReference(t, knowsWalk, tc.mode, lim)
+		resp := postJSON(t, ts.URL+"/reach", reachRequest{Query: knowsWalk, Mode: tc.mode.String()})
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("mode %s: status %d", tc.mode, resp.StatusCode)
+		}
+		got := decodeBody[reachResponse](t, resp)
+		if got.Kernel != tc.wantKernel {
+			t.Errorf("mode %s: kernel = %v, want %v", tc.mode, got.Kernel, tc.wantKernel)
+		}
+		if got.Cached {
+			t.Errorf("mode %s: first request reported cached", tc.mode)
+		}
+		if !sameReach(got, want) {
+			t.Errorf("mode %s: response %+v, want %+v", tc.mode, got, want)
+		}
+		scalar := tc.mode == opt.ReachExists || tc.mode == opt.ReachCountPairs || tc.mode == opt.ReachCountPaths
+		if scalar && got.Pairs != nil {
+			t.Errorf("mode %s: scalar mode carried %d pairs", tc.mode, len(got.Pairs))
+		}
+		if tc.mode == opt.ReachShortestLengths {
+			for _, p := range got.Pairs {
+				if p.Len == nil {
+					t.Fatalf("shortest-lengths pair %s→%s missing len", p.Src, p.Dst)
+				}
+			}
+		}
+	}
+
+	// The kernel erases path multiplicity; count-paths must not. Figure 1's
+	// Knows subgraph has a cycle, so under MaxLen 4 paths outnumber pairs.
+	pairs := decodeBody[reachResponse](t, postJSON(t, ts.URL+"/reach", reachRequest{Query: knowsWalk, Mode: "count-pairs"}))
+	paths := decodeBody[reachResponse](t, postJSON(t, ts.URL+"/reach", reachRequest{Query: knowsWalk, Mode: "count-paths"}))
+	if paths.Count <= pairs.Count {
+		t.Errorf("count-paths %d not greater than count-pairs %d", paths.Count, pairs.Count)
+	}
+}
+
+// TestReachBadRequests covers the 400 surface: missing query, unknown
+// mode, bad GQL.
+func TestReachBadRequests(t *testing.T) {
+	_, ts := newTestServer(t, Config{Graph: ldbc.Figure1()})
+	for name, req := range map[string]reachRequest{
+		"missing query": {Mode: "pairs"},
+		"unknown mode":  {Query: knowsWalk, Mode: "endpoints"},
+		"missing mode":  {Query: knowsWalk},
+		"bad gql":       {Query: "MATCH nope", Mode: "pairs"},
+	} {
+		resp := postJSON(t, ts.URL+"/reach", req)
+		if resp.StatusCode != http.StatusBadRequest {
+			t.Errorf("%s: status %d, want 400", name, resp.StatusCode)
+		}
+		if e := decodeBody[errorResponse](t, resp); e.Kind != "bad_request" {
+			t.Errorf("%s: kind %q, want bad_request", name, e.Kind)
+		}
+	}
+}
+
+// TestReachCache checks the reach cache end to end: hit on re-POST,
+// no_cache bypass, footprint invalidation by a Knows ingest, and that the
+// reach cache never aliases the path-set result cache even for the same
+// query text.
+func TestReachCache(t *testing.T) {
+	lim := core.Limits{MaxLen: 4}
+	_, ts := newTestServer(t, Config{Graph: ldbc.Figure1(), Engine: engine.Options{Limits: lim}})
+
+	post := func(req reachRequest) reachResponse {
+		t.Helper()
+		resp := postJSON(t, ts.URL+"/reach", req)
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("reach status %d", resp.StatusCode)
+		}
+		return decodeBody[reachResponse](t, resp)
+	}
+
+	first := post(reachRequest{Query: knowsWalk, Mode: "pairs"})
+	if first.Cached || !first.Kernel {
+		t.Fatalf("first = cached %v kernel %v, want fresh kernel", first.Cached, first.Kernel)
+	}
+	second := post(reachRequest{Query: knowsWalk, Mode: "pairs"})
+	if !second.Cached {
+		t.Fatal("re-POST not served from reach cache")
+	}
+	second.Cached = false
+	if !sameReach(second, first) {
+		t.Fatalf("cached response %+v differs from fresh %+v", second, first)
+	}
+	if r := post(reachRequest{Query: knowsWalk, Mode: "pairs", NoCache: true}); r.Cached {
+		t.Fatal("no_cache request served from cache")
+	}
+
+	// Different mode, same query: distinct cache key, not a hit.
+	if r := post(reachRequest{Query: knowsWalk, Mode: "exists"}); r.Cached {
+		t.Fatal("exists hit the pairs entry")
+	}
+
+	// A full /query on the same text must not collide with reach entries in
+	// either direction: the path cursor streams real paths, and a
+	// subsequent reach hit still returns the path-free answer.
+	qr := decodeBody[queryResponse](t, postJSON(t, ts.URL+"/query", queryRequest{Query: knowsWalk}))
+	next, err := http.Get(ts.URL + "/query/" + qr.ID + "/next")
+	if err != nil {
+		t.Fatal(err)
+	}
+	pathLines, _ := readPage(t, next)
+	if len(pathLines) == 0 {
+		t.Fatal("query cursor returned no paths")
+	}
+	if r := post(reachRequest{Query: knowsWalk, Mode: "pairs"}); !r.Cached || !sameReach(reachResponse{Mode: r.Mode, Kernel: r.Kernel, Exists: r.Exists, Count: r.Count, Pairs: r.Pairs}, first) {
+		t.Fatal("reach entry lost or corrupted by /query on the same text")
+	}
+
+	// Ingest touching Knows invalidates by footprint: the next POST
+	// recomputes and reflects the new edge (n3→n4 becomes reachable via the
+	// new n3→n1 hop only if it changes pairs; at minimum the hit flag drops).
+	resp := postJSON(t, ts.URL+"/reach", reachRequest{Query: knowsWalk, Mode: "pairs"}) // warm again post-/query
+	resp.Body.Close()
+	ing, err := http.Post(ts.URL+"/ingest", "application/x-ndjson",
+		strings.NewReader(`{"op":"add_edge","key":"zz1","src":"n4","dst":"n1","label":"Knows"}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ing.StatusCode != http.StatusOK {
+		t.Fatalf("ingest status %d", ing.StatusCode)
+	}
+	ing.Body.Close()
+	after := post(reachRequest{Query: knowsWalk, Mode: "pairs"})
+	if after.Cached {
+		t.Fatal("reach cache served a stale entry across a Knows ingest")
+	}
+	if after.Count <= first.Count {
+		t.Fatalf("closing the Knows cycle did not grow pairs: %d -> %d", first.Count, after.Count)
+	}
+
+	// Stats surface: reach cache counters and engine route counters.
+	st := decodeBody[statsResponse](t, mustGet(t, ts.URL+"/stats"))
+	if st.ReachCache.Hits == 0 || st.ReachCache.Misses == 0 || st.ReachCache.Entries == 0 {
+		t.Errorf("reach_cache stats = %+v, want non-zero hits, misses and entries", st.ReachCache)
+	}
+	if st.Engine.ReachKernelRuns == 0 {
+		t.Error("engine stats report no reach kernel runs")
+	}
+}
+
+func mustGet(t *testing.T, url string) *http.Response {
+	t.Helper()
+	resp, err := http.Get(url)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return resp
+}
+
+// TestReachInvalidateEndpoint: POST /cache/invalidate drops reach entries
+// too.
+func TestReachInvalidateEndpoint(t *testing.T) {
+	_, ts := newTestServer(t, Config{Graph: ldbc.Figure1()})
+	resp := postJSON(t, ts.URL+"/reach", reachRequest{Query: knowsWalk, Mode: "pairs"})
+	resp.Body.Close()
+	if r := decodeBody[reachResponse](t, postJSON(t, ts.URL+"/reach", reachRequest{Query: knowsWalk, Mode: "pairs"})); !r.Cached {
+		t.Fatal("warm-up entry not cached")
+	}
+	inv := postJSON(t, ts.URL+"/cache/invalidate", struct{}{})
+	if inv.StatusCode != http.StatusOK {
+		t.Fatalf("invalidate status %d", inv.StatusCode)
+	}
+	inv.Body.Close()
+	if r := decodeBody[reachResponse](t, postJSON(t, ts.URL+"/reach", reachRequest{Query: knowsWalk, Mode: "pairs"})); r.Cached {
+		t.Fatal("entry survived explicit invalidation")
+	}
+}

@@ -185,6 +185,7 @@ type Server struct {
 	engines   map[core.Limits]*engine.Engine
 
 	cache    *resultCache
+	reach    *reachCache
 	cursors  *cursorTable
 	inflight atomic.Int64
 	counters serverCounters
@@ -230,8 +231,10 @@ func New(cfg Config) (*Server, error) {
 	s.engines[cfg.Engine.Limits] = s.base
 	if n := cfg.cacheSize(); n > 0 {
 		s.cache = newResultCache(n)
+		s.reach = newReachCache(n)
 	}
 	s.mux.HandleFunc("POST /query", s.handleQuery)
+	s.mux.HandleFunc("POST /reach", s.handleReach)
 	s.mux.HandleFunc("GET /query/{id}/next", s.handleNext)
 	s.mux.HandleFunc("DELETE /query/{id}", s.handleCancel)
 	s.mux.HandleFunc("POST /ingest", s.handleIngest)
@@ -419,13 +422,21 @@ func writeEvalError(w http.ResponseWriter, err error) {
 	}
 }
 
+// decodeJSONBody parses a bounded, strict JSON request body.
+func decodeJSONBody(r *http.Request, v any) error {
+	dec := json.NewDecoder(http.MaxBytesReader(nil, r.Body, 1<<20))
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(v); err != nil {
+		return fmt.Errorf("invalid request body: %w", err)
+	}
+	return nil
+}
+
 // decodeRequest parses the JSON body of POST /query and /explain.
 func decodeRequest(r *http.Request) (*queryRequest, error) {
 	var req queryRequest
-	dec := json.NewDecoder(http.MaxBytesReader(nil, r.Body, 1<<20))
-	dec.DisallowUnknownFields()
-	if err := dec.Decode(&req); err != nil {
-		return nil, fmt.Errorf("invalid request body: %w", err)
+	if err := decodeJSONBody(r, &req); err != nil {
+		return nil, err
 	}
 	if req.Query == "" {
 		return nil, fmt.Errorf("missing \"query\" field")
@@ -715,6 +726,11 @@ type statsResponse struct {
 		Hits    int64 `json:"hits"`
 		Misses  int64 `json:"misses"`
 	} `json:"result_cache"`
+	ReachCache struct {
+		Entries int   `json:"entries"`
+		Hits    int64 `json:"hits"`
+		Misses  int64 `json:"misses"`
+	} `json:"reach_cache"`
 	Graph struct {
 		Nodes   int `json:"nodes"`
 		Edges   int `json:"edges"`
@@ -762,6 +778,8 @@ func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 		resp.Engine.ExpandedRecursions += st.ExpandedRecursions
 		resp.Engine.SeededRecursions += st.SeededRecursions
 		resp.Engine.BackwardRecursions += st.BackwardRecursions
+		resp.Engine.ReachKernelRuns += st.ReachKernelRuns
+		resp.Engine.ReachFallbacks += st.ReachFallbacks
 		resp.Engine.PlanCacheHits += st.PlanCacheHits
 		resp.Engine.PlanCacheMisses += st.PlanCacheMisses
 		resp.Engine.FingerprintCollisions += st.FingerprintCollisions
@@ -777,6 +795,7 @@ func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 	resp.Server.Paths = s.counters.paths.Load()
 	resp.Server.Pages = s.counters.pages.Load()
 	resp.ResultCache.Entries, resp.ResultCache.Hits, resp.ResultCache.Misses = s.cache.snapshot()
+	resp.ReachCache.Entries, resp.ReachCache.Hits, resp.ReachCache.Misses = s.reach.snapshot()
 	g := s.store.Graph()
 	resp.Graph.Nodes = g.LiveNodes()
 	resp.Graph.Edges = g.LiveEdges()
@@ -846,9 +865,10 @@ func (s *Server) handleExplain(w http.ResponseWriter, r *http.Request) {
 	})
 }
 
-// handleInvalidate drops every cached result.
+// handleInvalidate drops every cached result, path sets and reach
+// answers alike.
 func (s *Server) handleInvalidate(w http.ResponseWriter, r *http.Request) {
-	n := s.cache.invalidate()
+	n := s.cache.invalidate() + s.reach.invalidate()
 	writeJSON(w, http.StatusOK, map[string]any{"invalidated": n})
 }
 

@@ -110,3 +110,23 @@ if [ "$disarmed" -ne 0 ]; then
     exit 1
 fi
 echo "check_allocs: disarmed fault points at zero-alloc parity ($disarmed allocs/op)"
+
+# Reach-kernel gate: the bitset reachability kernel's steady state
+# (Evaluator reuse via EvalInto) must run the whole multi-source BFS —
+# frontier sweeps, bitset patching, pair emission — with ZERO allocations
+# per evaluation, no tolerance. The kernel's entire point is path-free
+# answers at bitset speed; any allocation in the hot loop means per-node
+# or per-pair state crept out of the evaluator's reusable buffers.
+out=$(go test -run xxx -bench 'BenchmarkReachKernelSteady' -benchtime 20x -benchmem ./internal/reach 2>&1)
+printf '%s\n' "$out"
+
+steady=$(printf '%s\n' "$out" | awk '/^BenchmarkReachKernelSteady/ { for (i = 1; i < NF; i++) if ($(i+1) == "allocs/op") print $i }')
+if [ -z "$steady" ]; then
+    echo "check_allocs: could not find BenchmarkReachKernelSteady allocs/op in benchmark output" >&2
+    exit 1
+fi
+if [ "$steady" -ne 0 ]; then
+    echo "check_allocs: reach-kernel steady state allocates $steady allocs/op — EvalInto must be allocation-free" >&2
+    exit 1
+fi
+echo "check_allocs: reach-kernel steady state at zero allocs/op"
