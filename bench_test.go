@@ -634,7 +634,10 @@ func BenchmarkStreamDelivery(b *testing.B) {
 // and reports queries/sec and p99 end-to-end latency — the PR 5
 // service-layer headline numbers (recorded in BENCH_pr5.json). The
 // nocache variant evaluates every query; the cached variant measures the
-// result-LRU serving path.
+// result-LRU serving path; the traced variant re-runs nocache with
+// "trace": true on every query, so each evaluation builds the full span
+// tree and ships it back in the final trailer — the enabled-tracing
+// overhead the observability layer must keep marginal.
 func BenchmarkServerThroughput(b *testing.B) {
 	g := benchGraph()
 	queries := []string{
@@ -643,7 +646,7 @@ func BenchmarkServerThroughput(b *testing.B) {
 		`MATCH ANY SHORTEST WALK p = (?x)-[(:Likes/:Has_creator)+]->(?y)`,
 	}
 	const clients = 8
-	run := func(b *testing.B, noCache bool) {
+	run := func(b *testing.B, noCache, traced bool) {
 		svc, err := server.New(server.Config{
 			Graph:       g,
 			Engine:      engine.Options{Limits: Limits{MaxLen: 4}},
@@ -657,7 +660,7 @@ func BenchmarkServerThroughput(b *testing.B) {
 		defer svc.Close()
 		client := ts.Client()
 		oneQuery := func(q string) error {
-			body, _ := json.Marshal(map[string]any{"query": q, "no_cache": noCache})
+			body, _ := json.Marshal(map[string]any{"query": q, "no_cache": noCache, "trace": traced})
 			resp, err := client.Post(ts.URL+"/query", "application/json", bytes.NewReader(body))
 			if err != nil {
 				return err
@@ -737,8 +740,9 @@ func BenchmarkServerThroughput(b *testing.B) {
 		p99 := lats[min(len(lats)-1, len(lats)*99/100)]
 		b.ReportMetric(float64(p99)/1e6, "p99-ms")
 	}
-	b.Run("nocache", func(b *testing.B) { run(b, true) })
-	b.Run("cached", func(b *testing.B) { run(b, false) })
+	b.Run("nocache", func(b *testing.B) { run(b, true, false) })
+	b.Run("cached", func(b *testing.B) { run(b, false, false) })
+	b.Run("traced", func(b *testing.B) { run(b, true, true) })
 }
 
 // BenchmarkIngest measures delta-apply throughput: the full deterministic

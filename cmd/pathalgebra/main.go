@@ -82,7 +82,8 @@ flags (per command):
             (run only; the cost-based planner is the default)
   -explain  print the chosen plan with estimated vs actual operator
             cardinalities and plan-cache state (run only)
-  -stats    print execution statistics (run only)`)
+  -stats    print execution statistics (run only)
+  -trace    print the per-query span tree after the results (run only)`)
 }
 
 type queryFlags struct {
@@ -102,6 +103,7 @@ type queryFlags struct {
 	noPlanner *bool
 	explain   *bool
 	stats     *bool
+	trace     *bool
 }
 
 func newQueryFlags(name string) *queryFlags {
@@ -123,6 +125,7 @@ func newQueryFlags(name string) *queryFlags {
 		noPlanner: fs.Bool("no-planner", false, "use the heuristic optimizer without graph statistics"),
 		explain:   fs.Bool("explain", false, "print the chosen plan with estimated vs actual cardinalities"),
 		stats:     fs.Bool("stats", false, "print execution statistics"),
+		trace:     fs.Bool("trace", false, "print the per-query span tree after the results"),
 	}
 }
 
@@ -280,6 +283,11 @@ func cmdRun(args []string) error {
 		ctx, cancel = context.WithTimeout(ctx, *qf.timeout)
 		defer cancel()
 	}
+	var tr *pathalgebra.Trace
+	if *qf.trace {
+		tr = pathalgebra.NewTrace()
+		ctx = pathalgebra.ContextWithSpan(ctx, tr.Start("query"))
+	}
 	var res *pathalgebra.PathSet
 	switch {
 	case *qf.noOpt:
@@ -308,6 +316,9 @@ func cmdRun(args []string) error {
 	fmt.Printf("%d paths\n", res.Len())
 	if res.Len() > 0 {
 		fmt.Println(res.Format(g))
+	}
+	if tr != nil {
+		fmt.Print("trace:\n", tr.Format())
 	}
 	if *qf.stats {
 		s := eng.Stats()

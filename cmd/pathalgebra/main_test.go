@@ -192,3 +192,22 @@ func TestCmdRunTimeout(t *testing.T) {
 		t.Errorf("err = %v, want errors.Is context.DeadlineExceeded", err)
 	}
 }
+
+// TestCmdRunTrace checks -trace prints a span tree after the results
+// covering the plan and evaluation phases.
+func TestCmdRunTrace(t *testing.T) {
+	out, err := capture(t, func() error {
+		return cmdRun([]string{
+			"-query", `MATCH TRAIL p = (?x)-[:Knows+]->(?y)`,
+			"-maxlen", "3", "-trace",
+		})
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{"trace:", "query ", "plan ", "eval ", "search ", "paths_charged="} {
+		if !strings.Contains(out, want) {
+			t.Errorf("run -trace output missing %q:\n%s", want, out)
+		}
+	}
+}

@@ -18,9 +18,15 @@
 //	DELETE /query/{id}       cancel a query
 //	POST   /ingest           apply a mutation batch (NDJSON or text/csv)
 //	GET    /stats            engine + server counters
+//	GET    /metrics          Prometheus text exposition
 //	POST   /explain          plan with estimated vs actual cardinalities
 //	POST   /cache/invalidate drop the result LRU
 //	GET    /healthz          liveness
+//
+// Observability: -slow-query <dur> logs any evaluation at or above the
+// threshold with its plan and span summary; -pprof mounts the
+// net/http/pprof handlers under /debug/pprof/; ?trace=1 on /query or
+// /reach returns a per-query span tree.
 //
 // On SIGTERM/SIGINT the daemon drains gracefully: it stops accepting
 // connections, gives in-flight requests -drain-timeout to finish, then
@@ -35,6 +41,7 @@ import (
 	"log"
 	"net"
 	"net/http"
+	netpprof "net/http/pprof"
 	"os"
 	"os/signal"
 	"syscall"
@@ -78,6 +85,9 @@ func run(args []string, ready chan<- net.Addr) error {
 		queryTimeout = fs.Duration("query-timeout", 0, "per-query evaluation deadline (0 = 60s, negative disables)")
 		cursorTTL    = fs.Duration("cursor-ttl", 0, "idle cursor eviction (0 = 5m, negative disables)")
 		drainTimeout = fs.Duration("drain-timeout", 5*time.Second, "graceful shutdown grace period")
+		slowQuery    = fs.Duration("slow-query", 0,
+			"log queries whose evaluation takes at least this long, with plan and span summary (0 disables)")
+		pprof = fs.Bool("pprof", false, "expose net/http/pprof under /debug/pprof/")
 
 		compactThreshold = fs.Int("compact-threshold", 0,
 			"delta ops before background compaction folds the overlay into a fresh CSR (0 = 4096, negative disables)")
@@ -129,6 +139,7 @@ func run(args []string, ready chan<- net.Addr) error {
 		CacheSize:    *cacheSize,
 		QueryTimeout: *queryTimeout,
 		CursorTTL:    *cursorTTL,
+		SlowQuery:    *slowQuery,
 
 		CompactThreshold: *compactThreshold,
 	})
@@ -136,6 +147,21 @@ func run(args []string, ready chan<- net.Addr) error {
 		return err
 	}
 	defer svc.Close()
+
+	// -pprof mounts the profiling handlers next to the service routes.
+	// Off by default: profiling endpoints expose heap contents and must
+	// be opted into, like the fault-injection seams.
+	var handler http.Handler = svc
+	if *pprof {
+		mux := http.NewServeMux()
+		mux.HandleFunc("/debug/pprof/", netpprof.Index)
+		mux.HandleFunc("/debug/pprof/cmdline", netpprof.Cmdline)
+		mux.HandleFunc("/debug/pprof/profile", netpprof.Profile)
+		mux.HandleFunc("/debug/pprof/symbol", netpprof.Symbol)
+		mux.HandleFunc("/debug/pprof/trace", netpprof.Trace)
+		mux.Handle("/", svc)
+		handler = mux
+	}
 
 	ln, err := net.Listen("tcp", *addr)
 	if err != nil {
@@ -146,7 +172,7 @@ func run(args []string, ready chan<- net.Addr) error {
 	// keep-alive connection is bounded by these deadlines instead of
 	// holding a server goroutine (and its cursor admission slot) forever.
 	httpSrv := &http.Server{
-		Handler:           svc,
+		Handler:           handler,
 		ReadHeaderTimeout: max(*readHeaderTimeout, 0),
 		WriteTimeout:      max(*writeTimeout, 0),
 		IdleTimeout:       max(*idleTimeout, 0),

@@ -5,8 +5,11 @@ import (
 	"bytes"
 	"encoding/json"
 	"fmt"
+	"io"
+	"log"
 	"net"
 	"net/http"
+	"sync"
 	"syscall"
 	"testing"
 	"time"
@@ -321,4 +324,113 @@ func TestLoadGraphFlags(t *testing.T) {
 	if _, _, err := loadGraph("", "only-nodes.csv", "", false, 0); err == nil {
 		t.Fatal("lone -nodes accepted")
 	}
+}
+
+// TestDaemonObservability boots the daemon with the observability
+// surface armed (-slow-query, -pprof), runs a query, and checks the
+// slow-query log line, the /metrics exposition and the pprof index.
+func TestDaemonObservability(t *testing.T) {
+	logBuf := &lockedBuffer{}
+	prev := log.Writer()
+	log.SetOutput(io.MultiWriter(prev, logBuf))
+	defer log.SetOutput(prev)
+
+	base, exit := startDaemon(t, "-figure1", "-slow-query", "1ns", "-pprof")
+
+	_, qr := post(t, base+"/query", `{"query": "MATCH TRAIL p = (?x)-[:Knows+]->(?y)", "max_len": 4}`)
+	id, _ := qr["id"].(string)
+	if id == "" {
+		t.Fatalf("POST /query = %v, want an id", qr)
+	}
+	for done := false; !done; {
+		resp, err := http.Get(fmt.Sprintf("%s/query/%s/next", base, id))
+		if err != nil {
+			t.Fatal(err)
+		}
+		sc := bufio.NewScanner(resp.Body)
+		for sc.Scan() {
+			var line map[string]any
+			if err := json.Unmarshal(sc.Bytes(), &line); err != nil {
+				t.Fatalf("bad NDJSON: %v", err)
+			}
+			if d, ok := line["done"].(bool); ok {
+				done = d
+			}
+		}
+		resp.Body.Close()
+	}
+
+	// The slow-query log fires from the completion watcher goroutine.
+	deadline := time.Now().Add(2 * time.Second)
+	for !bytes.Contains(logBuf.Bytes(), []byte("slow query")) {
+		if time.Now().After(deadline) {
+			t.Fatal("no slow-query log line within 2s")
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+
+	// /metrics: well-formed exposition with the expected families.
+	resp, err := http.Get(base + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("GET /metrics status = %d", resp.StatusCode)
+	}
+	for _, want := range []string{
+		"# TYPE pathalgebra_queries_started_total counter",
+		"pathalgebra_queries_started_total 1",
+		"pathalgebra_slow_queries_total 1",
+		`pathalgebra_http_requests_total{endpoint="metrics"}`,
+		"pathalgebra_engine_paths_produced_total",
+		"pathalgebra_store_epoch",
+		"pathalgebra_goroutines",
+	} {
+		if !bytes.Contains(body, []byte(want)) {
+			t.Errorf("/metrics missing %q", want)
+		}
+	}
+
+	// -pprof mounts the profiling index next to the service routes.
+	pp, err := http.Get(base + "/debug/pprof/")
+	if err != nil {
+		t.Fatal(err)
+	}
+	pp.Body.Close()
+	if pp.StatusCode != http.StatusOK {
+		t.Errorf("GET /debug/pprof/ status = %d", pp.StatusCode)
+	}
+
+	if err := syscall.Kill(syscall.Getpid(), syscall.SIGTERM); err != nil {
+		t.Fatal(err)
+	}
+	select {
+	case err := <-exit:
+		if err != nil {
+			t.Fatalf("daemon exit error: %v", err)
+		}
+	case <-time.After(10 * time.Second):
+		t.Fatal("daemon did not drain within 10s of SIGTERM")
+	}
+}
+
+// lockedBuffer is a concurrency-safe log sink for assertions against
+// daemon goroutines.
+type lockedBuffer struct {
+	mu sync.Mutex
+	b  bytes.Buffer
+}
+
+func (l *lockedBuffer) Write(p []byte) (int, error) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.b.Write(p)
+}
+
+func (l *lockedBuffer) Bytes() []byte {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return append([]byte(nil), l.b.Bytes()...)
 }

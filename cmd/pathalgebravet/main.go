@@ -1,6 +1,7 @@
 // Command pathalgebravet is pathalgebra's invariant checker: a
 // multichecker over the internal/lint analyzer suite (budgetcharge,
-// detorder, epochpin, errsentinel, hotpathalloc).
+// detorder, epochpin, errsentinel, hotpathalloc, recoverguard,
+// spanend).
 //
 // It runs two ways:
 //

@@ -10,6 +10,7 @@ import (
 	"pathalgebra/internal/core"
 	"pathalgebra/internal/fault"
 	"pathalgebra/internal/graph"
+	"pathalgebra/internal/obs"
 	"pathalgebra/internal/path"
 	"pathalgebra/internal/pathset"
 )
@@ -110,12 +111,25 @@ func EvalWithOptions(g *graph.Graph, nfa *NFA, sem core.Semantics, lim core.Limi
 		stop := bud.Watch(o.Ctx)
 		defer stop()
 	}
+	// Tracing rides the existing context plumbing: a nil span (the
+	// production default) makes every annotation below a nil check.
+	sp := obs.SpanFrom(o.Ctx).Start("search")
+	defer func() {
+		sp.SetInt("paths_charged", bud.Paths())
+		sp.SetInt("work_charged", bud.Work())
+		sp.End()
+	}()
+	sp.SetInt("sources", int64(count))
+	sp.SetInt("workers", int64(workers))
 	c := nfa.Compile(g)
 	back := o.Dir == core.Backward
-	if sem == core.Shortest {
-		return evalShortest(g, c, lim, bud, workers, o.Seeds, count, back)
+	if back {
+		sp.SetInt("backward", 1)
 	}
-	return evalSearch(g, c, sem, lim, bud, workers, o.Seeds, count, back)
+	if sem == core.Shortest {
+		return evalShortest(g, c, lim, bud, workers, o.Seeds, count, back, sp)
+	}
+	return evalSearch(g, c, sem, lim, bud, workers, o.Seeds, count, back, sp)
 }
 
 func normalizeWorkers(workers, sources int) int {
@@ -143,7 +157,10 @@ func normalizeWorkers(workers, sources int) int {
 // shard's scratch is simply abandoned — scratch arenas are pool-private,
 // so nothing shared is left poisoned and the other workers drain cleanly
 // before runSharded returns.
-func runSharded[S any](n, workers int, newScratch func() S, run func(sc S, src int) bool) error {
+// When tracing is on, each worker runs under its own "shard" child of
+// sp (nil sp: zero cost); newScratch receives that span so per-worker
+// scratch can annotate it as sources flow through.
+func runSharded[S any](sp *obs.Span, n, workers int, newScratch func(wsp *obs.Span) S, run func(sc S, src int) bool) error {
 	var cursor atomic.Int64
 	var failed atomic.Bool
 	var panicErr atomic.Pointer[error]
@@ -159,7 +176,9 @@ func runSharded[S any](n, workers int, newScratch func() S, run func(sc S, src i
 		failed.Store(true)
 	}
 	work := func() {
-		sc := newScratch()
+		wsp := sp.Start("shard")
+		defer wsp.End()
+		sc := newScratch(wsp)
 		for !failed.Load() {
 			src := int(cursor.Add(1)) - 1
 			if src >= n {
@@ -290,11 +309,12 @@ type evalScratch struct {
 	frontier, next []searchItem
 	runs           []symbolScan
 	visited        []*path.RefSet // per NFA state
+	span           *obs.Span      // this worker's shard span; nil when untraced
 }
 
-func newEvalScratch(states int) *evalScratch {
+func newEvalScratch(states int, wsp *obs.Span) *evalScratch {
 	a := path.NewArena(0)
-	sc := &evalScratch{arena: a, visited: make([]*path.RefSet, states)}
+	sc := &evalScratch{arena: a, visited: make([]*path.RefSet, states), span: wsp}
 	for s := range sc.visited {
 		sc.visited[s] = path.NewRefSet(a)
 	}
@@ -311,23 +331,38 @@ type shard struct {
 	err    error
 }
 
-func evalSearch(g *graph.Graph, c *CompiledNFA, sem core.Semantics, lim core.Limits, bud *core.Budget, workers int, seeds []graph.NodeID, count int, back bool) (*pathset.Set, error) {
+func evalSearch(g *graph.Graph, c *CompiledNFA, sem core.Semantics, lim core.Limits, bud *core.Budget, workers int, seeds []graph.NodeID, count int, back bool, sp *obs.Span) (*pathset.Set, error) {
 	shards := make([]*shard, count)
-	perr := runSharded(count, workers,
-		func() *evalScratch { return newEvalScratch(c.nfa.NumStates()) },
+	perr := runSharded(sp, count, workers,
+		func(wsp *obs.Span) *evalScratch { return newEvalScratch(c.nfa.NumStates(), wsp) },
 		func(sc *evalScratch, i int) bool {
 			sh := evalSource(g, c, sem, lim, seedAt(seeds, i), bud, sc, back)
 			shards[i] = sh
+			sc.span.AddInt("sources", 1)
+			sc.span.AddInt("paths", int64(sh.set.Len()))
+			sc.span.MaxInt("arena_bytes", int64(sc.arena.Bytes()))
 			return sh.err == nil
 		})
 	if perr != nil {
 		return nil, fmt.Errorf("automaton: %w", perr)
 	}
-	out, err := mergeShards(shards)
+	out, err := mergeShardsTraced(sp, shards)
 	if err != nil {
 		return out, fmt.Errorf("automaton: %w", err)
 	}
 	return out, nil
+}
+
+// mergeShardsTraced wraps the deterministic shard merge in its own
+// span so trace trees show merge cost beside the shard searches.
+func mergeShardsTraced(sp *obs.Span, shards []*shard) (*pathset.Set, error) {
+	msp := sp.Start("merge")
+	defer msp.End()
+	out, err := mergeShards(shards)
+	if out != nil {
+		msp.SetInt("paths", int64(out.Len()))
+	}
+	return out, err
 }
 
 // evalSource runs the product search seeded at one source node. Budget
@@ -368,6 +403,7 @@ func evalSource(g *graph.Graph, c *CompiledNFA, sem core.Semantics, lim core.Lim
 	}
 	sh.levels = append(sh.levels, sh.set.Len())
 	for len(frontier) > 0 {
+		sc.span.MaxInt("max_frontier", int64(len(frontier)))
 		next = next[:0]
 		for _, it := range frontier {
 			// Poll cancellation once per frontier item: rejected extensions
@@ -508,22 +544,26 @@ func classifyExtend(sem core.Semantics, a *path.Arena, r path.Ref, e graph.EdgeI
 // are already independent here, so sharding distributes whole sources and
 // the merge is a plain source-order concatenation — the sequential
 // insertion order.
-func evalShortest(g *graph.Graph, c *CompiledNFA, lim core.Limits, bud *core.Budget, workers int, seeds []graph.NodeID, count int, back bool) (*pathset.Set, error) {
+func evalShortest(g *graph.Graph, c *CompiledNFA, lim core.Limits, bud *core.Budget, workers int, seeds []graph.NodeID, count int, back bool, sp *obs.Span) (*pathset.Set, error) {
 	n := g.NumNodes()
 	sets := make([]*pathset.Set, count)
 	errs := make([]error, count)
-	perr := runSharded(count, workers,
-		func() *shortestScratch {
+	perr := runSharded(sp, count, workers,
+		func(wsp *obs.Span) *shortestScratch {
 			return &shortestScratch{
 				arena:  path.NewArena(0),
 				dist:   make(map[productState]int32, n),
 				minAcc: make(map[graph.NodeID]int32, n),
+				span:   wsp,
 			}
 		},
 		func(sc *shortestScratch, i int) bool {
 			out := new(pathset.Set) // index allocated lazily on first Add
 			err := shortestFrom(g, c, seedAt(seeds, i), lim.MaxLen, bud, out, sc, back)
 			sets[i], errs[i] = out, err
+			sc.span.AddInt("sources", 1)
+			sc.span.AddInt("paths", int64(out.Len()))
+			sc.span.MaxInt("arena_bytes", int64(sc.arena.Bytes()))
 			return err == nil
 		})
 	if perr != nil {
@@ -576,6 +616,7 @@ type shortestScratch struct {
 	frontier, next []productState
 	work           []shortestItem
 	runs           []symbolScan
+	span           *obs.Span // this worker's shard span; nil when untraced
 }
 
 type shortestItem struct {

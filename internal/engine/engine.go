@@ -13,6 +13,7 @@ package engine
 
 import (
 	"context"
+	"errors"
 	"fmt"
 	"runtime"
 	"sync"
@@ -22,6 +23,7 @@ import (
 	"pathalgebra/internal/cond"
 	"pathalgebra/internal/core"
 	"pathalgebra/internal/graph"
+	"pathalgebra/internal/obs"
 	"pathalgebra/internal/opt"
 	"pathalgebra/internal/path"
 	"pathalgebra/internal/pathset"
@@ -141,6 +143,12 @@ type Stats struct {
 	// added to the LRU plan cache.
 	PlanCacheHits   int64
 	PlanCacheMisses int64
+	// BudgetExhaustions counts evaluations that ended in
+	// core.ErrBudgetExceeded. It is charged exactly once per public
+	// entry point (Run/RunStream/Explain/Reach and the Eval* family),
+	// never per operator — budget errors propagate through the operator
+	// tree and would otherwise multi-count.
+	BudgetExhaustions int64
 	// FingerprintCollisions counts activations of the exact-equality
 	// fallback in fingerprint-bucketed path sets during this engine's
 	// evaluations — both materialized sets (pathset.Collisions) and the
@@ -287,8 +295,46 @@ func (e *Engine) Run(x core.PathExpr) (*pathset.Set, error) {
 func (e *Engine) RunCtx(ctx context.Context, x core.PathExpr) (*pathset.Set, error) {
 	b, release := e.pin()
 	defer release()
-	plan, _ := b.plan(x)
-	return b.evalPathsCtx(ctx, plan)
+	plan, _ := b.planTraced(ctx, x)
+	sp := obs.SpanFrom(ctx).Start("eval")
+	defer sp.End()
+	sp.SetInt("epoch", int64(b.epoch))
+	out, err := b.evalPathsCtx(obs.WithSpan(ctx, sp), plan)
+	if out != nil {
+		sp.SetInt("paths", int64(out.Len()))
+	}
+	e.noteEvalErr(err)
+	return out, err
+}
+
+// planTraced is plan wrapped in a "plan" trace span annotated with
+// cache behavior, detected as the explain path does: by the
+// PlanCacheHits delta (shared stats make this approximate under
+// concurrent evaluations, which tracing tolerates).
+func (e *Engine) planTraced(ctx context.Context, x core.PathExpr) (core.PathExpr, []string) {
+	sp := obs.SpanFrom(ctx).Start("plan")
+	defer sp.End()
+	if sp == nil {
+		return e.plan(x)
+	}
+	before := atomic.LoadInt64(&e.stats.PlanCacheHits)
+	plan, applied := e.plan(x)
+	var hit int64
+	if atomic.LoadInt64(&e.stats.PlanCacheHits) > before {
+		hit = 1
+	}
+	sp.SetInt("cache_hit", hit)
+	sp.SetInt("epoch", int64(e.epoch))
+	return plan, applied
+}
+
+// noteEvalErr accounts a finished evaluation's error into the stats —
+// currently just budget exhaustion, the failure mode operators report
+// as core.ErrBudgetExceeded.
+func (e *Engine) noteEvalErr(err error) {
+	if err != nil && errors.Is(err, core.ErrBudgetExceeded) {
+		addStat(&e.stats.BudgetExhaustions, 1)
+	}
 }
 
 // Graph returns the engine's graph: the current epoch's view on a live
@@ -330,6 +376,7 @@ func (e *Engine) Stats() Stats {
 		ReachFallbacks:        atomic.LoadInt64(&e.stats.ReachFallbacks),
 		PlanCacheHits:         atomic.LoadInt64(&e.stats.PlanCacheHits),
 		PlanCacheMisses:       atomic.LoadInt64(&e.stats.PlanCacheMisses),
+		BudgetExhaustions:     atomic.LoadInt64(&e.stats.BudgetExhaustions),
 		FingerprintCollisions: fingerprintCollisions() - e.collisionBase,
 	}
 }
@@ -366,7 +413,9 @@ func ctxErr(ctx context.Context) error {
 func (e *Engine) EvalPathsCtx(ctx context.Context, x core.PathExpr) (*pathset.Set, error) {
 	b, release := e.pin()
 	defer release()
-	return b.evalPathsCtx(ctx, x)
+	out, err := b.evalPathsCtx(ctx, x)
+	e.noteEvalErr(err)
+	return out, err
 }
 
 // evalPathsCtx is the recursive evaluator body, always running on a

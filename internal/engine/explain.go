@@ -50,7 +50,9 @@ func (e *Engine) Explain(x core.PathExpr) (*Explain, error) {
 func (e *Engine) ExplainCtx(ctx context.Context, x core.PathExpr) (*Explain, error) {
 	b, release := e.pin()
 	defer release()
-	return b.explainCtx(ctx, x)
+	ex, err := b.explainCtx(ctx, x)
+	e.noteEvalErr(err)
+	return ex, err
 }
 
 func (e *Engine) explainCtx(ctx context.Context, x core.PathExpr) (*Explain, error) {

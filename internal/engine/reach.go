@@ -9,6 +9,7 @@ import (
 	"pathalgebra/internal/automaton"
 	"pathalgebra/internal/core"
 	"pathalgebra/internal/graph"
+	"pathalgebra/internal/obs"
 	"pathalgebra/internal/opt"
 	"pathalgebra/internal/pathset"
 	"pathalgebra/internal/reach"
@@ -58,15 +59,21 @@ func (e *Engine) Reach(x core.PathExpr, mode opt.ReachMode) (*ReachResult, error
 func (e *Engine) ReachCtx(ctx context.Context, x core.PathExpr, mode opt.ReachMode) (*ReachResult, error) {
 	b, release := e.pin()
 	defer release()
-	plan, _ := b.plan(x)
+	plan, _ := b.planTraced(ctx, x)
+	sp := obs.SpanFrom(ctx).Start("eval")
+	defer sp.End()
+	sp.SetInt("epoch", int64(b.epoch))
+	ctx = obs.WithSpan(ctx, sp)
 	if rp, ok := opt.AnalyzeReach(plan, mode); ok {
 		res, err := b.reachKernel(ctx, rp, mode)
 		switch {
 		case err == nil:
 			addStat(&e.stats.ReachKernelRuns, 1)
+			sp.SetInt("kernel", 1)
 			res.Graph, res.Epoch = b.g, b.epoch
 			return res, nil
 		case !errors.Is(err, reach.ErrInfeasible):
+			e.noteEvalErr(err)
 			return nil, fmt.Errorf("engine: reach %s: %w", mode, err)
 		}
 		// Bitset index infeasible: enumerate like an ineligible plan.
@@ -74,6 +81,7 @@ func (e *Engine) ReachCtx(ctx context.Context, x core.PathExpr, mode opt.ReachMo
 	addStat(&e.stats.ReachFallbacks, 1)
 	set, err := b.evalPathsCtx(ctx, plan)
 	if err != nil {
+		e.noteEvalErr(err)
 		return nil, err
 	}
 	res := reachFromSet(set, mode)

@@ -6,6 +6,7 @@ import (
 
 	"pathalgebra/internal/core"
 	"pathalgebra/internal/graph"
+	"pathalgebra/internal/obs"
 	"pathalgebra/internal/path"
 	"pathalgebra/internal/pathset"
 )
@@ -78,10 +79,16 @@ func (e *Engine) RunStream(ctx context.Context, x core.PathExpr, o StreamOptions
 		epoch:   b.epoch,
 		release: release,
 	}
-	plan, _ := b.plan(x)
+	plan, _ := b.planTraced(ctx, x)
+	sp := obs.SpanFrom(ctx).Start("eval")
+	sp.SetInt("epoch", int64(b.epoch))
+	evalCtx := obs.WithSpan(ctx, sp)
 	go func() {
 		defer close(s.done)
 		defer cancel()
+		// The eval span ends when the evaluation goroutine does —
+		// delivery spans (server-side) then run as its siblings.
+		defer sp.End()
 		// Last line of defense above the evaluators' own recovery: a panic
 		// in engine-level operators becomes this stream's typed error (the
 		// deferred close/cancel/unpin chain then runs normally) instead of
@@ -91,7 +98,11 @@ func (e *Engine) RunStream(ctx context.Context, x core.PathExpr, o StreamOptions
 				s.err = core.Recovered(r)
 			}
 		}()
-		s.set, s.err = b.evalPathsCtx(ctx, plan)
+		s.set, s.err = b.evalPathsCtx(evalCtx, plan)
+		if s.set != nil {
+			sp.SetInt("paths", int64(s.set.Len()))
+		}
+		e.noteEvalErr(s.err)
 	}()
 	return s
 }

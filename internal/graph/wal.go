@@ -9,9 +9,28 @@ import (
 	"math"
 	"os"
 	"path/filepath"
+	"time"
 
 	"pathalgebra/internal/fault"
+	"pathalgebra/internal/obs"
 )
+
+// Package-level WAL latency histograms. They are always-on (an append
+// is fsync-bound, so two time.Now calls are noise) and standalone so
+// the server can fold them into its registry without the graph layer
+// knowing about scrape endpoints.
+var (
+	walAppendSeconds = &obs.Histogram{}
+	walFsyncSeconds  = &obs.Histogram{}
+)
+
+// WALAppendSeconds is the process-wide histogram of full WAL append
+// latency (serialize + write + fsync), for registry registration.
+func WALAppendSeconds() *obs.Histogram { return walAppendSeconds }
+
+// WALFsyncSeconds is the process-wide histogram of the fsync portion
+// of WAL appends.
+func WALFsyncSeconds() *obs.Histogram { return walFsyncSeconds }
 
 // Write-ahead logging for Store.Apply. The durability contract:
 //
@@ -206,6 +225,8 @@ func (w *WAL) Append(b Batch) error {
 	if err := fault.Hit("wal.append"); err != nil {
 		return fmt.Errorf("graph: WAL append: %w", err)
 	}
+	t0 := time.Now()
+	defer walAppendSeconds.ObserveSince(t0)
 	payload := appendBatch(w.scratch[:0], b)
 	w.scratch = payload[:0]
 	rec := make([]byte, walRecHdrLen+len(payload))
@@ -225,9 +246,11 @@ func (w *WAL) Append(b Batch) error {
 	if err := fault.Hit("wal.fsync"); err != nil {
 		return w.repair(fmt.Errorf("graph: WAL fsync: %w", err))
 	}
+	s0 := time.Now()
 	if err := w.f.Sync(); err != nil {
 		return w.repair(fmt.Errorf("graph: WAL fsync: %w", err))
 	}
+	walFsyncSeconds.ObserveSince(s0)
 	w.off += int64(len(rec))
 	w.records++
 	return nil

@@ -10,5 +10,6 @@ func All() []*Analyzer {
 		ErrSentinel,
 		HotPathAlloc,
 		RecoverGuard,
+		SpanEnd,
 	}
 }

@@ -164,6 +164,7 @@ func TestEpochPin(t *testing.T)     { runFixture(t, EpochPin, "epochpin/a") }
 func TestErrSentinel(t *testing.T)  { runFixture(t, ErrSentinel, "errsentinel/a") }
 func TestHotPathAlloc(t *testing.T) { runFixture(t, HotPathAlloc, "hotpathalloc/a") }
 func TestRecoverGuard(t *testing.T) { runFixture(t, RecoverGuard, "recoverguard/server") }
+func TestSpanEnd(t *testing.T)      { runFixture(t, SpanEnd, "spanend/a") }
 
 // TestRepoClean runs the full suite over the whole module, pinning the
 // zero-findings invariant CI enforces: any new violation (or analyzer

@@ -1,0 +1,135 @@
+// Package a is a spanend fixture: Trace/Span mirror the obs tracing
+// API (Start opens a span that must be ended or handed off).
+package a
+
+type Trace struct{}
+
+func (t *Trace) Start(name string) *Span { return &Span{} }
+
+type Span struct{}
+
+func (s *Span) Start(name string) *Span  { return &Span{} }
+func (s *Span) End()                     {}
+func (s *Span) SetInt(k string, v int64) {}
+
+type holder struct {
+	root *Span
+}
+
+func work()         {}
+func sink(sp *Span) {}
+
+// True positive: the span is dropped on the floor.
+func dropped(tr *Trace) {
+	tr.Start("query") // want `result is dropped`
+	work()
+}
+
+// True positive: annotated but never ended.
+func neverEnded(tr *Trace) {
+	sp := tr.Start("query") // want `never ended`
+	sp.SetInt("paths", 1)
+	work()
+}
+
+// True positive: ended, but not deferred — an early return or panic
+// between Start and End leaves the span open.
+func plainEnd(tr *Trace) {
+	sp := tr.Start("query") // want `ended without defer`
+	work()
+	sp.End()
+}
+
+// Clean: the canonical scoped span.
+func scoped(tr *Trace) {
+	sp := tr.Start("query")
+	defer sp.End()
+	work()
+}
+
+// Clean: annotate-then-end inside a deferred closure (the automaton's
+// search-span pattern).
+func deferredClosure(tr *Trace) {
+	sp := tr.Start("search")
+	defer func() {
+		sp.SetInt("paths_charged", 42)
+		sp.End()
+	}()
+	work()
+}
+
+// Clean: the span's work runs on a goroutine that ends it (the engine's
+// streaming-eval pattern).
+func goroutineEnd(tr *Trace) {
+	sp := tr.Start("eval")
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		defer sp.End()
+		work()
+	}()
+	<-done
+}
+
+// Clean: child spans are annotations on the parent, not transfers — the
+// parent still needs its own defer, and has one.
+func childSpan(tr *Trace) {
+	sp := tr.Start("query")
+	defer sp.End()
+	child := sp.Start("parse")
+	defer child.End()
+}
+
+// Clean: ownership transfer — the span is returned whole (the server's
+// cursor root pattern: the completion path owns the End).
+func transferReturn(tr *Trace) *Span {
+	sp := tr.Start("query")
+	return sp
+}
+
+// Clean: ownership transfer — the end capability escapes as a value.
+func transferEndValue(tr *Trace) func() {
+	sp := tr.Start("query")
+	return sp.End
+}
+
+// Clean: ownership transfer — the span is passed to another call.
+func transferArg(tr *Trace) {
+	sp := tr.Start("query")
+	sink(sp)
+}
+
+// Clean: direct hand-off of the fresh span as a call argument.
+func transferDirectArg(tr *Trace) {
+	sink(tr.Start("query"))
+}
+
+// Clean: ownership transfer — the span is stored in a struct the caller
+// tears down.
+func transferStruct(tr *Trace) *holder {
+	sp := tr.Start("query")
+	return &holder{root: sp}
+}
+
+// Clean: direct composite-literal placement counts as bound.
+func transferDirectStruct(tr *Trace) *holder {
+	return &holder{root: tr.Start("query")}
+}
+
+// Clean: conditional tracing into a pre-declared var, then deferred —
+// the nil span's End is a no-op, so one defer covers both arms.
+func conditional(tr *Trace, traced bool) {
+	var root *Span
+	if traced {
+		root = tr.Start("query")
+	}
+	defer root.End()
+	work()
+}
+
+// Suppressed: leak acknowledged with a reason.
+func suppressed(tr *Trace) {
+	//lint:ignore spanend fixture demonstrates an acknowledged open span
+	sp := tr.Start("query")
+	sp.SetInt("paths", 1)
+}

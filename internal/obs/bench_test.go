@@ -1,0 +1,68 @@
+package obs
+
+import (
+	"context"
+	"testing"
+)
+
+// BenchmarkNilTraceSpan is the disabled-observability gate
+// (scripts/check_allocs.sh pins it at exactly 0 allocs/op): the full
+// per-query span choreography — context probe, span starts, attr
+// writes, ends — against a nil trace must reduce to nil checks.
+func BenchmarkNilTraceSpan(b *testing.B) {
+	ctx := context.Background()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		sp := SpanFrom(ctx)
+		eval := sp.Start("eval")
+		sh := eval.Start("shard")
+		sh.AddInt("paths", 1)
+		sh.MaxInt("frontier", 10)
+		sh.End()
+		eval.SetInt("epoch", 1)
+		eval.End()
+		if WithSpan(ctx, nil) != ctx {
+			b.Fatal("WithSpan(nil) wrapped the context")
+		}
+	}
+}
+
+// BenchmarkDisarmedInstruments is the nil-instrument half of the same
+// gate: counters/gauges/histograms handed out by a nil registry must
+// record for free.
+func BenchmarkDisarmedInstruments(b *testing.B) {
+	var r *Registry
+	c := r.Counter("x", "")
+	g := r.Gauge("x", "")
+	h := r.Histogram("x", "")
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		c.Inc()
+		c.Add(2)
+		g.Add(1)
+		g.Add(-1)
+		h.Observe(int64(i))
+	}
+}
+
+// BenchmarkCounterAdd measures the armed counter record path (atomic
+// add; 0 allocs).
+func BenchmarkCounterAdd(b *testing.B) {
+	r := NewRegistry()
+	c := r.Counter("bench_total", "")
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		c.Inc()
+	}
+}
+
+// BenchmarkHistogramObserve measures the armed histogram record path
+// (bits.Len64 + three atomic adds; 0 allocs).
+func BenchmarkHistogramObserve(b *testing.B) {
+	r := NewRegistry()
+	h := r.Histogram("bench_seconds", "")
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		h.Observe(int64(i) * 37)
+	}
+}

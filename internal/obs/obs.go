@@ -1,0 +1,201 @@
+// Package obs is the zero-dependency observability layer: atomic
+// counters, gauges, and log2-bucketed latency histograms with a
+// lock-free record path (obs.go / registry.go), plus per-query trace
+// spans threaded through context (trace.go).
+//
+// The package follows the internal/fault contract: the disabled state
+// must be free. Every instrument method is nil-safe — a nil *Counter,
+// *Gauge, *Histogram, *Trace or *Span turns the call into a single
+// nil check and nothing else, so call sites never need their own
+// "is observability on?" branches and the hot path pays zero
+// allocations either way (gated in scripts/check_allocs.sh).
+package obs
+
+import (
+	"math/bits"
+	"sync/atomic"
+	"time"
+)
+
+// Counter is a monotonically increasing atomic counter. The zero value
+// is ready to use; methods on a nil receiver are no-ops.
+type Counter struct {
+	v atomic.Int64
+}
+
+// Add increments the counter by n.
+//
+//pathalgebra:hotpath
+func (c *Counter) Add(n int64) {
+	if c == nil {
+		return
+	}
+	c.v.Add(n)
+}
+
+// Inc increments the counter by one.
+//
+//pathalgebra:hotpath
+func (c *Counter) Inc() {
+	if c == nil {
+		return
+	}
+	c.v.Add(1)
+}
+
+// Value returns the current count (0 on a nil receiver).
+func (c *Counter) Value() int64 {
+	if c == nil {
+		return 0
+	}
+	return c.v.Load()
+}
+
+// Gauge is an atomic instantaneous value (in-flight requests, queue
+// depth, live cursors). The zero value is ready; nil receivers no-op.
+type Gauge struct {
+	v atomic.Int64
+}
+
+// Set stores v.
+//
+//pathalgebra:hotpath
+func (g *Gauge) Set(v int64) {
+	if g == nil {
+		return
+	}
+	g.v.Store(v)
+}
+
+// Add adjusts the gauge by n (negative to decrement).
+//
+//pathalgebra:hotpath
+func (g *Gauge) Add(n int64) {
+	if g == nil {
+		return
+	}
+	g.v.Add(n)
+}
+
+// Value returns the current value (0 on a nil receiver).
+func (g *Gauge) Value() int64 {
+	if g == nil {
+		return 0
+	}
+	return g.v.Load()
+}
+
+// histBuckets is the fixed bucket count for Histogram. Bucket i holds
+// observations v (nanoseconds) with bits.Len64(v) == i, i.e. v in
+// [2^(i-1), 2^i); bucket 0 holds v == 0. The last bucket is the
+// overflow: with 44 buckets the largest finite upper bound is 2^43 ns
+// ≈ 2.4 hours, far past any query the daemon would let live.
+const histBuckets = 44
+
+// Histogram is a log2-bucketed latency histogram. Record is lock-free:
+// one bits.Len64 plus three atomic adds, no allocation. The zero value
+// is ready; nil receivers no-op. Observations are nanoseconds.
+type Histogram struct {
+	count   atomic.Int64
+	sum     atomic.Int64 // total nanoseconds observed
+	buckets [histBuckets]atomic.Int64
+}
+
+// Observe records a single value in nanoseconds. Negative values
+// clamp to zero.
+//
+//pathalgebra:hotpath
+func (h *Histogram) Observe(v int64) {
+	if h == nil {
+		return
+	}
+	if v < 0 {
+		v = 0
+	}
+	i := bits.Len64(uint64(v))
+	if i >= histBuckets {
+		i = histBuckets - 1
+	}
+	h.buckets[i].Add(1)
+	h.sum.Add(v)
+	h.count.Add(1)
+}
+
+// ObserveSince records the elapsed time since t0.
+//
+//pathalgebra:hotpath
+func (h *Histogram) ObserveSince(t0 time.Time) {
+	if h == nil {
+		return
+	}
+	h.Observe(int64(time.Since(t0)))
+}
+
+// HistogramSnapshot is a point-in-time copy of a histogram's state.
+// Concurrent recorders may make Count differ transiently from the
+// bucket sum; quiesce before asserting exact invariants.
+type HistogramSnapshot struct {
+	Count   int64
+	Sum     int64 // nanoseconds
+	Buckets [histBuckets]int64
+}
+
+// Snapshot copies the current counts.
+func (h *Histogram) Snapshot() HistogramSnapshot {
+	var s HistogramSnapshot
+	if h == nil {
+		return s
+	}
+	s.Count = h.count.Load()
+	s.Sum = h.sum.Load()
+	for i := range h.buckets {
+		s.Buckets[i] = h.buckets[i].Load()
+	}
+	return s
+}
+
+// BucketUpper returns the exclusive upper bound, in nanoseconds, of
+// bucket i (inclusive for the overflow bucket, which reports the max
+// representable bound).
+func BucketUpper(i int) int64 {
+	if i <= 0 {
+		return 0 // bucket 0 holds exactly v == 0
+	}
+	if i >= histBuckets-1 {
+		return int64(1) << (histBuckets - 1)
+	}
+	return int64(1) << i
+}
+
+// Quantile returns an upper bound, in nanoseconds, for the q-quantile
+// (0 ≤ q ≤ 1) of everything observed so far: the upper edge of the
+// bucket the quantile falls in. Returns 0 when empty.
+func (h *Histogram) Quantile(q float64) int64 {
+	if h == nil {
+		return 0
+	}
+	s := h.Snapshot()
+	if s.Count == 0 {
+		return 0
+	}
+	if q < 0 {
+		q = 0
+	}
+	if q > 1 {
+		q = 1
+	}
+	// rank is the 1-based index of the observation whose bucket edge
+	// we report; ceil(q*count) with a floor of 1.
+	rank := int64(q * float64(s.Count))
+	if float64(rank) < q*float64(s.Count) || rank == 0 {
+		rank++
+	}
+	var seen int64
+	for i, c := range s.Buckets {
+		seen += c
+		if seen >= rank {
+			return BucketUpper(i)
+		}
+	}
+	return BucketUpper(histBuckets - 1)
+}

@@ -1,0 +1,272 @@
+package obs
+
+import (
+	"math/rand"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+// TestHistogramProperties drives random observation sets through the
+// histogram and checks the structural invariants the exposition and
+// quantile logic rely on: count == Σ buckets, sum == Σ observations,
+// cumulative bucket counts are monotone, and every observation landed
+// in the bucket whose bounds contain it.
+func TestHistogramProperties(t *testing.T) {
+	rng := rand.New(rand.NewSource(10))
+	for trial := 0; trial < 50; trial++ {
+		h := &Histogram{}
+		n := rng.Intn(2000)
+		var sum int64
+		obs := make([]int64, n)
+		for i := range obs {
+			// Spread across magnitudes: 2^[0,40) scaled by a random mantissa.
+			v := int64(rng.Float64() * float64(int64(1)<<uint(rng.Intn(40))))
+			obs[i] = v
+			sum += v
+			h.Observe(v)
+		}
+		s := h.Snapshot()
+		if s.Count != int64(n) {
+			t.Fatalf("trial %d: count %d != %d", trial, s.Count, n)
+		}
+		if s.Sum != sum {
+			t.Fatalf("trial %d: sum %d != %d", trial, s.Sum, sum)
+		}
+		var bsum int64
+		for _, c := range s.Buckets {
+			if c < 0 {
+				t.Fatalf("trial %d: negative bucket", trial)
+			}
+			bsum += c
+		}
+		if bsum != int64(n) {
+			t.Fatalf("trial %d: bucket sum %d != count %d", trial, bsum, n)
+		}
+		// Each observation must fall within its bucket's bounds.
+		for _, v := range obs {
+			found := false
+			for i, c := range s.Buckets {
+				if c == 0 {
+					continue
+				}
+				if i == 0 {
+					if v == 0 {
+						found = true
+						break
+					}
+					continue
+				}
+				lo := BucketUpper(i - 1)
+				if v >= lo && (v < BucketUpper(i) || i == histBuckets-1) {
+					found = true
+					break
+				}
+			}
+			if !found {
+				t.Fatalf("trial %d: observation %d in no non-empty bucket", trial, v)
+			}
+		}
+	}
+}
+
+// TestHistogramQuantile checks the quantile estimate brackets the true
+// quantile: the reported bound is ≥ the exact order statistic and
+// within one bucket (≤ 2× for power-of-two buckets).
+func TestHistogramQuantile(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	for trial := 0; trial < 20; trial++ {
+		h := &Histogram{}
+		n := 1 + rng.Intn(500)
+		vals := make([]int64, n)
+		for i := range vals {
+			vals[i] = int64(rng.Intn(1 << 30))
+			h.Observe(vals[i])
+		}
+		for _, q := range []float64{0, 0.5, 0.9, 0.99, 1} {
+			got := h.Quantile(q)
+			// Exact order statistic with the same ceil(q*n) rank rule.
+			rank := int(q * float64(n))
+			if float64(rank) < q*float64(n) || rank == 0 {
+				rank++
+			}
+			sorted := append([]int64(nil), vals...)
+			sortInt64s(sorted)
+			exact := sorted[rank-1]
+			if got < exact {
+				t.Fatalf("trial %d q=%v: bound %d < exact %d", trial, q, got, exact)
+			}
+			if exact > 0 && got > 2*exact {
+				t.Fatalf("trial %d q=%v: bound %d > 2×exact %d", trial, q, got, exact)
+			}
+		}
+	}
+	if (&Histogram{}).Quantile(0.5) != 0 {
+		t.Fatal("empty histogram quantile should be 0")
+	}
+}
+
+func sortInt64s(v []int64) {
+	for i := 1; i < len(v); i++ {
+		for j := i; j > 0 && v[j] < v[j-1]; j-- {
+			v[j], v[j-1] = v[j-1], v[j]
+		}
+	}
+}
+
+// TestNilInstruments pins the disabled contract: every method on nil
+// instruments is a no-op, never a panic.
+func TestNilInstruments(t *testing.T) {
+	var c *Counter
+	c.Add(3)
+	c.Inc()
+	if c.Value() != 0 {
+		t.Fatal("nil counter value")
+	}
+	var g *Gauge
+	g.Set(1)
+	g.Add(-1)
+	if g.Value() != 0 {
+		t.Fatal("nil gauge value")
+	}
+	var h *Histogram
+	h.Observe(5)
+	h.ObserveSince(time.Now())
+	if h.Snapshot().Count != 0 || h.Quantile(0.5) != 0 {
+		t.Fatal("nil histogram state")
+	}
+	var r *Registry
+	if r.Counter("x", "") != nil || r.Gauge("x", "") != nil || r.Histogram("x", "") != nil {
+		t.Fatal("nil registry must hand out nil instruments")
+	}
+	r.CounterFunc("x", "", func() int64 { return 0 })
+	r.GaugeFunc("x", "", func() int64 { return 0 })
+	r.RegisterHistogram("x", "", &Histogram{})
+	if err := r.WritePrometheus(nil); err != nil {
+		t.Fatal(err)
+	}
+	if r.Names() != nil {
+		t.Fatal("nil registry names")
+	}
+}
+
+// TestExposition checks the rendered text format: HELP/TYPE headers
+// once per family, label rendering, cumulative histogram buckets
+// ending in +Inf, and _sum/_count lines.
+func TestExposition(t *testing.T) {
+	r := NewRegistry()
+	c := r.Counter("pa_requests_total", "Requests.", Label{"endpoint", "query"})
+	c.Add(7)
+	c2 := r.Counter("pa_requests_total", "Requests.", Label{"endpoint", "reach"})
+	c2.Add(2)
+	g := r.Gauge("pa_inflight", "In-flight.")
+	g.Set(3)
+	h := r.Histogram("pa_latency_seconds", "Latency.")
+	h.Observe(1500)   // bucket le=2048ns
+	h.Observe(1500)   // same bucket
+	h.Observe(100000) // bucket le=131072ns
+	r.GaugeFunc("pa_goroutines", "Goroutines.", func() int64 { return 42 })
+
+	var b strings.Builder
+	if err := r.WritePrometheus(&b); err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+	for _, want := range []string{
+		"# HELP pa_requests_total Requests.\n# TYPE pa_requests_total counter\n",
+		"pa_requests_total{endpoint=\"query\"} 7\n",
+		"pa_requests_total{endpoint=\"reach\"} 2\n",
+		"# TYPE pa_inflight gauge\npa_inflight 3\n",
+		"# TYPE pa_latency_seconds histogram\n",
+		"pa_latency_seconds_bucket{le=\"2.048e-06\"} 2\n",
+		"pa_latency_seconds_bucket{le=\"0.000131072\"} 3\n",
+		"pa_latency_seconds_bucket{le=\"+Inf\"} 3\n",
+		"pa_latency_seconds_count 3\n",
+		"pa_goroutines 42\n",
+	} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("exposition missing %q in:\n%s", want, out)
+		}
+	}
+	if strings.Count(out, "# TYPE pa_requests_total") != 1 {
+		t.Fatal("TYPE header must appear once per family")
+	}
+	if !strings.Contains(out, "pa_latency_seconds_sum 0.000103") {
+		t.Fatalf("histogram sum wrong in:\n%s", out)
+	}
+}
+
+// TestRegistryPanics pins registration misuse as programming errors.
+func TestRegistryPanics(t *testing.T) {
+	mustPanic := func(name string, fn func()) {
+		t.Helper()
+		defer func() {
+			if recover() == nil {
+				t.Fatalf("%s: expected panic", name)
+			}
+		}()
+		fn()
+	}
+	r := NewRegistry()
+	r.Counter("a", "")
+	mustPanic("type clash", func() { r.Gauge("a", "") })
+	mustPanic("duplicate", func() { r.Counter("a", "") })
+	r.Counter("a", "", Label{"x", "1"}) // distinct labels: fine
+}
+
+// TestRegistryRaceHammer runs 8 goroutines recording into one
+// registry's instruments while a scraper renders /metrics-style
+// exposition concurrently. Run under -race in CI, this pins the
+// lock-free record path against the snapshot-render path.
+func TestRegistryRaceHammer(t *testing.T) {
+	r := NewRegistry()
+	c := r.Counter("hammer_total", "")
+	g := r.Gauge("hammer_inflight", "")
+	h := r.Histogram("hammer_seconds", "")
+	stop := make(chan struct{})
+	var wg sync.WaitGroup
+	for i := 0; i < 8; i++ {
+		wg.Add(1)
+		go func(seed int64) {
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(seed))
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				c.Inc()
+				g.Add(1)
+				h.Observe(int64(rng.Intn(1 << 20)))
+				g.Add(-1)
+			}
+		}(int64(i))
+	}
+	for i := 0; i < 50; i++ {
+		var b strings.Builder
+		if err := r.WritePrometheus(&b); err != nil {
+			t.Fatal(err)
+		}
+		if !strings.Contains(b.String(), "hammer_total") {
+			t.Fatal("scrape lost a family")
+		}
+	}
+	close(stop)
+	wg.Wait()
+	s := h.Snapshot()
+	var bsum int64
+	for _, v := range s.Buckets {
+		bsum += v
+	}
+	if bsum != s.Count {
+		t.Fatalf("quiesced bucket sum %d != count %d", bsum, s.Count)
+	}
+	if c.Value() != s.Count {
+		t.Fatalf("counter %d != histogram count %d", c.Value(), s.Count)
+	}
+	if g.Value() != 0 {
+		t.Fatalf("gauge should settle at 0, got %d", g.Value())
+	}
+}

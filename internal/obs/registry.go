@@ -1,0 +1,241 @@
+package obs
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"strings"
+	"sync"
+)
+
+// Label is one name="value" pair on a metric series.
+type Label struct {
+	Name, Value string
+}
+
+// series is one labeled time series inside a family. Exactly one of
+// read/hist is set.
+type series struct {
+	labels string // rendered `{a="b",c="d"}` suffix, or ""
+	read   func() int64
+	hist   *Histogram
+}
+
+// family groups every series sharing one metric name.
+type family struct {
+	name, help, typ string // typ: "counter", "gauge", "histogram"
+	series          []series
+}
+
+// Registry holds metric registrations and renders them as Prometheus
+// text exposition (format 0.0.4). Registration takes a mutex;
+// recording goes straight to the instrument and never touches the
+// registry, so the record path stays lock-free. A nil registry
+// returns nil instruments from every constructor, and nil instruments
+// no-op — a disarmed registry therefore costs one nil check per
+// record call site.
+type Registry struct {
+	mu       sync.Mutex
+	families []*family
+	byName   map[string]*family
+}
+
+// NewRegistry returns an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{byName: make(map[string]*family)}
+}
+
+// renderLabels formats labels as a deterministic `{a="b"}` suffix.
+func renderLabels(labels []Label) string {
+	if len(labels) == 0 {
+		return ""
+	}
+	var b strings.Builder
+	b.WriteByte('{')
+	for i, l := range labels {
+		if i > 0 {
+			b.WriteByte(',')
+		}
+		fmt.Fprintf(&b, "%s=%q", l.Name, l.Value)
+	}
+	b.WriteByte('}')
+	return b.String()
+}
+
+// add registers one series, creating or extending its family.
+// Registration mistakes (same name with two types, duplicate
+// name+labels) are programming errors and panic.
+func (r *Registry) add(name, help, typ string, s series) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	f := r.byName[name]
+	if f == nil {
+		f = &family{name: name, help: help, typ: typ}
+		r.byName[name] = f
+		r.families = append(r.families, f)
+	} else if f.typ != typ {
+		panic(fmt.Sprintf("obs: metric %q registered as both %s and %s", name, f.typ, typ))
+	}
+	for _, ex := range f.series {
+		if ex.labels == s.labels {
+			panic(fmt.Sprintf("obs: duplicate registration of %s%s", name, s.labels))
+		}
+	}
+	f.series = append(f.series, s)
+}
+
+// Counter registers and returns a new counter series. Returns nil
+// (a valid no-op instrument) on a nil registry.
+func (r *Registry) Counter(name, help string, labels ...Label) *Counter {
+	if r == nil {
+		return nil
+	}
+	c := &Counter{}
+	r.add(name, help, "counter", series{labels: renderLabels(labels), read: c.Value})
+	return c
+}
+
+// Gauge registers and returns a new gauge series. Returns nil on a
+// nil registry.
+func (r *Registry) Gauge(name, help string, labels ...Label) *Gauge {
+	if r == nil {
+		return nil
+	}
+	g := &Gauge{}
+	r.add(name, help, "gauge", series{labels: renderLabels(labels), read: g.Value})
+	return g
+}
+
+// Histogram registers and returns a new latency histogram series
+// (observations in nanoseconds, exposed in seconds). Returns nil on a
+// nil registry.
+func (r *Registry) Histogram(name, help string, labels ...Label) *Histogram {
+	if r == nil {
+		return nil
+	}
+	h := &Histogram{}
+	r.RegisterHistogram(name, help, h, labels...)
+	return h
+}
+
+// RegisterHistogram attaches an externally owned histogram (for
+// package-level instruments like the WAL's) to this registry.
+func (r *Registry) RegisterHistogram(name, help string, h *Histogram, labels ...Label) {
+	if r == nil {
+		return
+	}
+	r.add(name, help, "histogram", series{labels: renderLabels(labels), hist: h})
+}
+
+// CounterFunc registers a counter whose value is computed at scrape
+// time — for counts that already live elsewhere (engine stats, store
+// accessors) and must not be double-tracked.
+func (r *Registry) CounterFunc(name, help string, fn func() int64, labels ...Label) {
+	if r == nil {
+		return
+	}
+	r.add(name, help, "counter", series{labels: renderLabels(labels), read: fn})
+}
+
+// GaugeFunc registers a gauge computed at scrape time.
+func (r *Registry) GaugeFunc(name, help string, fn func() int64, labels ...Label) {
+	if r == nil {
+		return
+	}
+	r.add(name, help, "gauge", series{labels: renderLabels(labels), read: fn})
+}
+
+// snapshotFamilies copies the family list under the lock so scrape
+// rendering (which calls arbitrary reader funcs) runs outside it.
+func (r *Registry) snapshotFamilies() []*family {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	out := make([]*family, len(r.families))
+	copy(out, r.families)
+	return out
+}
+
+// WritePrometheus renders every registered family in text exposition
+// format 0.0.4: # HELP / # TYPE headers once per family, histograms
+// as cumulative _bucket{le=...} plus _sum and _count, values in
+// base units (seconds for histograms).
+func (r *Registry) WritePrometheus(w io.Writer) error {
+	if r == nil {
+		return nil
+	}
+	for _, f := range r.snapshotFamilies() {
+		if f.help != "" {
+			if _, err := fmt.Fprintf(w, "# HELP %s %s\n", f.name, f.help); err != nil {
+				return err
+			}
+		}
+		if _, err := fmt.Fprintf(w, "# TYPE %s %s\n", f.name, f.typ); err != nil {
+			return err
+		}
+		for _, s := range f.series {
+			if s.hist != nil {
+				if err := writeHistogram(w, f.name, s.labels, s.hist); err != nil {
+					return err
+				}
+				continue
+			}
+			if _, err := fmt.Fprintf(w, "%s%s %d\n", f.name, s.labels, s.read()); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+// writeHistogram renders one histogram series. Bucket edges are the
+// power-of-two nanosecond bounds converted to seconds; empty buckets
+// are elided (cumulative counts make them redundant) except the +Inf
+// bucket, which is mandatory.
+func writeHistogram(w io.Writer, name, labels string, h *Histogram) error {
+	snap := h.Snapshot()
+	inner := strings.TrimSuffix(strings.TrimPrefix(labels, "{"), "}")
+	var cum int64
+	for i, c := range snap.Buckets {
+		cum += c
+		if c == 0 {
+			continue
+		}
+		le := float64(BucketUpper(i)) / 1e9
+		if err := writeBucket(w, name, inner, fmt.Sprintf("%g", le), cum); err != nil {
+			return err
+		}
+	}
+	if err := writeBucket(w, name, inner, "+Inf", snap.Count); err != nil {
+		return err
+	}
+	if _, err := fmt.Fprintf(w, "%s_sum%s %g\n", name, labels, float64(snap.Sum)/1e9); err != nil {
+		return err
+	}
+	_, err := fmt.Fprintf(w, "%s_count%s %d\n", name, labels, snap.Count)
+	return err
+}
+
+func writeBucket(w io.Writer, name, innerLabels, le string, cum int64) error {
+	sep := ""
+	if innerLabels != "" {
+		sep = ","
+	}
+	_, err := fmt.Fprintf(w, "%s_bucket{%s%sle=%q} %d\n", name, innerLabels, sep, le, cum)
+	return err
+}
+
+// Names returns the sorted metric family names — handy for smoke
+// tests asserting coverage.
+func (r *Registry) Names() []string {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	out := make([]string, 0, len(r.families))
+	for _, f := range r.families {
+		out = append(out, f.name)
+	}
+	sort.Strings(out)
+	return out
+}

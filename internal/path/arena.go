@@ -16,6 +16,7 @@ package path
 
 import (
 	"sync/atomic"
+	"unsafe"
 
 	"pathalgebra/internal/graph"
 )
@@ -44,6 +45,11 @@ type Arena struct {
 func NewArena(n int) *Arena {
 	return &Arena{entries: make([]arenaEntry, 0, n)}
 }
+
+// Bytes reports the memory retained by the arena's entry backing array
+// (capacity, not live length) — the number trace spans report as
+// arena_bytes.
+func (a *Arena) Bytes() int { return cap(a.entries) * int(unsafe.Sizeof(arenaEntry{})) }
 
 // Len returns the number of live entries; together with TruncateTo it
 // brackets speculative extensions.

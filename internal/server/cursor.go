@@ -8,6 +8,7 @@ import (
 
 	"pathalgebra/internal/core"
 	"pathalgebra/internal/engine"
+	"pathalgebra/internal/obs"
 )
 
 // cursor is one session-scoped query: the stream being paged, the cancel
@@ -27,6 +28,15 @@ type cursor struct {
 	// evaluation had already launched; the completion watcher then skips
 	// the completed/failed accounting (the request counted as rejected).
 	discarded atomic.Bool
+
+	// trace/root carry the per-query trace when the query is traced (by
+	// request or for the slow-query log); both nil otherwise — every span
+	// operation through them is a nil no-op. wantTrace gates returning
+	// the span tree on the final page (slow-query-only traces stay
+	// server-side).
+	trace     *obs.Trace
+	root      *obs.Span
+	wantTrace bool
 
 	mu        sync.Mutex
 	delivered int64

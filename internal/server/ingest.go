@@ -62,8 +62,8 @@ func (s *Server) handleIngest(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusInternalServerError, "internal", "%v", err)
 		return
 	}
-	s.counters.ingests.Add(1)
-	s.counters.ingestedOps.Add(int64(len(batch.Ops)))
+	s.metrics.ingests.Inc()
+	s.metrics.ingestedOps.Add(int64(len(batch.Ops)))
 	g := s.store.Graph()
 	writeJSON(w, http.StatusOK, ingestResponse{
 		Epoch:     epoch,

@@ -6,6 +6,7 @@ import (
 
 	"pathalgebra/internal/fault"
 	"pathalgebra/internal/graph"
+	"pathalgebra/internal/obs"
 	"pathalgebra/internal/path"
 )
 
@@ -27,12 +28,14 @@ type pathJSON struct {
 // pageTrailer terminates every cursor page. Done reports whether the
 // cursor is exhausted (and therefore removed server-side); Returned is
 // the number of path lines on this page; Delivered and Total are the
-// cursor's cumulative progress.
+// cursor's cumulative progress. Trace is the query's span tree, present
+// only on the final page of a traced query.
 type pageTrailer struct {
-	Done      bool  `json:"done"`
-	Returned  int   `json:"returned"`
-	Delivered int64 `json:"delivered"`
-	Total     int   `json:"total"`
+	Done      bool            `json:"done"`
+	Returned  int             `json:"returned"`
+	Delivered int64           `json:"delivered"`
+	Total     int             `json:"total"`
+	Trace     []*obs.SpanJSON `json:"trace,omitempty"`
 }
 
 func encodePath(g *graph.Graph, p path.Path) pathJSON {

@@ -7,6 +7,7 @@ import (
 
 	"pathalgebra/internal/core"
 	"pathalgebra/internal/engine"
+	"pathalgebra/internal/obs"
 	"pathalgebra/internal/opt"
 )
 
@@ -32,6 +33,9 @@ type reachRequest struct {
 	MaxWork   int    `json:"max_work"`
 	TimeoutMS int    `json:"timeout_ms"`
 	NoCache   bool   `json:"no_cache"`
+	// Trace returns the request's span tree in the response ("trace"
+	// field). ?trace=1 on the request URL does the same.
+	Trace bool `json:"trace"`
 }
 
 // reachPairJSON is one endpoint pair, node keys resolved against the
@@ -42,7 +46,9 @@ type reachPairJSON struct {
 	Len *int32 `json:"len,omitempty"`
 }
 
-// reachResponse is the POST /reach response.
+// reachResponse is the POST /reach response. Trace is present only when
+// the request asked for it; cached entries store the response without it
+// (a hit's trace describes the probe, not the original evaluation).
 type reachResponse struct {
 	Mode   string          `json:"mode"`
 	Kernel bool            `json:"kernel"`
@@ -50,6 +56,7 @@ type reachResponse struct {
 	Exists bool            `json:"exists"`
 	Count  int             `json:"count"`
 	Pairs  []reachPairJSON `json:"pairs,omitempty"`
+	Trace  []*obs.SpanJSON `json:"trace,omitempty"`
 }
 
 // parseReachMode maps the wire mode names onto opt.ReachMode.
@@ -92,20 +99,33 @@ func (s *Server) handleReach(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusBadRequest, "bad_request", "%v", err)
 		return
 	}
-	logical, err := compile(req.Query)
+	wantTrace := req.Trace || r.URL.Query().Get("trace") == "1"
+	var tr *obs.Trace
+	var root *obs.Span
+	if wantTrace {
+		tr = obs.NewTrace()
+		root = tr.Start("reach")
+		// Tree() below closes the root at render; the deferred End only
+		// matters if the handler bails before rendering.
+		defer root.End()
+	}
+	logical, err := traceCompile(root, req.Query)
 	if err != nil {
 		writeError(w, http.StatusBadRequest, "bad_request", "%v", err)
 		return
 	}
 	lim := s.limitsFor(&queryRequest{MaxLen: req.MaxLen, MaxPaths: req.MaxPaths, MaxWork: req.MaxWork})
 	eng := s.engineFor(lim)
-	plan, _ := eng.Plan(logical)
+	plan := tracePlan(root, eng, logical)
 	key := reachKey(mode, plan, lim)
 
 	if !req.NoCache {
-		if ent, ok := s.reach.get(s.store, key); ok {
+		if ent, ok := s.probeReachCache(root, key); ok {
 			resp := ent.resp
 			resp.Cached = true
+			if wantTrace {
+				resp.Trace = tr.Tree()
+			}
 			writeJSON(w, http.StatusOK, resp)
 			return
 		}
@@ -113,7 +133,7 @@ func (s *Server) handleReach(w http.ResponseWriter, r *http.Request) {
 
 	if n := s.inflight.Add(1); n > int64(s.cfg.maxInFlight()) {
 		s.inflight.Add(-1)
-		s.counters.rejected.Add(1)
+		s.metrics.rejected.Inc()
 		writeError(w, http.StatusTooManyRequests, "over_capacity", "too many in-flight queries (max %d)", s.cfg.maxInFlight())
 		return
 	}
@@ -124,18 +144,23 @@ func (s *Server) handleReach(w http.ResponseWriter, r *http.Request) {
 		ctx, cancel = context.WithTimeout(ctx, t)
 		defer cancel()
 	}
-	res, err := eng.ReachCtx(ctx, logical, mode)
+	res, err := eng.ReachCtx(obs.WithSpan(ctx, root), logical, mode)
 	if err != nil {
 		writeEvalError(w, err)
 		return
 	}
 	resp := renderReach(res)
+	// Cache the response before attaching the trace: a later hit gets the
+	// answer, not this request's spans.
 	if !req.NoCache {
 		s.reach.put(key, &reachEntry{
 			resp:  resp,
 			epoch: res.Epoch,
 			fp:    engine.PlanFootprint(plan),
 		})
+	}
+	if wantTrace {
+		resp.Trace = tr.Tree()
 	}
 	writeJSON(w, http.StatusOK, resp)
 }

@@ -38,6 +38,7 @@ import (
 	"pathalgebra/internal/fault"
 	"pathalgebra/internal/gql"
 	"pathalgebra/internal/graph"
+	"pathalgebra/internal/obs"
 )
 
 // ErrDraining is the cancellation cause recorded by Close: queries cut
@@ -85,6 +86,10 @@ type Config struct {
 	// CacheSize bounds the result LRU in entries. 0 selects 128; < 0
 	// disables result caching.
 	CacheSize int
+	// SlowQuery, when > 0, traces every evaluated query and logs any
+	// whose evaluation takes at least this long: the query text, limits,
+	// plan and a one-line span summary. 0 disables the slow-query log.
+	SlowQuery time.Duration
 }
 
 func (c Config) maxInFlight() int {
@@ -148,22 +153,6 @@ func (c Config) cacheSize() int {
 	}
 }
 
-// serverCounters are the service-level /stats counters, all atomic.
-type serverCounters struct {
-	started   atomic.Int64 // queries admitted to evaluation
-	completed atomic.Int64 // evaluations finishing without error
-	failed    atomic.Int64 // evaluations finishing with an error
-	rejected  atomic.Int64 // POSTs refused by admission control
-	cancelled atomic.Int64 // DELETEs and sweeper evictions
-	paths     atomic.Int64 // path lines delivered
-	pages     atomic.Int64 // pages served
-
-	ingests     atomic.Int64 // batches applied via POST /ingest
-	ingestedOps atomic.Int64 // ops across those batches
-
-	panics atomic.Int64 // panics recovered in handlers and background goroutines
-}
-
 // Server is the query service. It implements http.Handler; wire it into
 // an http.Server (cmd/pathalgebrad does) or call its handlers in-process
 // through httptest. All methods are safe for concurrent use.
@@ -188,7 +177,7 @@ type Server struct {
 	reach    *reachCache
 	cursors  *cursorTable
 	inflight atomic.Int64
-	counters serverCounters
+	metrics  *serverMetrics
 	nextID   atomic.Int64
 
 	// baseCtx parents every query context so Close aborts all running
@@ -233,15 +222,18 @@ func New(cfg Config) (*Server, error) {
 		s.cache = newResultCache(n)
 		s.reach = newReachCache(n)
 	}
-	s.mux.HandleFunc("POST /query", s.handleQuery)
-	s.mux.HandleFunc("POST /reach", s.handleReach)
-	s.mux.HandleFunc("GET /query/{id}/next", s.handleNext)
-	s.mux.HandleFunc("DELETE /query/{id}", s.handleCancel)
-	s.mux.HandleFunc("POST /ingest", s.handleIngest)
-	s.mux.HandleFunc("GET /stats", s.handleStats)
-	s.mux.HandleFunc("POST /explain", s.handleExplain)
-	s.mux.HandleFunc("POST /cache/invalidate", s.handleInvalidate)
-	s.mux.HandleFunc("GET /healthz", s.handleHealthz)
+	s.metrics = newServerMetrics()
+	s.registerCollectors()
+	s.handle("POST /query", "query", s.handleQuery)
+	s.handle("POST /reach", "reach", s.handleReach)
+	s.handle("GET /query/{id}/next", "next", s.handleNext)
+	s.handle("DELETE /query/{id}", "cancel", s.handleCancel)
+	s.handle("POST /ingest", "ingest", s.handleIngest)
+	s.handle("GET /stats", "stats", s.handleStats)
+	s.handle("POST /explain", "explain", s.handleExplain)
+	s.handle("POST /cache/invalidate", "invalidate", s.handleInvalidate)
+	s.handle("GET /healthz", "healthz", s.handleHealthz)
+	s.handle("GET /metrics", "metrics", s.handleMetrics)
 	if ttl := cfg.cursorTTL(); ttl > 0 {
 		go s.sweepLoop(ttl)
 	}
@@ -282,7 +274,7 @@ func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) {
 // one place panic stacks become visible, since clients only ever see the
 // typed "internal" error.
 func (s *Server) notePanic(err error) {
-	s.counters.panics.Add(1)
+	s.metrics.panics.Inc()
 	var pe *core.PanicError
 	if errors.As(err, &pe) {
 		log.Printf("server: recovered panic: %v\n%s", pe.Val, pe.Stack)
@@ -313,7 +305,7 @@ func (s *Server) Close() {
 		for _, c := range s.cursors.drainAll() {
 			c.cancel()
 			c.stream.Close()
-			s.counters.cancelled.Add(1)
+			s.metrics.cancelled.Inc()
 		}
 		if s.ownStore {
 			s.store.Close()
@@ -336,7 +328,8 @@ func (s *Server) sweepLoop(ttl time.Duration) {
 			for _, c := range s.cursors.sweepIdle(now, ttl) {
 				c.cancel()
 				c.stream.Close()
-				s.counters.cancelled.Add(1)
+				s.metrics.cancelled.Inc()
+				s.metrics.cursorsExpired.Inc()
 			}
 		}
 	}
@@ -376,6 +369,9 @@ type queryRequest struct {
 	// NoCache bypasses the result LRU for this query (both lookup and
 	// admission of the result).
 	NoCache bool `json:"no_cache"`
+	// Trace enables per-query tracing: the span tree rides back on the
+	// final page's trailer. ?trace=1 on the request URL does the same.
+	Trace bool `json:"trace"`
 }
 
 // queryResponse is the POST /query response.
@@ -493,37 +489,51 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusBadRequest, "bad_request", "%v", err)
 		return
 	}
-	logical, err := compile(req.Query)
+	// A trace is built when the client asks for one (returned on the
+	// final page) or when the slow-query log is armed (kept server-side
+	// for the log line); untraced queries thread nil spans at zero cost.
+	wantTrace := req.Trace || r.URL.Query().Get("trace") == "1"
+	var tr *obs.Trace
+	var root *obs.Span
+	if wantTrace || s.cfg.SlowQuery > 0 {
+		tr = obs.NewTrace()
+		root = tr.Start("query")
+	}
+	logical, err := traceCompile(root, req.Query)
 	if err != nil {
 		writeError(w, http.StatusBadRequest, "bad_request", "%v", err)
 		return
 	}
 	lim := s.limitsFor(req)
 	eng := s.engineFor(lim)
-	plan, _ := eng.Plan(logical)
+	plan := tracePlan(root, eng, logical)
 	key := resultKey(plan, lim)
 
 	id := fmt.Sprintf("q%d", s.nextID.Add(1))
 	cur := &cursor{
-		id:      id,
-		query:   req.Query,
-		limits:  lim,
-		chunk:   s.chunkFor(req),
-		created: time.Now(),
+		id:        id,
+		query:     req.Query,
+		limits:    lim,
+		chunk:     s.chunkFor(req),
+		created:   time.Now(),
+		trace:     tr,
+		root:      root,
+		wantTrace: wantTrace,
 	}
 
 	if !req.NoCache {
-		if ent, ok := s.cache.get(s.store, key); ok {
+		if ent, ok := s.probeResultCache(root, key); ok {
 			cur.cached = true
 			cur.cancel = func() {}
 			// The cached set's path IDs belong to the epoch it was computed
 			// at; render against that epoch's graph, not the current one.
 			cur.stream = engine.StreamOf(ent.g, ent.set, cur.chunk)
 			if !s.cursors.add(cur) {
-				s.counters.rejected.Add(1)
+				s.metrics.rejected.Inc()
 				writeError(w, http.StatusTooManyRequests, "over_capacity", "cursor table full (%d live cursors)", s.cursors.len())
 				return
 			}
+			s.metrics.cursorsOpened.Inc()
 			total := ent.set.Len()
 			writeJSON(w, http.StatusCreated, queryResponse{ID: id, Cached: true, Total: &total})
 			return
@@ -534,7 +544,7 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 	// before any evaluation starts; the registration below re-checks
 	// under the table lock (the authoritative cap) for the racy window.
 	if s.cursors.len() >= s.cfg.maxCursors() {
-		s.counters.rejected.Add(1)
+		s.metrics.rejected.Inc()
 		writeError(w, http.StatusTooManyRequests, "over_capacity", "cursor table full (%d live cursors)", s.cursors.len())
 		return
 	}
@@ -542,7 +552,7 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 	// Admission control: bound concurrently evaluating queries.
 	if n := s.inflight.Add(1); n > int64(s.cfg.maxInFlight()) {
 		s.inflight.Add(-1)
-		s.counters.rejected.Add(1)
+		s.metrics.rejected.Inc()
 		writeError(w, http.StatusTooManyRequests, "over_capacity", "too many in-flight queries (max %d)", s.cfg.maxInFlight())
 		return
 	}
@@ -555,12 +565,17 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 		qctx, qcancel = context.WithCancel(s.baseCtx)
 	}
 	cur.cancel = qcancel
-	cur.stream = eng.RunStream(qctx, logical, engine.StreamOptions{ChunkSize: cur.chunk})
-	s.counters.started.Add(1)
+	evalStart := time.Now()
+	// The root span rides the query context into RunStream: the engine's
+	// plan/eval spans and the automaton's search/shard spans parent onto
+	// it. WithSpan on a nil span returns qctx unchanged.
+	cur.stream = eng.RunStream(obs.WithSpan(qctx, root), logical, engine.StreamOptions{ChunkSize: cur.chunk})
+	s.metrics.started.Inc()
 
-	// Completion watcher: release the admission slot, admit successful
-	// results into the result cache — tagged with the epoch and graph view
-	// the stream pinned, plus the plan's label footprint for invalidation.
+	// Completion watcher: release the admission slot, log slow queries,
+	// admit successful results into the result cache — tagged with the
+	// epoch and graph view the stream pinned, plus the plan's label
+	// footprint for invalidation.
 	go func() {
 		defer func() { s.recovered(recover()) }()
 		<-cur.stream.Done()
@@ -568,12 +583,20 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 		if cur.discarded.Load() {
 			return // registration rejected; counted as rejected, not failed
 		}
+		if thr := s.cfg.SlowQuery; thr > 0 {
+			if el := time.Since(evalStart); el >= thr {
+				s.metrics.slowQueries.Inc()
+				log.Printf("server: slow query %s (%v >= %v): query=%q limits={maxlen:%d maxpaths:%d maxwork:%d} plan=%s trace: %s",
+					id, el.Round(time.Microsecond), thr, req.Query,
+					lim.MaxLen, lim.MaxPaths, lim.MaxWork, plan, cur.trace.Summary())
+			}
+		}
 		set, err := cur.stream.Result()
 		if err != nil {
-			s.counters.failed.Add(1)
+			s.metrics.failed.Inc()
 			return
 		}
-		s.counters.completed.Add(1)
+		s.metrics.completed.Inc()
 		if !req.NoCache {
 			fp := engine.PlanFootprint(plan)
 			s.cache.put(key, &cacheEntry{
@@ -596,11 +619,12 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 			defer func() { s.recovered(recover()) }()
 			cur.stream.Close()
 		}()
-		s.counters.started.Add(-1)
-		s.counters.rejected.Add(1)
+		s.metrics.started.Add(-1)
+		s.metrics.rejected.Inc()
 		writeError(w, http.StatusTooManyRequests, "over_capacity", "cursor table full (%d live cursors)", s.cursors.len())
 		return
 	}
+	s.metrics.cursorsOpened.Inc()
 	writeJSON(w, http.StatusCreated, queryResponse{ID: id, Cached: false})
 }
 
@@ -669,27 +693,28 @@ func (s *Server) handleNext(w http.ResponseWriter, r *http.Request) {
 		cur.cancel()
 		defer cur.stream.Close()
 	}
-	s.counters.paths.Add(int64(returned))
-	s.counters.pages.Add(1)
+	s.metrics.paths.Add(int64(returned))
+	s.metrics.pages.Inc()
 
 	w.Header().Set("Content-Type", "application/x-ndjson")
-	if chunk != nil {
-		// Render with the stream's pinned graph view: the path IDs were
-		// minted at that epoch, and compaction may have remapped IDs in
-		// the current one.
-		g := cur.stream.Graph()
-		for _, p := range chunk.Paths() {
-			if err := writeNDJSON(w, encodePath(g, p)); err != nil {
-				return
-			}
-		}
+	if err := writePage(w, cur, chunk, returned); err != nil {
+		return // severed mid-page; no trailer, client retries or DELETEs
 	}
-	writeNDJSON(w, pageTrailer{
+	trailer := pageTrailer{
 		Done:      done,
 		Returned:  returned,
 		Delivered: cur.delivered,
 		Total:     total,
-	})
+	}
+	if done {
+		// The query is over: close the root span so the tree's durations
+		// are final, and return it to a client that asked for a trace.
+		cur.root.End()
+		if cur.wantTrace {
+			trailer.Trace = cur.trace.Tree()
+		}
+	}
+	writeNDJSON(w, trailer)
 }
 
 // handleCancel aborts a query and discards its cursor.
@@ -702,7 +727,7 @@ func (s *Server) handleCancel(w http.ResponseWriter, r *http.Request) {
 	}
 	cur.cancel()
 	cur.stream.Close()
-	s.counters.cancelled.Add(1)
+	s.metrics.cancelled.Inc()
 	writeJSON(w, http.StatusOK, map[string]any{"id": id, "cancelled": true})
 }
 
@@ -720,6 +745,7 @@ type statsResponse struct {
 		Paths       int64 `json:"paths_delivered"`
 		Pages       int64 `json:"pages_served"`
 		Panics      int64 `json:"panics_recovered"`
+		SlowQueries int64 `json:"slow_queries"`
 	} `json:"server"`
 	ResultCache struct {
 		Entries int   `json:"entries"`
@@ -765,35 +791,21 @@ type statsResponse struct {
 }
 
 // handleStats snapshots engine stats (aggregated across the per-limits
-// engine pool) plus the service counters.
+// engine pool) plus the service counters. The counters are read from the
+// same obs instruments /metrics scrapes — one source of truth, two
+// renderings.
 func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 	var resp statsResponse
-	s.enginesMu.Lock()
-	for _, eng := range s.engines {
-		st := eng.Stats()
-		resp.Engine.PathsProduced += st.PathsProduced
-		resp.Engine.JoinProbes += st.JoinProbes
-		resp.Engine.IndexedScans += st.IndexedScans
-		resp.Engine.Recursions += st.Recursions
-		resp.Engine.ExpandedRecursions += st.ExpandedRecursions
-		resp.Engine.SeededRecursions += st.SeededRecursions
-		resp.Engine.BackwardRecursions += st.BackwardRecursions
-		resp.Engine.ReachKernelRuns += st.ReachKernelRuns
-		resp.Engine.ReachFallbacks += st.ReachFallbacks
-		resp.Engine.PlanCacheHits += st.PlanCacheHits
-		resp.Engine.PlanCacheMisses += st.PlanCacheMisses
-		resp.Engine.FingerprintCollisions += st.FingerprintCollisions
-	}
-	s.enginesMu.Unlock()
+	resp.Engine = s.engineStats()
 	resp.Server.InFlight = s.inflight.Load()
 	resp.Server.LiveCursors = s.cursors.len()
-	resp.Server.Started = s.counters.started.Load()
-	resp.Server.Completed = s.counters.completed.Load()
-	resp.Server.Failed = s.counters.failed.Load()
-	resp.Server.Rejected = s.counters.rejected.Load()
-	resp.Server.Cancelled = s.counters.cancelled.Load()
-	resp.Server.Paths = s.counters.paths.Load()
-	resp.Server.Pages = s.counters.pages.Load()
+	resp.Server.Started = s.metrics.started.Value()
+	resp.Server.Completed = s.metrics.completed.Value()
+	resp.Server.Failed = s.metrics.failed.Value()
+	resp.Server.Rejected = s.metrics.rejected.Value()
+	resp.Server.Cancelled = s.metrics.cancelled.Value()
+	resp.Server.Paths = s.metrics.paths.Value()
+	resp.Server.Pages = s.metrics.pages.Value()
 	resp.ResultCache.Entries, resp.ResultCache.Hits, resp.ResultCache.Misses = s.cache.snapshot()
 	resp.ReachCache.Entries, resp.ReachCache.Hits, resp.ReachCache.Misses = s.reach.snapshot()
 	g := s.store.Graph()
@@ -805,9 +817,10 @@ func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 	resp.Store.DeltaNodes, resp.Store.DeltaEdges, resp.Store.DeadNodes, resp.Store.DeadEdges = s.store.DeltaCounts()
 	resp.Store.Compactions = s.store.Compactions()
 	resp.Store.LiveEpochs, resp.Store.Pinned = s.store.LiveEpochs()
-	resp.Store.Ingests = s.counters.ingests.Load()
-	resp.Store.IngestedOps = s.counters.ingestedOps.Load()
-	resp.Server.Panics = s.counters.panics.Load()
+	resp.Store.Ingests = s.metrics.ingests.Value()
+	resp.Store.IngestedOps = s.metrics.ingestedOps.Value()
+	resp.Server.Panics = s.metrics.panics.Value()
+	resp.Server.SlowQueries = s.metrics.slowQueries.Value()
 	resp.Store.CompactionErrors, resp.Store.LastCompactionError = s.store.CompactionErrors()
 	resp.Store.Checkpoints = s.store.Checkpoints()
 	resp.Store.WALRecords, resp.Store.WALBytes, resp.Store.Durable = s.store.WALStats()
@@ -840,7 +853,7 @@ func (s *Server) handleExplain(w http.ResponseWriter, r *http.Request) {
 	}
 	if n := s.inflight.Add(1); n > int64(s.cfg.maxInFlight()) {
 		s.inflight.Add(-1)
-		s.counters.rejected.Add(1)
+		s.metrics.rejected.Inc()
 		writeError(w, http.StatusTooManyRequests, "over_capacity", "too many in-flight queries (max %d)", s.cfg.maxInFlight())
 		return
 	}

@@ -1,0 +1,80 @@
+package server
+
+import (
+	"io"
+
+	"pathalgebra/internal/core"
+	"pathalgebra/internal/engine"
+	"pathalgebra/internal/obs"
+	"pathalgebra/internal/pathset"
+)
+
+// Per-query tracing: ?trace=1 (or "trace": true in the body) builds an
+// obs.Trace whose root span parents the request's phases — parse, plan,
+// cache probe, then the engine's own plan/eval/search spans via the
+// query context — and the span tree rides back on the response (the
+// final page trailer for /query, a "trace" field for /reach). All spans
+// are nil-safe: an untraced request threads nil spans through the same
+// helpers at zero cost.
+
+// traceCompile parses and compiles the query text under a "parse" span.
+func traceCompile(root *obs.Span, query string) (core.PathExpr, error) {
+	sp := root.Start("parse")
+	defer sp.End()
+	return compile(query)
+}
+
+// tracePlan plans the logical expression under a "plan" span. The engine
+// re-plans inside its evaluation entry point — by then a plan-cache hit,
+// annotated on the engine's own span — so this span carries the cold
+// planning cost.
+func tracePlan(root *obs.Span, eng *engine.Engine, logical core.PathExpr) core.PathExpr {
+	sp := root.Start("plan")
+	defer sp.End()
+	plan, _ := eng.Plan(logical)
+	return plan
+}
+
+// probeResultCache looks up the result LRU under a "cache_probe" span.
+func (s *Server) probeResultCache(root *obs.Span, key string) (*cacheEntry, bool) {
+	sp := root.Start("cache_probe")
+	defer sp.End()
+	ent, ok := s.cache.get(s.store, key)
+	if ok {
+		sp.SetInt("hit", 1)
+	}
+	return ent, ok
+}
+
+// probeReachCache looks up the reach LRU under a "cache_probe" span.
+func (s *Server) probeReachCache(root *obs.Span, key string) (*reachEntry, bool) {
+	sp := root.Start("cache_probe")
+	defer sp.End()
+	ent, ok := s.reach.get(s.store, key)
+	if ok {
+		sp.SetInt("hit", 1)
+	}
+	return ent, ok
+}
+
+// writePage writes one page's path lines under a "deliver" span of the
+// cursor's trace (no-op spans when the query is untraced). Paths render
+// with the stream's pinned graph view: the IDs were minted at that
+// epoch, and compaction may have remapped IDs in the current one. A
+// write error severs the page — the caller must NOT write the trailer
+// (a severed page without a trailer is how clients detect the cut).
+func writePage(w io.Writer, cur *cursor, chunk *pathset.Set, returned int) error {
+	sp := cur.root.Start("deliver")
+	defer sp.End()
+	sp.SetInt("paths", int64(returned))
+	if chunk == nil {
+		return nil
+	}
+	g := cur.stream.Graph()
+	for _, p := range chunk.Paths() {
+		if err := writeNDJSON(w, encodePath(g, p)); err != nil {
+			return err
+		}
+	}
+	return nil
+}

@@ -20,6 +20,7 @@
 package pathalgebra
 
 import (
+	"context"
 	"fmt"
 	"io"
 
@@ -29,6 +30,7 @@ import (
 	"pathalgebra/internal/gql"
 	"pathalgebra/internal/graph"
 	"pathalgebra/internal/ldbc"
+	"pathalgebra/internal/obs"
 	"pathalgebra/internal/opt"
 	"pathalgebra/internal/path"
 	"pathalgebra/internal/pathset"
@@ -167,6 +169,26 @@ var ErrBudgetExceeded = core.ErrBudgetExceeded
 
 // NewEngine returns an engine over g.
 func NewEngine(g *Graph, opts EngineOptions) *Engine { return engine.New(g, opts) }
+
+// Trace collects a per-query span tree: parse, plan, cache probe,
+// per-shard evaluation and merge phases, annotated with frontier sizes,
+// arena bytes and budget charges. Traces are observation-only — a traced
+// evaluation returns byte-identical results.
+type Trace = obs.Trace
+
+// Span is one timed phase of a Trace. All Span methods are no-ops on a
+// nil receiver, so untraced code paths thread nil spans at zero cost.
+type Span = obs.Span
+
+// NewTrace returns an empty trace. Start a root span with Trace.Start,
+// thread it into an evaluation with ContextWithSpan, and render the
+// result with Trace.Format or Trace.Tree.
+func NewTrace() *Trace { return obs.NewTrace() }
+
+// ContextWithSpan returns a context carrying sp: engine entry points
+// called with it (RunCtx, RunStream, ReachCtx) attach their plan and
+// evaluation spans beneath sp. With a nil sp, ctx is returned unchanged.
+func ContextWithSpan(ctx context.Context, sp *Span) context.Context { return obs.WithSpan(ctx, sp) }
 
 // Live-graph types: a Store is an updatable graph — an epoch sequence of
 // immutable snapshots. Apply ingests a Batch of mutations atomically and

@@ -130,3 +130,27 @@ if [ "$steady" -ne 0 ]; then
     exit 1
 fi
 echo "check_allocs: reach-kernel steady state at zero allocs/op"
+
+# Observability gate: disabled instrumentation must be invisible. A nil
+# trace reduces the full per-query span choreography (context probe,
+# starts, attrs, ends) to nil checks, and nil-registry instruments
+# record for free — ZERO allocations for both, no tolerance. Any drift
+# means the metrics/tracing layer started taxing every untraced query.
+out=$(go test -run xxx -bench 'BenchmarkNilTraceSpan|BenchmarkDisarmedInstruments' -benchtime 100000x -benchmem ./internal/obs 2>&1)
+printf '%s\n' "$out"
+
+niltrace=$(printf '%s\n' "$out" | awk '/^BenchmarkNilTraceSpan/ { for (i = 1; i < NF; i++) if ($(i+1) == "allocs/op") print $i }')
+nilinst=$(printf '%s\n' "$out" | awk '/^BenchmarkDisarmedInstruments/ { for (i = 1; i < NF; i++) if ($(i+1) == "allocs/op") print $i }')
+if [ -z "$niltrace" ] || [ -z "$nilinst" ]; then
+    echo "check_allocs: could not find obs nil-path allocs/op in benchmark output" >&2
+    exit 1
+fi
+if [ "$niltrace" -ne 0 ]; then
+    echo "check_allocs: nil-trace span choreography allocates $niltrace allocs/op — disabled tracing must be free" >&2
+    exit 1
+fi
+if [ "$nilinst" -ne 0 ]; then
+    echo "check_allocs: disarmed instruments allocate $nilinst allocs/op — nil-registry counters/gauges/histograms must record for free" >&2
+    exit 1
+fi
+echo "check_allocs: disabled observability at zero-alloc parity (trace $niltrace, instruments $nilinst allocs/op)"
